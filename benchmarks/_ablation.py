@@ -1,0 +1,112 @@
+"""Shared machinery for the optimisation-impact benchmarks (Figs 11-14).
+
+Reruns the entropy sweep with single optimisations switched off and
+reports the relative sorting-rate change, exactly like the paper's
+Appendix B: the *independent* optimisations (look-ahead, thread
+reduction) are toggled individually; the *synergistic* group (bucket
+merging, multi-config local sort) is evaluated individually and in
+combination, because "the lack of one optimisation may boost the impact
+of the absence of the other".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.scaling import simulate_sort_at_scale
+from repro.core.config import SortConfig
+from repro.workloads import (
+    ENTROPY_LADDER_32,
+    ENTROPY_LADDER_64,
+    generate_entropy_keys,
+    generate_pairs,
+)
+
+#: The ablation variants, in the paper's legend order.
+VARIANTS: dict[str, dict] = {
+    "single local sort config": dict(multi_config=False),
+    "no bucket merging": dict(bucket_merging=False),
+    "no merge + single config": dict(
+        multi_config=False, bucket_merging=False
+    ),
+    "no look-ahead": dict(lookahead=False),
+    "no thread red. histo": dict(thread_reduction=False),
+    "all optimisations off": dict(
+        multi_config=False,
+        bucket_merging=False,
+        lookahead=False,
+        thread_reduction=False,
+    ),
+}
+
+
+def ladder_for(key_bits: int, levels: int = 9):
+    """The paper's Appendix B x-axis: nine entropy levels."""
+    full = ENTROPY_LADDER_32 if key_bits == 32 else ENTROPY_LADDER_64
+    return list(full[: levels - 1]) + [full[-1]]
+
+
+def run_ablation_sweep(
+    settings,
+    key_bits: int,
+    value_bits: int,
+    target: int,
+    salt: int,
+):
+    """Relative performance change per variant per entropy level.
+
+    Returns ``(levels, {variant: [percent change, ...]})`` where the
+    change compares the variant's sorting rate to the all-optimisations
+    baseline (negative = slower, as in Figures 11-14).
+    """
+    rng = settings.rng(salt)
+    base_config = SortConfig.for_layout(key_bits, value_bits)
+    levels = ladder_for(key_bits)
+    changes: dict[str, list[float]] = {name: [] for name in VARIANTS}
+    for level in levels:
+        keys = generate_entropy_keys(
+            settings.sample_n, key_bits, level.and_depth, rng
+        )
+        values = None
+        if value_bits:
+            keys, values = generate_pairs(keys, value_bits, rng=rng)
+        baseline = simulate_sort_at_scale(
+            keys, target, values=values, config=base_config
+        ).simulated_seconds
+        for name, switches in VARIANTS.items():
+            variant = simulate_sort_at_scale(
+                keys,
+                target,
+                values=values,
+                config=base_config.with_ablations(**switches),
+            ).simulated_seconds
+            changes[name].append(100.0 * (baseline / variant - 1.0))
+    return levels, changes
+
+
+def assert_common_shape(levels, changes, key_bits: int) -> None:
+    """Shape assertions shared by all four ablation figures."""
+    # No optimisation ever *helps* materially when switched off.
+    for name, values in changes.items():
+        assert max(values) <= 3.0, (name, values)
+    # The synergistic combination is at least as bad as either part.
+    for i in range(len(levels)):
+        combined = changes["no merge + single config"][i]
+        assert combined <= changes["single local sort config"][i] + 1.5
+        assert combined <= changes["no bucket merging"][i] + 1.5
+    # At zero entropy no local sorts run, so the local-sort switches
+    # are no-ops (the paper's right-hand columns).
+    assert abs(changes["single local sort config"][-1]) < 2.0
+    assert abs(changes["no bucket merging"][-1]) < 2.0
+    if key_bits == 64:
+        # Figures 12/14: 64-bit rows are bandwidth-bound — look-ahead
+        # and thread reduction never matter.
+        assert all(abs(v) < 2.0 for v in changes["no look-ahead"])
+        assert all(abs(v) < 2.0 for v in changes["no thread red. histo"])
+    else:
+        # Figures 11/13: both matter at the skewed end.
+        assert changes["no look-ahead"][-1] < -5.0
+        assert changes["no thread red. histo"][-1] < -10.0
+        # ... and not at the uniform end.
+        assert abs(changes["no look-ahead"][0]) < 2.0
+        assert abs(changes["no thread red. histo"][0]) < 2.0

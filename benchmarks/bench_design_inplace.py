@@ -1,0 +1,93 @@
+"""Design ablation: the in-place replacement strategy (§5, Figure 5).
+
+The paper motivates the three-buffer layout by the chunk size it
+enables: "rather than allocating memory that can host four chunks ...
+we only require enough memory for three", which "allows supporting
+larger sub-problems" and "improves the overall performance for sorting
+large inputs".  This benchmark quantifies that: for a 64 GB input, the
+four-buffer layout forces 3 GB chunks (22 of them) and pushes the
+six-core merge into a third pass, while the in-place layout stays at
+16 x 4 GB chunks and two merge passes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.bench.reporting import format_table
+from repro.hetero.chunking import max_chunk_bytes
+from repro.hetero.merge import CpuMergeModel
+from repro.hetero.sorter import HeterogeneousSorter
+from repro.workloads import generate_pairs, uniform_keys
+
+GB = 10**9
+
+
+def _run_experiment(settings):
+    rng = settings.rng(55)
+    keys, values = generate_pairs(uniform_keys(settings.sample_n, 64, rng), 64)
+    merge = CpuMergeModel()
+    rows = []
+    for in_place in (True, False):
+        sorter = HeterogeneousSorter(in_place_replacement=in_place)
+        out = sorter.simulate(64 * GB, keys, values)
+        rows.append(
+            {
+                "layout": "3 buffers (in-place)" if in_place else "4 buffers",
+                "chunk_gb": out.plan.chunk_bytes / GB,
+                "chunks": out.plan.n_chunks,
+                "merge_passes": merge.merge_passes(out.plan.n_chunks),
+                "chunked": out.chunked_sort_seconds,
+                "merge": out.merge_seconds,
+                "total": out.total_seconds,
+            }
+        )
+    return rows
+
+
+@pytest.fixture(scope="module")
+def experiment(settings):
+    return _run_experiment(settings)
+
+
+def test_inplace_report_and_shape(experiment):
+    rows = experiment
+    report = format_table(
+        ["layout", "chunk (GB)", "chunks", "merge passes",
+         "chunked sort (s)", "CPU merge (s)", "total (s)"],
+        [
+            [r["layout"], f"{r['chunk_gb']:.1f}", r["chunks"],
+             r["merge_passes"], f"{r['chunked']:.2f}",
+             f"{r['merge']:.2f}", f"{r['total']:.2f}"]
+            for r in rows
+        ],
+    )
+    emit_report("design_inplace_replacement", report)
+
+    in_place, four_buffer = rows
+    # §5: larger chunks with three buffers...
+    assert in_place["chunk_gb"] > four_buffer["chunk_gb"]
+    assert in_place["chunks"] < four_buffer["chunks"]
+    # ... fewer merge passes ...
+    assert in_place["merge_passes"] <= four_buffer["merge_passes"]
+    # ... and a better end-to-end total for large inputs.
+    assert in_place["total"] < four_buffer["total"]
+
+    # Paper-scale check: the device limit allows ~4 GB chunks with the
+    # in-place layout, matching "almost one third of the device memory".
+    assert max_chunk_bytes(in_place_replacement=True) >= 4 * GB
+
+
+def test_inplace_benchmark(settings, benchmark):
+    rng = settings.rng(55)
+    keys, values = generate_pairs(
+        uniform_keys(min(settings.sample_n, 1 << 19), 64, rng), 64
+    )
+    sorter = HeterogeneousSorter(in_place_replacement=False)
+
+    def run():
+        return sorter.simulate(64 * GB, keys, values)
+
+    out = benchmark(run)
+    assert out.total_seconds > 0

@@ -1,0 +1,61 @@
+"""Figure 11: optimisation impact for 32-bit keys (Appendix B).
+
+Paper highlights: "single local sort config" costs up to −30 % at
+25.96 bits; "no merge + single config" collapses to −64 %; look-ahead
+and thread reduction matter only towards the skewed end (−18 % / −20 %
+at zero entropy); everything is neutral for the uniform distribution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._ablation import assert_common_shape, run_ablation_sweep
+from benchmarks.conftest import emit_report
+from repro.bench.reporting import format_series
+from repro.workloads import generate_entropy_keys
+
+
+@pytest.fixture(scope="module")
+def experiment(settings):
+    return run_ablation_sweep(
+        settings, key_bits=32, value_bits=0, target=500_000_000, salt=11
+    )
+
+
+def test_fig11_report_and_shape(experiment):
+    levels, changes = experiment
+    report = format_series(
+        "entropy (bits)",
+        [level.label for level in levels],
+        changes,
+        unit="% change",
+        precision=0,
+    )
+    emit_report("fig11_ablation_32bit_keys", report)
+    assert_common_shape(levels, changes, key_bits=32)
+
+    # Figure 11 specifics: the synergistic pair peaks at 25.96 bits.
+    combined = changes["no merge + single config"]
+    assert combined[1] == min(combined)
+    assert combined[1] < -40.0
+    assert changes["single local sort config"][1] < -15.0
+    # All-off tracks the synergistic combination plus the skew terms.
+    assert changes["all optimisations off"][-1] < -20.0
+
+
+def test_fig11_benchmark(settings, benchmark):
+    from repro.bench.scaling import simulate_sort_at_scale
+    from repro.core.config import SortConfig
+
+    rng = settings.rng(11)
+    keys = generate_entropy_keys(min(settings.sample_n, 1 << 19), 32, 1, rng)
+    config = SortConfig.for_keys(32).with_ablations(
+        multi_config=False, bucket_merging=False
+    )
+
+    def run():
+        return simulate_sort_at_scale(keys, 500_000_000, config=config)
+
+    out = benchmark(run)
+    assert out.sorted_ok

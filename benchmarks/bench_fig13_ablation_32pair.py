@@ -1,0 +1,55 @@
+"""Figure 13: optimisation impact for 32-bit/32-bit pairs (Appendix B).
+
+Paper highlights: shapes follow Figure 11 with damped magnitudes — the
+value payload doubles the bandwidth term, so the compute-side
+optimisations matter relatively less (look-ahead −13 % at zero entropy
+instead of −18 %).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._ablation import assert_common_shape, run_ablation_sweep
+from benchmarks.conftest import emit_report
+from repro.bench.reporting import format_series
+from repro.workloads import generate_entropy_keys, generate_pairs
+
+
+@pytest.fixture(scope="module")
+def experiment(settings):
+    return run_ablation_sweep(
+        settings, key_bits=32, value_bits=32, target=250_000_000, salt=13
+    )
+
+
+def test_fig13_report_and_shape(experiment):
+    levels, changes = experiment
+    report = format_series(
+        "entropy (bits)",
+        [level.label for level in levels],
+        changes,
+        unit="% change",
+        precision=0,
+    )
+    emit_report("fig13_ablation_32_32_pairs", report)
+    assert_common_shape(levels, changes, key_bits=32)
+
+    # The synergistic collapse persists at 25.96 bits.
+    assert changes["no merge + single config"][1] < -30.0
+    # Look-ahead matters at the skewed end for this layout too.
+    assert changes["no look-ahead"][-1] < -5.0
+
+
+def test_fig13_benchmark(settings, benchmark):
+    from repro.bench.scaling import simulate_sort_at_scale
+
+    rng = settings.rng(13)
+    keys = generate_entropy_keys(min(settings.sample_n, 1 << 19), 32, 1, rng)
+    keys, values = generate_pairs(keys, 32)
+
+    def run():
+        return simulate_sort_at_scale(keys, 250_000_000, values=values)
+
+    out = benchmark(run)
+    assert out.sorted_ok

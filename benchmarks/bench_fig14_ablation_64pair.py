@@ -1,0 +1,55 @@
+"""Figure 14: optimisation impact for 64-bit/64-bit pairs (Appendix B).
+
+Paper highlights: like Figure 12, merging dominates (−28 % at
+51.92 bits without it; −91 % for the synergistic combination) and the
+skew-side optimisations are no-ops — the 16-byte records make every
+pass firmly bandwidth-bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._ablation import assert_common_shape, run_ablation_sweep
+from benchmarks.conftest import emit_report
+from repro.bench.reporting import format_series
+from repro.workloads import generate_entropy_keys, generate_pairs
+
+
+@pytest.fixture(scope="module")
+def experiment(settings):
+    return run_ablation_sweep(
+        settings, key_bits=64, value_bits=64, target=125_000_000, salt=14
+    )
+
+
+def test_fig14_report_and_shape(experiment):
+    levels, changes = experiment
+    report = format_series(
+        "entropy (bits)",
+        [level.label for level in levels],
+        changes,
+        unit="% change",
+        precision=0,
+    )
+    emit_report("fig14_ablation_64_64_pairs", report)
+    assert_common_shape(levels, changes, key_bits=64)
+
+    # The synergistic pair collapses at 51.92 bits.
+    assert changes["no merge + single config"][1] < -60.0
+    # Thread reduction is a no-op for 16-byte records everywhere.
+    assert all(abs(v) < 2.0 for v in changes["no thread red. histo"])
+
+
+def test_fig14_benchmark(settings, benchmark):
+    from repro.bench.scaling import simulate_sort_at_scale
+
+    rng = settings.rng(14)
+    keys = generate_entropy_keys(min(settings.sample_n, 1 << 19), 64, 1, rng)
+    keys, values = generate_pairs(keys, 64)
+
+    def run():
+        return simulate_sort_at_scale(keys, 125_000_000, values=values)
+
+    out = benchmark(run)
+    assert out.sorted_ok

@@ -1,0 +1,109 @@
+"""Figure 7: sorting rate vs input size (64-bit keys and 64/64 pairs).
+
+Sweeps input sizes from 250 K to 500 M elements at three distributions
+(entropy 51.92, 34.79, and 0.00 bits) for the hybrid sort, CUB, and the
+MGPU merge sort.  Paper shapes: rates rise with size and saturate; CUB
+keeps an edge only for small, highly skewed inputs, with the worst-case
+crossover near 1.9 M keys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.baselines import CubRadixSort, MergeSortBaseline
+from repro.bench.reporting import format_series
+from repro.bench.scaling import simulate_sort_at_scale
+from repro.workloads import generate_entropy_keys, generate_pairs
+
+GB = 1e9
+SIZES = [250_000, 1_000_000, 4_000_000, 16_000_000, 64_000_000, 250_000_000, 500_000_000]
+DEPTHS = {"51.92": 1, "34.79": 2, "0.00": None}
+
+
+def _rates_for(settings, value_bits):
+    rng = settings.rng(7)
+    cub = CubRadixSort("1.5.1")
+    mgpu = MergeSortBaseline()
+    record = 8 + value_bits // 8
+    series = {}
+    for label, depth in DEPTHS.items():
+        sample = generate_entropy_keys(settings.sample_n, 64, depth, rng)
+        values = None
+        if value_bits:
+            sample, values = generate_pairs(sample, value_bits, rng=rng)
+        hrs_rates, cub_rates, mgpu_rates = [], [], []
+        for n in SIZES:
+            k = sample[: min(sample.size, n)]
+            v = values[: min(sample.size, n)] if values is not None else None
+            out = simulate_sort_at_scale(k, n, values=v)
+            hrs_rates.append(n * record / out.simulated_seconds / GB)
+            cub_rates.append(
+                n * record / cub.simulated_seconds(n, 8, value_bits // 8) / GB
+            )
+            mgpu_rates.append(
+                n * record / mgpu.simulated_seconds(n, 8, value_bits // 8) / GB
+            )
+        series[f"HRS {label}"] = hrs_rates
+        series[f"CUB {label}"] = cub_rates
+        series[f"MGPU {label}"] = mgpu_rates
+    return series
+
+
+@pytest.fixture(scope="module", params=["fig7a_64bit_keys", "fig7b_64_64_pairs"])
+def panel(request, settings):
+    value_bits = 0 if request.param.endswith("keys") else 64
+    return request.param, value_bits, _rates_for(settings, value_bits)
+
+
+def test_fig7_report_and_shape(panel):
+    name, value_bits, series = panel
+    report = format_series(
+        "input size (elements)", [f"{s:,}" for s in SIZES], series
+    )
+    emit_report(name, report)
+
+    # Rates rise with input size, then saturate (launch overheads
+    # amortise away).  A mild sawtooth remains where the input crosses a
+    # pass-count boundary (e.g. 500 M pairs need a third counting pass).
+    hrs_uniform = series["HRS 51.92"]
+    assert hrs_uniform[-1] > hrs_uniform[0] * 2
+    assert hrs_uniform[-1] == pytest.approx(max(hrs_uniform), rel=0.12)
+    # Uniform-ish distributions: HRS leads at every size from 1M up.
+    for h, c in zip(hrs_uniform[1:], series["CUB 51.92"][1:]):
+        assert h > c
+    # Worst case (0 bits): CUB ahead for small inputs, HRS at scale.
+    assert series["HRS 0.00"][0] < series["CUB 0.00"][0]
+    assert series["HRS 0.00"][-1] > series["CUB 0.00"][-1]
+    # MGPU below both radix sorts at scale.
+    assert series["MGPU 51.92"][-1] < series["CUB 51.92"][-1]
+
+
+def test_fig7_crossover_location(settings):
+    # §6.1: the hybrid sort overtakes CUB beyond ~1.9 M keys even on its
+    # worst-case distribution.
+    rng = settings.rng(77)
+    cub = CubRadixSort("1.5.1")
+    sample = generate_entropy_keys(min(settings.sample_n, 1 << 18), 64, None, rng)
+    crossover = None
+    for n in (2.5e5, 5e5, 1e6, 2e6, 4e6, 8e6):
+        n = int(n)
+        out = simulate_sort_at_scale(sample[: min(sample.size, n)], n)
+        if out.simulated_seconds < cub.simulated_seconds(n, 8):
+            crossover = n
+            break
+    assert crossover is not None
+    assert 5e5 <= crossover <= 8e6
+
+
+def test_fig7_benchmark(settings, benchmark):
+    rng = settings.rng(7)
+    sample = generate_entropy_keys(min(settings.sample_n, 1 << 19), 64, 1, rng)
+
+    def run():
+        return simulate_sort_at_scale(sample, 16_000_000)
+
+    out = benchmark(run)
+    assert out.sorted_ok

@@ -1,0 +1,111 @@
+"""Figure 8: end-to-end time for 375 M 64/64 pairs (6 GB) vs chunk count.
+
+Compares the naive un-pipelined approaches (CUB and the hybrid sort:
+HtD transfer, on-GPU sort, DtH transfer in series) against the
+heterogeneous sort with s ∈ {2, 3, 4, 8, 16} chunks, broken into the
+chunked sort and the CPU merge.
+
+Paper shapes: the chunked sort approaches the one-way PCIe time
+(540 ms) as s grows — at s=16 it even beats CUB's bare on-GPU sorting
+time — and the end-to-end total is minimised at s=4 on the six-core
+host.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.baselines import CubRadixSort
+from repro.bench.reporting import format_table
+from repro.bench.scaling import simulate_sort_at_scale
+from repro.hetero.sorter import HeterogeneousSorter
+from repro.workloads import generate_pairs, uniform_keys
+
+GB = 10**9
+TOTAL_BYTES = 6 * GB
+TOTAL_RECORDS = 375_000_000
+CHUNK_COUNTS = [2, 3, 4, 8, 16]
+
+
+def _run_experiment(settings):
+    rng = settings.rng(8)
+    keys = uniform_keys(settings.sample_n, 64, rng)
+    keys, values = generate_pairs(keys, 64)
+    sorter = HeterogeneousSorter()
+
+    on_gpu_hrs = simulate_sort_at_scale(
+        keys, TOTAL_RECORDS, values=values
+    ).simulated_seconds
+    on_gpu_cub = CubRadixSort("1.5.1").simulated_seconds(TOTAL_RECORDS, 8, 8)
+    naive = {
+        "CUB": sorter.simulate_naive(TOTAL_BYTES, on_gpu_cub),
+        "HRS": sorter.simulate_naive(TOTAL_BYTES, on_gpu_hrs),
+    }
+    hetero = {
+        s: sorter.simulate(TOTAL_BYTES, keys, values, n_chunks=s)
+        for s in CHUNK_COUNTS
+    }
+    return naive, hetero
+
+
+@pytest.fixture(scope="module")
+def experiment(settings):
+    return _run_experiment(settings)
+
+
+def test_fig8_report_and_shape(experiment):
+    naive, hetero = experiment
+    rows = [
+        ["naive CUB", f"{naive['CUB']['pcie_htd']:.3f}",
+         f"{naive['CUB']['on_gpu_sorting']:.3f}",
+         f"{naive['CUB']['pcie_dth']:.3f}", "-", "-",
+         f"{naive['CUB']['total']:.3f}"],
+        ["naive HRS", f"{naive['HRS']['pcie_htd']:.3f}",
+         f"{naive['HRS']['on_gpu_sorting']:.3f}",
+         f"{naive['HRS']['pcie_dth']:.3f}", "-", "-",
+         f"{naive['HRS']['total']:.3f}"],
+    ]
+    for s, out in hetero.items():
+        rows.append(
+            [f"hetero s={s}", "-", "-", "-",
+             f"{out.chunked_sort_seconds:.3f}",
+             f"{out.merge_seconds:.3f}",
+             f"{out.total_seconds:.3f}"]
+        )
+    report = format_table(
+        ["variant", "PCIe HtD (s)", "on-GPU (s)", "PCIe DtH (s)",
+         "chunked sort (s)", "CPU merge (s)", "total (s)"],
+        rows,
+    )
+    emit_report("fig8_chunk_sweep", report)
+
+    one_way_pcie = 0.540
+    s16 = hetero[16]
+    # §6.2: at s=16 the chunked sort is within ~16 % of one PCIe pass...
+    assert s16.chunked_sort_seconds <= one_way_pcie * 1.25
+    # ... and even beats CUB's bare on-GPU sorting time (636 ms).
+    assert s16.chunked_sort_seconds < naive["CUB"]["on_gpu_sorting"]
+    # Chunked-sort time decreases monotonically with s.
+    chunked = [hetero[s].chunked_sort_seconds for s in CHUNK_COUNTS]
+    assert chunked == sorted(chunked, reverse=True)
+    # End-to-end minimum at s = 4 on the six-core host.
+    totals = {s: hetero[s].total_seconds for s in CHUNK_COUNTS}
+    assert min(totals, key=totals.get) == 4
+    # The pipelined sort beats both naive variants.
+    assert totals[4] < naive["HRS"]["total"]
+    assert totals[4] < naive["CUB"]["total"]
+
+
+def test_fig8_benchmark(settings, benchmark):
+    rng = settings.rng(8)
+    keys = uniform_keys(min(settings.sample_n, 1 << 19), 64, rng)
+    keys, values = generate_pairs(keys, 64)
+    sorter = HeterogeneousSorter()
+
+    def run():
+        return sorter.simulate(TOTAL_BYTES, keys, values, n_chunks=4)
+
+    out = benchmark(run)
+    assert out.total_seconds > 0

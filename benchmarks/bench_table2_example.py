@@ -1,0 +1,74 @@
+"""Table 2: the worked 16-key example (k=4 bits, d=2, ∂̂=3).
+
+Regenerates the table's rows — first-pass histogram, prefix sums, and
+the fully sorted output — from a real run of the hybrid sorter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.bench.reporting import format_table
+from repro.core.config import SortConfig
+from repro.core.hybrid_sort import HybridRadixSorter
+
+TABLE2_BASE4 = [
+    (3, 1), (1, 2), (0, 1), (2, 3), (1, 2), (2, 2), (1, 2), (0, 0),
+    (1, 1), (1, 0), (1, 0), (3, 1), (0, 3), (1, 3), (1, 2), (0, 3),
+]
+
+
+def _keys() -> np.ndarray:
+    return np.array(
+        [(a << 6) | (b << 4) for a, b in TABLE2_BASE4], dtype=np.uint8
+    )
+
+
+def _config() -> SortConfig:
+    return SortConfig(
+        key_bits=8, digit_bits=2, kpb=16, threads=4, kpt=4,
+        local_threshold=3, merge_threshold=3, local_sort_configs=(2, 3),
+    )
+
+
+def _run_example():
+    keys = _keys()
+    result = HybridRadixSorter(config=_config()).sort(keys)
+    firsts = (keys >> np.uint8(6)).astype(np.int64)
+    histogram = np.bincount(firsts, minlength=4)
+    prefix = np.concatenate(([0], np.cumsum(histogram)[:-1]))
+    sorted_base4 = [
+        (int(k) >> 6, (int(k) >> 4) & 3) for k in result.keys
+    ]
+    return keys, result, histogram, prefix, sorted_base4
+
+
+def test_table2_report():
+    keys, result, histogram, prefix, sorted_base4 = _run_example()
+    rows = [
+        ["keys (radix 4)"] + [f"{a}{b}" for a, b in TABLE2_BASE4],
+        ["histogram"] + [str(int(h)) for h in histogram] + [""] * 12,
+        ["prefix-sum"] + [str(int(p)) for p in prefix] + [""] * 12,
+        ["sorted"] + [f"{a}{b}" for a, b in sorted_base4],
+    ]
+    report = format_table(["row"] + [str(i) for i in range(16)], rows)
+    emit_report("table2_example", report)
+
+    assert histogram.tolist() == [4, 8, 2, 2]
+    assert prefix.tolist() == [0, 4, 12, 14]
+    assert sorted_base4 == sorted(TABLE2_BASE4)
+    # Buckets 2 and 3 (two keys each <= ∂̂=3) finish with a local sort.
+    first = result.trace.counting_passes[0]
+    assert first.n_local_buckets == 2
+    assert first.n_next_buckets == 2
+
+
+def test_table2_benchmark(benchmark):
+    def run():
+        _, result, _, _, _ = _run_example()
+        return result
+
+    result = benchmark(run)
+    assert np.all(result.keys[:-1] <= result.keys[1:])

@@ -1,0 +1,53 @@
+"""Table 3: the default configurations per key/value layout.
+
+Regenerates the table (KPB, threads, KPT, ∂̂) and validates each preset
+against the Titan X resource model: the scatter kernel keeps at least
+two blocks per SM resident and the largest local-sort configuration
+fits the SM's on-chip memory — the constraints §6 says produced these
+numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.bench.reporting import format_table
+from repro.core.config import SortConfig, derive_table3
+
+PAPER_TABLE3 = {
+    "32-bit keys": (6912, 384, 18, 9216),
+    "64-bit keys": (3456, 384, 9, 4224),
+    "32-bit/32-bit pairs": (3456, 384, 18, 5760),
+    "64-bit/64-bit pairs": (2304, 256, 9, 3840),
+}
+
+
+def test_table3_report():
+    rows = derive_table3()
+    table = format_table(
+        ["key/value size", "KPB", "threads", "KPT", "∂̂",
+         "scatter blocks/SM", "local-sort shared KB"],
+        [
+            [
+                r["layout"], r["kpb"], r["threads"], r["kpt"],
+                r["local_threshold"], r["scatter_blocks_per_sm"],
+                f"{r['local_sort_shared_bytes'] / 1024:.1f}",
+            ]
+            for r in rows
+        ],
+    )
+    emit_report("table3_configs", table)
+
+    for r in rows:
+        expected = PAPER_TABLE3[r["layout"]]
+        assert (
+            r["kpb"], r["threads"], r["kpt"], r["local_threshold"]
+        ) == expected
+        assert r["scatter_blocks_per_sm"] >= 2
+        assert r["local_sort_shared_bytes"] <= 96 * 1024
+
+
+def test_table3_benchmark(benchmark):
+    rows = benchmark(derive_table3)
+    assert len(rows) == 4

@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper: it runs
+the functional sorters on distribution samples, prices them at the
+paper's input sizes through the scale model, prints the same rows/series
+the paper plots, and asserts the headline shape.  ``pytest-benchmark``
+additionally times the functional harness itself as a regression guard.
+
+Reports are written to ``benchmarks/results/`` and echoed to the real
+stdout (bypassing capture) so a plain ``pytest benchmarks/
+--benchmark-only`` run shows them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+from repro.bench.runner import BenchmarkSettings
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit_report(name: str, text: str) -> None:
+    """Write a figure/table report to disk and the real stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    sys.__stdout__.write(f"\n===== {name} =====\n{text}\n")
+    sys.__stdout__.flush()
+
+
+@pytest.fixture(scope="session")
+def settings() -> BenchmarkSettings:
+    return BenchmarkSettings.from_env()

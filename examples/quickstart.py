@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: sort keys and key-value pairs with the hybrid radix sort.
+
+Runs the paper's algorithm (§4) on a simulated NVIDIA Titan X (Pascal),
+prints the execution trace — counting passes, bucket populations, local
+sorts — and the simulated device time with its phase breakdown.
+
+Usage::
+
+    python examples/quickstart.py [n_keys]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+import repro
+from repro.workloads import generate_pairs, uniform_keys
+
+
+def main(n: int = 1 << 20) -> None:
+    rng = np.random.default_rng(42)
+
+    print(f"== sorting {n:,} uniform 32-bit keys ==")
+    keys = uniform_keys(n, 32, rng)
+    result = repro.sort(keys)
+    assert np.array_equal(result.keys, np.sort(keys))
+    trace = result.trace
+    print(f"counting passes : {trace.num_counting_passes}")
+    print(f"finished early  : {trace.finished_early}")
+    print(f"local-sorted    : {trace.total_local_keys:,} keys")
+    for p in trace.counting_passes:
+        print(
+            f"  pass {p.pass_index}: {p.n_keys:,} keys in "
+            f"{p.n_buckets_in:,} buckets -> {p.n_local_buckets:,} local, "
+            f"{p.n_next_buckets:,} continue, {p.n_merged_buckets:,} merged"
+        )
+    b = result.breakdown
+    print(f"simulated time  : {result.simulated_seconds * 1e3:.3f} ms")
+    print(
+        f"  histogram {b.histogram * 1e3:.3f} | scatter {b.scatter * 1e3:.3f}"
+        f" | local sort {b.local_sort * 1e3:.3f}"
+        f" | overheads {(b.bucket_management + b.launch_overhead) * 1e3:.3f} (ms)"
+    )
+    rate = result.sorting_rate() / 1e9
+    print(f"simulated rate  : {rate:.1f} GB/s on a {repro.TITAN_X_PASCAL.name}")
+
+    print(f"\n== sorting {n:,} key-value pairs (64-bit keys, row ids) ==")
+    keys64 = uniform_keys(n, 64, rng)
+    keys64, row_ids = generate_pairs(keys64, 64)
+    pairs = repro.sort_pairs(keys64, row_ids)
+    assert np.array_equal(keys64[pairs.values.astype(np.int64)], pairs.keys)
+    print(f"sorted OK; simulated time {pairs.simulated_seconds * 1e3:.3f} ms")
+
+    print("\n== floats sort through the order-preserving bijection (§4.6) ==")
+    floats = rng.normal(0.0, 1e6, 100_000)
+    sorted_floats = repro.sort(floats)
+    assert np.array_equal(sorted_floats.keys, np.sort(floats))
+    print(
+        f"float64 range [{sorted_floats.keys[0]:.2f}, "
+        f"{sorted_floats.keys[-1]:.2f}] sorted OK"
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1 << 20)

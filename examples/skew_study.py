@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Skew study: how the key distribution shapes the hybrid sort.
+
+Walks the Thearling entropy ladder (§6) and shows, per level, the pass
+structure the MSD approach takes — when the local sort kicks in, how
+much merging happens, how the atomic-contention statistics move — and
+the resulting simulated rate against CUB.  A miniature, annotated
+Figure 6a.
+
+Usage::
+
+    python examples/skew_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import CubRadixSort
+from repro.bench.reporting import format_table
+from repro.bench.scaling import simulate_sort_at_scale
+from repro.workloads import ENTROPY_LADDER_32, generate_entropy_keys
+
+GB = 1e9
+TARGET = 500_000_000  # the paper's 2 GB of 32-bit keys
+
+
+def main() -> None:
+    rng = np.random.default_rng(99)
+    cub_seconds = CubRadixSort("1.5.1").simulated_seconds(TARGET, 4)
+    rows = []
+    for level in ENTROPY_LADDER_32:
+        keys = generate_entropy_keys(1 << 19, 32, level.and_depth, rng)
+        out = simulate_sort_at_scale(keys, TARGET)
+        trace = out.trace
+        last = trace.counting_passes[-1] if trace.counting_passes else None
+        conflict = last.block_stats.warp_conflict if last else 1.0
+        merged = sum(p.n_merged_buckets for p in trace.counting_passes)
+        rows.append(
+            [
+                level.label,
+                trace.num_counting_passes,
+                "yes" if trace.finished_early else "no",
+                f"{trace.total_local_keys / TARGET:.0%}",
+                f"{merged:,}",
+                f"{conflict:.1f}",
+                f"{out.sorting_rate / GB:.1f}",
+                f"{cub_seconds / out.simulated_seconds:.2f}x",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "entropy (bits)", "counting passes", "early finish",
+                "keys local-sorted", "merged buckets", "warp conflict",
+                "rate (GB/s)", "vs CUB",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nReading guide: the uniform end finishes after two counting\n"
+        "passes (local sorts save the remaining two), which is the\n"
+        "paper's peak; the constant end runs all four passes but the\n"
+        "thread-reduction histogram and the look-ahead scatter keep the\n"
+        "warp-conflict penalty contained (§4.3-§4.4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

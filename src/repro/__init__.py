@@ -1,0 +1,111 @@
+"""repro — a reproduction of "A Memory Bandwidth-Efficient Hybrid Radix
+Sort on GPUs" (Stehle & Jacobsen, SIGMOD 2017) on a simulated GPU.
+
+Quickstart::
+
+    import numpy as np
+    import repro
+
+    keys = np.random.default_rng(0).integers(
+        0, 2**32, 1 << 20, dtype=np.uint64
+    ).astype(np.uint32)
+    result = repro.sort(keys)
+    assert (result.keys[:-1] <= result.keys[1:]).all()
+    print(f"simulated Titan X time: {result.simulated_seconds * 1e3:.2f} ms")
+
+The package layout mirrors the paper: :mod:`repro.core` is the hybrid
+MSD radix sort (§4), :mod:`repro.hetero` the pipelined heterogeneous
+sort (§5), :mod:`repro.baselines` the comparison systems (§3/§6),
+:mod:`repro.gpu` and :mod:`repro.cost` the simulated hardware substrate,
+and :mod:`repro.workloads` the entropy/Zipf benchmark generators (§6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.adaptive import AdaptiveSorter
+from repro.core.analytical import AnalyticalModel
+from repro.core.config import SortConfig, derive_table3
+from repro.core.hybrid_sort import HybridRadixSorter
+from repro.core.keys import from_sortable_bits, to_sortable_bits
+from repro.core.pairs import decompose, make_records, recompose
+from repro.errors import (
+    ConfigurationError,
+    DeviceStateError,
+    ReproError,
+    ResourceExhaustedError,
+    TraceError,
+    UnsupportedDtypeError,
+)
+from repro.gpu.device import SimulatedGPU
+from repro.gpu.spec import GPUSpec, GTX_980, TESLA_P100, TITAN_X_PASCAL
+from repro.types import SortResult, SortTrace, TimeBreakdown
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveSorter",
+    "AnalyticalModel",
+    "ConfigurationError",
+    "DeviceStateError",
+    "GPUSpec",
+    "GTX_980",
+    "HybridRadixSorter",
+    "ReproError",
+    "ResourceExhaustedError",
+    "SimulatedGPU",
+    "SortConfig",
+    "SortResult",
+    "SortTrace",
+    "TESLA_P100",
+    "TITAN_X_PASCAL",
+    "TimeBreakdown",
+    "TraceError",
+    "UnsupportedDtypeError",
+    "decompose",
+    "derive_table3",
+    "from_sortable_bits",
+    "make_records",
+    "recompose",
+    "sort",
+    "sort_pairs",
+    "sort_records",
+    "to_sortable_bits",
+]
+
+
+def sort(
+    keys: np.ndarray,
+    config: SortConfig | None = None,
+    device: SimulatedGPU | None = None,
+) -> SortResult:
+    """Sort a key array with the hybrid radix sort.
+
+    Accepts any dtype with an order-preserving bijection (uint32/64,
+    int32/64, float32/64).  Uses the Table 3 preset for the layout unless
+    ``config`` overrides it.
+    """
+    return HybridRadixSorter(config=config, device=device).sort(keys)
+
+
+def sort_pairs(
+    keys: np.ndarray,
+    values: np.ndarray,
+    config: SortConfig | None = None,
+    device: SimulatedGPU | None = None,
+) -> SortResult:
+    """Sort decomposed key-value pairs (§4.6)."""
+    return HybridRadixSorter(config=config, device=device).sort(keys, values)
+
+
+def sort_records(
+    records: np.ndarray,
+    config: SortConfig | None = None,
+    device: SimulatedGPU | None = None,
+) -> SortResult:
+    """Sort coherent key-value records: decompose, sort, recompose."""
+    keys, values = decompose(records)
+    result = sort_pairs(keys, values, config=config, device=device)
+    result.meta["records"] = recompose(result.keys, result.values)
+    return result

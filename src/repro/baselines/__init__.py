@@ -1,0 +1,44 @@
+"""Baseline sorters the paper compares against (§3, §6, Appendix A).
+
+GPU baselines (each a functional sorter plus a cost preset):
+
+* :mod:`repro.baselines.lsd_radix` — the generic stable LSD radix engine.
+* :mod:`repro.baselines.cub` — CUB 1.5.1 (5 bits/pass, the §6 baseline)
+  and CUB 1.6.4 (7 bits/pass, Appendix A).
+* :mod:`repro.baselines.thrust` — Thrust's 4-bit LSD radix sort.
+* :mod:`repro.baselines.satish` — Satish et al.'s compute-bound 4-bit
+  radix sort.
+* :mod:`repro.baselines.mergesort` — Baxter's Modern GPU merge sort.
+* :mod:`repro.baselines.multisplit` — the GPU-Multisplit-based radix
+  sort (Appendix A).
+
+CPU baseline:
+
+* :mod:`repro.baselines.paradis` — PARADIS, the in-place parallel CPU
+  radix sort the heterogeneous evaluation (Figure 9) is measured against.
+"""
+
+from repro.baselines.cub import CUB_1_5_1, CUB_1_6_4, CubRadixSort
+from repro.baselines.lsd_radix import LSDRadixSorter
+from repro.baselines.mergesort import MGPU_MERGESORT, MergeSortBaseline
+from repro.baselines.multisplit import MULTISPLIT, MultisplitSort
+from repro.baselines.paradis import ParadisSorter, paradis_reported_seconds
+from repro.baselines.satish import SATISH, SatishRadixSort
+from repro.baselines.thrust import THRUST, ThrustRadixSort
+
+__all__ = [
+    "CUB_1_5_1",
+    "CUB_1_6_4",
+    "CubRadixSort",
+    "LSDRadixSorter",
+    "MGPU_MERGESORT",
+    "MULTISPLIT",
+    "MergeSortBaseline",
+    "MultisplitSort",
+    "ParadisSorter",
+    "SATISH",
+    "SatishRadixSort",
+    "ThrustRadixSort",
+    "THRUST",
+    "paradis_reported_seconds",
+]

@@ -1,0 +1,56 @@
+"""CUB radix sort presets (§6 baseline and Appendix A update).
+
+The paper's main comparison target is CUB 1.5.1, whose radix sort — based
+on Merrill & Grimshaw — "is able to efficiently sort on five bits at a
+time" (§3).  Appendix A adds CUB 1.6.4, which "enables specific GPU
+architectures to support up to seven bits per sorting pass" at the cost
+of "maxing out shared memory at the cost of lower occupancy".
+
+Calibration: CUB 1.5.1's bandwidth efficiency is fitted to its flat
+~15.5 GB/s for 2 GB of 32-bit keys in Figure 6a (7 passes × 6 GB of
+traffic at 369 GB/s would give 17.6 GB/s; the ratio is the efficiency).
+CUB 1.6.4's lower efficiency reflects its reduced occupancy, fitted to
+the appendix's "hybrid radix sort still achieves as much as a 56 %
+improvement over CUB's latest version" for uniform 32-bit keys.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.lsd_radix import LSDRadixSorter
+from repro.cost.model import CostModel, LSDCostPreset
+from repro.gpu.spec import GPUSpec, TITAN_X_PASCAL
+
+__all__ = ["CUB_1_5_1", "CUB_1_6_4", "CubRadixSort"]
+
+#: The §6 baseline: 5 bits per pass (7 passes for 32-bit keys, 13 for
+#: 64-bit — "reading or writing the input 39 times in the case of 64-bit
+#: keys", §1).
+CUB_1_5_1 = LSDCostPreset(
+    name="CUB 1.5.1",
+    digit_bits=5,
+    bandwidth_efficiency=0.88,
+)
+
+#: The Appendix A update: up to 7 bits per pass, lower occupancy.
+CUB_1_6_4 = LSDCostPreset(
+    name="CUB 1.6.4",
+    digit_bits=7,
+    bandwidth_efficiency=0.83,
+)
+
+
+class CubRadixSort(LSDRadixSorter):
+    """CUB's device-wide radix sort on the simulated device."""
+
+    def __init__(
+        self,
+        version: str = "1.5.1",
+        spec: GPUSpec = TITAN_X_PASCAL,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        presets = {"1.5.1": CUB_1_5_1, "1.6.4": CUB_1_6_4}
+        if version not in presets:
+            raise ValueError(
+                f"unknown CUB version {version!r}; choose from {sorted(presets)}"
+            )
+        super().__init__(presets[version], spec=spec, cost_model=cost_model)

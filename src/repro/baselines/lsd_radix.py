@@ -1,0 +1,116 @@
+"""Generic stable LSD radix sorter — the state-of-the-art family (§1–§3).
+
+Every GPU baseline the paper benchmarks (CUB, Thrust, Satish et al.,
+Multisplit) is a least-significant-digit-first radix sort: per pass the
+input is read twice and written once (histogram/upsweep, then a *stable*
+scatter/downsweep), and values travel through every pass.  This engine
+implements exactly that structure for an arbitrary digit width and
+reports the pass trace; per-implementation cost presets
+(:class:`repro.cost.model.LSDCostPreset`) price it.
+
+Unlike the hybrid sort, the LSD scatter must be stable — which is the
+very constraint that keeps these implementations at few bits per pass
+(§1: the histogram "grows exponentially with the number of bits").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.digits import DigitGeometry, extract_digit_lsd
+from repro.core.keys import from_sortable_bits, to_sortable_bits
+from repro.cost.model import CostModel, LSDCostPreset
+from repro.errors import ConfigurationError
+from repro.gpu.spec import GPUSpec, TITAN_X_PASCAL
+from repro.types import SortResult
+
+__all__ = ["LSDPassRecord", "LSDRadixSorter"]
+
+
+@dataclass(frozen=True)
+class LSDPassRecord:
+    """Structure of one LSD pass (for tests and reports)."""
+
+    lsd_index: int
+    digit_bits: int
+    bytes_read: int
+    bytes_written: int
+
+
+class LSDRadixSorter:
+    """A stable LSD radix sorter with an implementation cost preset."""
+
+    def __init__(
+        self,
+        preset: LSDCostPreset,
+        spec: GPUSpec = TITAN_X_PASCAL,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        self.preset = preset
+        self.spec = spec
+        self._cost_model = cost_model or CostModel(spec)
+
+    @property
+    def name(self) -> str:
+        return self.preset.name
+
+    def sort(
+        self, keys: np.ndarray, values: np.ndarray | None = None
+    ) -> SortResult:
+        """Stable LSD radix sort of ``keys`` (optionally with values)."""
+        keys = np.asarray(keys)
+        if keys.ndim != 1:
+            raise ConfigurationError("keys must be one-dimensional")
+        if values is not None and values.shape != keys.shape:
+            raise ConfigurationError("values must parallel keys")
+        bits = to_sortable_bits(keys)
+        key_bits = bits.dtype.itemsize * 8
+        geometry = DigitGeometry(
+            key_bits=key_bits, digit_bits=self.preset.digit_bits
+        )
+        out_values = values.copy() if values is not None else None
+        passes: list[LSDPassRecord] = []
+        key_bytes = bits.dtype.itemsize
+        value_bytes = 0 if values is None else values.dtype.itemsize
+        for lsd_index in range(geometry.num_digits):
+            digits = extract_digit_lsd(bits, geometry, lsd_index)
+            order = np.argsort(digits, kind="stable")
+            bits = bits[order]
+            if out_values is not None:
+                out_values = out_values[order]
+            record = keys.size * (key_bytes + value_bytes)
+            passes.append(
+                LSDPassRecord(
+                    lsd_index=lsd_index,
+                    digit_bits=geometry.width_for(
+                        geometry.num_digits - 1 - lsd_index
+                    ),
+                    bytes_read=keys.size * key_bytes + record,
+                    bytes_written=record,
+                )
+            )
+        seconds = self._cost_model.price_lsd(
+            n=int(keys.size),
+            key_bytes=key_bytes,
+            value_bytes=value_bytes,
+            preset=self.preset,
+        )
+        return SortResult(
+            keys=from_sortable_bits(bits, keys.dtype),
+            values=out_values,
+            simulated_seconds=seconds,
+            meta={"passes": passes, "baseline": self.preset.name},
+        )
+
+    def simulated_seconds(
+        self, n: int, key_bytes: int, value_bytes: int = 0
+    ) -> float:
+        """Price an input without running it (for large-size sweeps)."""
+        return self._cost_model.price_lsd(
+            n=n,
+            key_bytes=key_bytes,
+            value_bytes=value_bytes,
+            preset=self.preset,
+        )

@@ -1,0 +1,112 @@
+"""Modern GPU (MGPU) merge sort baseline (§6, Figures 6 and 7).
+
+Baxter's Modern GPU merge sort [4]: CTA-local block sorts followed by
+``log2(blocks)`` pairwise merge passes.  As a comparison sort it is
+insensitive to the key *distribution* (its lines are flat across the
+entropy sweep) but pays an ``n log n`` compute cost that keeps it well
+below the radix sorts at scale.
+
+Calibration: Figure 6a/6c show MGPU near 5 GB/s for 32-bit keys (the
+hybrid's minimum speed-up over it is 3.96) and roughly half that for
+64-bit keys — comparisons on wider keys cost proportionally more, which
+the preset's ``merge_rate_32`` scaling reproduces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cost.model import CostModel, MergeSortCostPreset
+from repro.errors import ConfigurationError
+from repro.gpu.spec import GPUSpec, TITAN_X_PASCAL
+from repro.types import SortResult
+
+__all__ = ["MGPU_MERGESORT", "MergeSortBaseline"]
+
+MGPU_MERGESORT = MergeSortCostPreset(
+    name="MGPU merge sort",
+    block_size=1024,
+    bandwidth_efficiency=0.85,
+    merge_rate_32=0.9e9,
+)
+
+
+class MergeSortBaseline:
+    """A functional block-sort + pairwise-merge sorter with MGPU costs."""
+
+    def __init__(
+        self,
+        preset: MergeSortCostPreset = MGPU_MERGESORT,
+        spec: GPUSpec = TITAN_X_PASCAL,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        self.preset = preset
+        self.spec = spec
+        self._cost_model = cost_model or CostModel(spec)
+
+    @property
+    def name(self) -> str:
+        return self.preset.name
+
+    def sort(
+        self, keys: np.ndarray, values: np.ndarray | None = None
+    ) -> SortResult:
+        """Block sort then iterated pairwise merging (stable throughout)."""
+        keys = np.asarray(keys)
+        if keys.ndim != 1:
+            raise ConfigurationError("keys must be one-dimensional")
+        if values is not None and values.shape != keys.shape:
+            raise ConfigurationError("values must parallel keys")
+        out_keys = keys.copy()
+        out_values = values.copy() if values is not None else None
+
+        block = self.preset.block_size
+        n = out_keys.size
+        # CTA-local block sort.
+        for start in range(0, n, block):
+            stop = min(start + block, n)
+            order = np.argsort(out_keys[start:stop], kind="stable")
+            out_keys[start:stop] = out_keys[start:stop][order]
+            if out_values is not None:
+                out_values[start:stop] = out_values[start:stop][order]
+        # Pairwise merge passes.
+        width = block
+        while width < n:
+            for start in range(0, n, 2 * width):
+                mid = min(start + width, n)
+                stop = min(start + 2 * width, n)
+                if mid >= stop:
+                    continue
+                merged_keys = np.concatenate(
+                    (out_keys[start:mid], out_keys[mid:stop])
+                )
+                order = np.argsort(merged_keys, kind="stable")
+                out_keys[start:stop] = merged_keys[order]
+                if out_values is not None:
+                    merged_values = np.concatenate(
+                        (out_values[start:mid], out_values[mid:stop])
+                    )
+                    out_values[start:stop] = merged_values[order]
+            width *= 2
+
+        value_bytes = 0 if values is None else values.dtype.itemsize
+        seconds = self._cost_model.price_mergesort(
+            n=int(n),
+            key_bytes=keys.dtype.itemsize,
+            value_bytes=value_bytes,
+            preset=self.preset,
+        )
+        return SortResult(
+            keys=out_keys,
+            values=out_values,
+            simulated_seconds=seconds,
+            meta={"baseline": self.preset.name},
+        )
+
+    def simulated_seconds(
+        self, n: int, key_bytes: int, value_bytes: int = 0
+    ) -> float:
+        """Price an input without running it (for large-size sweeps)."""
+        return self._cost_model.price_mergesort(
+            n=n, key_bytes=key_bytes, value_bytes=value_bytes, preset=self.preset
+        )

@@ -1,0 +1,39 @@
+"""Satish et al. radix sort preset (§3, Figure 6a/6b).
+
+Satish et al. [34] sort four bits per pass, ranking keys inside shared
+memory with repeated binary splits — an approach the follow-up paper [35]
+"examined ... is compute-bound".  The preset therefore carries a per-SM
+compute cap instead of relying on bandwidth alone.
+
+Calibration: Figure 6a places Satish et al. near 5.5 GB/s for 2 GB of
+32-bit keys (the paper reports a minimum hybrid speed-up of 3.66); eight
+passes at that rate imply the per-SM key throughput below.  The paper
+evaluates this baseline only for the 32-bit configurations.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.lsd_radix import LSDRadixSorter
+from repro.cost.model import CostModel, LSDCostPreset
+from repro.gpu.spec import GPUSpec, TITAN_X_PASCAL
+
+__all__ = ["SATISH", "SatishRadixSort"]
+
+SATISH = LSDCostPreset(
+    name="Satish et al.",
+    digit_bits=4,
+    bandwidth_efficiency=0.80,
+    compute_rate=0.39e9,
+    pass_fixed_overhead=30.0e-6,
+)
+
+
+class SatishRadixSort(LSDRadixSorter):
+    """Satish et al.'s binary-split radix sort on the simulated device."""
+
+    def __init__(
+        self,
+        spec: GPUSpec = TITAN_X_PASCAL,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        super().__init__(SATISH, spec=spec, cost_model=cost_model)

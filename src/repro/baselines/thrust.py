@@ -1,0 +1,35 @@
+"""Thrust radix sort preset (§6, Figure 6).
+
+Thrust's ``sort``/``sort_by_key`` dispatches to an older radix sort
+operating on four bits per pass with noticeably more per-pass overhead
+than CUB.  Calibration: Figure 6a shows Thrust near 8.5 GB/s for 2 GB of
+uniform 32-bit keys (the paper reports a minimum hybrid speed-up of 1.89
+over Thrust); 8 passes × 6 GB at 369 GB/s full efficiency would be
+23.6 GB/s, giving the fitted efficiency below.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.lsd_radix import LSDRadixSorter
+from repro.cost.model import CostModel, LSDCostPreset
+from repro.gpu.spec import GPUSpec, TITAN_X_PASCAL
+
+__all__ = ["THRUST", "ThrustRadixSort"]
+
+THRUST = LSDCostPreset(
+    name="Thrust",
+    digit_bits=4,
+    bandwidth_efficiency=0.55,
+    pass_fixed_overhead=40.0e-6,
+)
+
+
+class ThrustRadixSort(LSDRadixSorter):
+    """Thrust's radix sort on the simulated device."""
+
+    def __init__(
+        self,
+        spec: GPUSpec = TITAN_X_PASCAL,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        super().__init__(THRUST, spec=spec, cost_model=cost_model)

@@ -1,0 +1,53 @@
+"""ASCII reporting helpers for the benchmark harness.
+
+The benchmarks print the same rows/series the paper's figures plot; these
+helpers keep the formatting consistent (and testable) across all of them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series", "format_ratio"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """A plain fixed-width table with a header rule."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        line = "  ".join(c.rjust(w) for c, w in zip(row, widths))
+        lines.append(line)
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    unit: str = "GB/s",
+    precision: int = 2,
+) -> str:
+    """One row per x value, one column per named series — a figure in text."""
+    headers = [x_label] + [f"{name} ({unit})" for name in series]
+    rows = []
+    for i, x in enumerate(x_values):
+        row = [x]
+        for values in series.values():
+            row.append(f"{values[i]:.{precision}f}")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def format_ratio(numerator: float, denominator: float) -> str:
+    """A speed-up factor like the paper quotes (e.g. ``2.32x``)."""
+    if denominator == 0:
+        return "inf"
+    return f"{numerator / denominator:.2f}x"

@@ -1,0 +1,58 @@
+"""Benchmark execution settings and result containers.
+
+Benchmarks honour two environment variables so the suite scales from
+smoke runs to full reproductions without code changes:
+
+* ``REPRO_BENCH_N`` — sample size (keys) for the distribution runs;
+  default ``2**20`` keeps a full benchmark run comfortably fast, while
+  ``2**22``–``2**24`` gives smoother statistics.
+* ``REPRO_BENCH_SEED`` — RNG seed (default 20170514, the paper's
+  conference date).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["BenchmarkSettings", "ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class BenchmarkSettings:
+    """Sample size and seed shared by the benchmark modules."""
+
+    sample_n: int = 1 << 20
+    seed: int = 20170514
+
+    @classmethod
+    def from_env(cls) -> "BenchmarkSettings":
+        return cls(
+            sample_n=int(os.environ.get("REPRO_BENCH_N", 1 << 20)),
+            seed=int(os.environ.get("REPRO_BENCH_SEED", 20170514)),
+        )
+
+    def rng(self, salt: int = 0) -> np.random.Generator:
+        return np.random.default_rng(self.seed + salt)
+
+
+@dataclass
+class ExperimentResult:
+    """One figure/table regeneration: labelled series plus headline checks."""
+
+    experiment: str
+    x_label: str
+    x_values: list = field(default_factory=list)
+    series: dict[str, list] = field(default_factory=dict)
+    headlines: dict[str, float] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add_point(self, x, **values: float) -> None:
+        self.x_values.append(x)
+        for name, value in values.items():
+            self.series.setdefault(name, []).append(value)
+
+    def headline(self, name: str, value: float) -> None:
+        self.headlines[name] = value

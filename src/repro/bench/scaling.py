@@ -1,0 +1,411 @@
+"""Scale-model simulation: sample-size runs priced at paper-size inputs.
+
+The paper's evaluation sorts up to 500 M records (2 GB); running the
+functional NumPy engines at that size is neither necessary nor practical.
+Instead we exploit a homothety of the hybrid sort: scaling the input size
+by a factor ``f`` *and* every size threshold (KPB, ∂, ∂̂, the local-sort
+configuration ladder) by the same factor leaves the whole execution
+structure invariant in expectation — the same number of counting passes,
+the same bucket population per pass, the same per-key conflict
+statistics (those depend only on the key distribution), and
+proportionally scaled bucket sizes.
+
+``simulate_sort_at_scale`` therefore:
+
+1. builds a scaled configuration (thresholds × f, same digit width and
+   ablation switches);
+2. runs the real functional sorter on the ``n``-key sample;
+3. rescales the trace back to the target size (key counts × 1/f, bucket
+   counts unchanged, local-sort capacities mapped rung-for-rung onto the
+   real ladder);
+4. prices the rescaled trace with the unmodified cost model.
+
+Step 3's invariants are covered by tests (e.g. a uniform 32-bit sample
+priced at 500 M keys must report the paper's two counting passes and a
+rate near 32 GB/s).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.config import SortConfig
+from repro.core.hybrid_sort import HybridRadixSorter
+from repro.cost.model import CostModel
+from repro.errors import ConfigurationError
+from repro.gpu.spec import GPUSpec, TITAN_X_PASCAL
+from repro.types import (
+    CountingPassTrace,
+    LocalConfigStats,
+    LocalSortTrace,
+    SortTrace,
+    TimeBreakdown,
+)
+
+__all__ = ["ScaledSortOutcome", "scaled_config", "simulate_sort_at_scale"]
+
+
+@dataclass
+class ScaledSortOutcome:
+    """A sample-run execution priced at the target input size."""
+
+    target_n: int
+    sample_n: int
+    scale: float
+    trace: SortTrace
+    breakdown: TimeBreakdown
+    config: SortConfig
+    sorted_ok: bool
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.breakdown.total
+
+    @property
+    def sorted_bytes(self) -> int:
+        record = (self.config.key_bits + self.config.value_bits) // 8
+        return self.target_n * record
+
+    @property
+    def sorting_rate(self) -> float:
+        """Simulated bytes/second at the target size."""
+        return self.sorted_bytes / self.simulated_seconds
+
+
+#: Standard-deviation allowance added to the scaled local-sort threshold
+#: ∂̂.  A full-scale bucket of expected size ``m`` appears in the sample
+#: with size ``m*f ± sqrt(m*f)``; without the allowance, sampling noise
+#: pushes buckets across the threshold that decides the *pass structure*
+#: (e.g. a spurious third counting pass on uniform 32-bit keys).  Four
+#: sigmas keep even 2**16-bucket populations free of stray crossings
+#: while biasing only genuinely borderline buckets — whose either-way
+#: cost is nearly identical.  Interior ladder rungs need no allowance:
+#: configuration routing is re-derived from per-bucket sizes at rescale
+#: time (see ``_rescale_local``).
+_NOISE_SIGMAS = 5.0
+
+
+def _scale_threshold(value: int, f: float) -> int:
+    scaled = value * f
+    return max(1, int(round(scaled + _NOISE_SIGMAS * scaled**0.5)))
+
+
+def scaled_config(config: SortConfig, f: float) -> SortConfig:
+    """Scale every size threshold of ``config`` by ``f`` (0 < f <= 1)."""
+    if not 0.0 < f <= 1.0:
+        raise ConfigurationError("scale factor must be in (0, 1]")
+    if f == 1.0:
+        return config
+    local_threshold = _scale_threshold(config.local_threshold, f)
+    ladder: list[int] = []
+    for capacity in config.local_sort_configs[:-1]:
+        scaled = max(1, round(capacity * f))
+        if ladder and scaled <= ladder[-1]:
+            scaled = ladder[-1] + 1
+        ladder.append(scaled)
+    # The top rung must equal the (allowance-inflated) threshold.
+    while ladder and ladder[-1] >= local_threshold:
+        local_threshold = ladder[-1] + 1
+    ladder.append(local_threshold)
+    merge_threshold = min(
+        local_threshold, max(1, round(config.merge_threshold * f))
+    )
+    return replace(
+        config,
+        kpb=max(8, round(config.kpb * f)),
+        local_threshold=local_threshold,
+        merge_threshold=merge_threshold,
+        local_sort_configs=tuple(ladder),
+    )
+
+
+def _rescale_counting(
+    p: CountingPassTrace, inv: float
+) -> CountingPassTrace:
+    return replace(p, n_keys=int(round(p.n_keys * inv)))
+
+
+def _rescale_local(
+    t: LocalSortTrace, inv: float, real_ladder: tuple[int, ...],
+    scaled_ladder: tuple[int, ...],
+) -> LocalSortTrace:
+    """Re-derive configuration routing at the target scale.
+
+    Each sample bucket of ``s`` keys estimates a full-scale bucket of
+    ``s / f`` keys; those estimated sizes are routed against the *real*
+    configuration ladder, which keeps the provisioning (padding) metric
+    faithful even when the scaled-down rungs are only a few keys wide.
+    """
+    if t.bucket_sizes is None or t.bucket_sizes.size == 0:
+        return replace(t, per_config=tuple())
+    caps = np.asarray(real_ladder, dtype=np.int64)
+    sizes = t.bucket_sizes.astype(np.float64)
+    # Empirical-Bayes shrinkage: a sample bucket's size carries Poisson
+    # noise (variance ≈ mean); only the variance *beyond* that reflects
+    # genuine size differences between buckets.  Shrinking towards the
+    # mean by the signal fraction reproduces the full-scale routing: a
+    # uniform pass (pure noise) routes every bucket to one rung, a
+    # skewed pass (dominant signal) keeps individual sizes.
+    mean = sizes.mean()
+    var = sizes.var()
+    signal = max(0.0, var - mean)
+    shrink = signal / var if var > 0 else 0.0
+    smoothed = mean + (sizes - mean) * shrink
+    est_sizes = np.clip(
+        np.round(smoothed * inv).astype(np.int64), 1, caps[-1]
+    )
+    rungs = np.searchsorted(caps, est_sizes, side="left")
+    remaining = t.bucket_remaining
+    rescaled: list[LocalConfigStats] = []
+    for rung, capacity in enumerate(caps.tolist()):
+        mask = rungs == rung
+        n_buckets = int(np.count_nonzero(mask))
+        if n_buckets == 0:
+            continue
+        total = int(est_sizes[mask].sum())
+        avg_remaining = float(
+            (remaining[mask] * est_sizes[mask]).sum() / max(1, total)
+        )
+        rescaled.append(
+            LocalConfigStats(
+                capacity=capacity,
+                n_buckets=n_buckets,
+                total_keys=total,
+                provisioned_keys=n_buckets * capacity,
+                avg_remaining_digits=avg_remaining,
+            )
+        )
+    return replace(
+        t,
+        per_config=tuple(rescaled),
+        bucket_sizes=est_sizes,
+        bucket_remaining=remaining,
+    )
+
+
+def _total_local_buckets(trace: SortTrace) -> int:
+    return sum(t.total_buckets for t in trace.local_sorts)
+
+
+def _bucket_population_cap(trace: SortTrace, config: SortConfig) -> int:
+    """Ceiling on the cumulative local-bucket population.
+
+    Each non-final counting pass can hand at most ``parents * radix``
+    sub-buckets to the local sort (a parent has only ``radix`` digit
+    values, and parent counts are large buckets — well-sampled and
+    scale-stable).  Summing over the executed passes gives a tight,
+    trace-derived version of §4.5's I2 bound.
+    """
+    num_digits = config.num_digits
+    cap = 0
+    for p in trace.counting_passes:
+        if p.pass_index == num_digits - 1:
+            continue  # the final pass issues no local sorts
+        cap += p.n_buckets_in * config.radix
+    return max(1, cap)
+
+
+def _buckets_at_fraction(
+    keys: np.ndarray,
+    values: np.ndarray | None,
+    config: SortConfig,
+    f: float,
+    denominator: int,
+) -> int:
+    """Local-bucket population of a 1/``denominator`` subsample run."""
+    sub_n = keys.size // denominator
+    sub_keys = keys[::denominator][:sub_n]
+    sub_values = (
+        values[::denominator][:sub_n] if values is not None else None
+    )
+    sub_config = scaled_config(config, f / denominator)
+    result = HybridRadixSorter(config=sub_config).sort(sub_keys, sub_values)
+    return _total_local_buckets(result.trace)
+
+
+def _extrapolate_species(
+    keys: np.ndarray,
+    values: np.ndarray | None,
+    config: SortConfig,
+    f: float,
+    observed_buckets: int,
+) -> float:
+    """Rarefaction estimate of the full-scale bucket-population factor.
+
+    A sample under-represents buckets fed by rare digit values ("unseen
+    species"): the full-scale run of a skewed distribution populates far
+    more tiny buckets than any tractable sample.  We measure the bucket
+    population along the homothety path at 1/4, 1/2 and 1 of the sample
+    — three points on the species-accumulation curve — and extrapolate
+    with a *geometrically decaying* per-doubling growth: the decay rate
+    is the measured deceleration between the two observed doublings, so
+    distributions whose accumulation curve is already flattening
+    (uniform, 32-bit skews) converge quickly, while heavy-tailed deep
+    hierarchies (64-bit skews) keep growing for many more doublings.
+    """
+    n = keys.size
+    if n < 4096 or observed_buckets == 0:
+        return 1.0
+    half_buckets = _buckets_at_fraction(keys, values, config, f, 2)
+    quarter_buckets = _buckets_at_fraction(keys, values, config, f, 4)
+    if half_buckets == 0 or quarter_buckets == 0:
+        return 1.0
+    growth_recent = observed_buckets / half_buckets   # last doubling
+    growth_older = half_buckets / quarter_buckets     # doubling before
+    if growth_recent <= 1.0:
+        return 1.0
+    if growth_older <= 1.0:
+        decay = 0.5
+    else:
+        decay = min(1.0, (growth_recent - 1.0) / (growth_older - 1.0))
+    remaining_doublings = math.log2(1.0 / f)
+    factor = 1.0
+    increment = growth_recent - 1.0
+    k = 0
+    while k < remaining_doublings:
+        step = min(1.0, remaining_doublings - k)
+        increment *= decay
+        factor *= (1.0 + increment) ** step
+        k += 1
+    return factor
+
+
+def _inflate_local_buckets(
+    local_sorts: tuple[LocalSortTrace, ...],
+    factor: float,
+    cap: int,
+    real_ladder: tuple[int, ...],
+    inv: float,
+) -> tuple[LocalSortTrace, ...]:
+    """Add the extrapolated unseen tiny buckets to the local-sort traces.
+
+    Unseen buckets are ones whose full-scale population is below ``inv``
+    keys (they had no sample representative); they join the smallest
+    configuration rung that covers such sizes.  Their keys are already
+    accounted to the observed buckets, so only the bucket count (block
+    dispatch) and provisioning grow.
+    """
+    observed = sum(t.total_buckets for t in local_sorts)
+    target_total = min(int(observed * factor), cap)
+    extra_total = max(0, target_total - observed)
+    if extra_total == 0 or observed == 0:
+        return local_sorts
+    caps = np.asarray(real_ladder, dtype=np.int64)
+    tiny_size = max(1, int(inv / 2))
+    rung = int(np.searchsorted(caps, tiny_size, side="left"))
+    rung = min(rung, caps.size - 1)
+    capacity = int(caps[rung])
+    inflated = []
+    for t in local_sorts:
+        share = int(round(extra_total * (t.total_buckets / observed)))
+        if share == 0:
+            inflated.append(t)
+            continue
+        per_config = dict()
+        for stats in t.per_config:
+            per_config[stats.capacity] = stats
+        existing = per_config.get(capacity)
+        if existing is None:
+            merged = LocalConfigStats(
+                capacity=capacity,
+                n_buckets=share,
+                total_keys=share * tiny_size,
+                provisioned_keys=share * capacity,
+                avg_remaining_digits=1.0,
+            )
+        else:
+            merged = LocalConfigStats(
+                capacity=capacity,
+                n_buckets=existing.n_buckets + share,
+                total_keys=existing.total_keys + share * tiny_size,
+                provisioned_keys=existing.provisioned_keys + share * capacity,
+                avg_remaining_digits=existing.avg_remaining_digits,
+            )
+        per_config[capacity] = merged
+        inflated.append(
+            replace(
+                t,
+                per_config=tuple(
+                    per_config[c] for c in sorted(per_config)
+                ),
+            )
+        )
+    return tuple(inflated)
+
+
+def simulate_sort_at_scale(
+    keys: np.ndarray,
+    target_n: int,
+    values: np.ndarray | None = None,
+    config: SortConfig | None = None,
+    spec: GPUSpec = TITAN_X_PASCAL,
+    verify: bool = True,
+    species_extrapolation: bool = True,
+) -> ScaledSortOutcome:
+    """Run the hybrid sort on ``keys`` and price it at ``target_n`` keys.
+
+    ``keys`` (and optional ``values``) are the distribution sample; the
+    reported timing describes an input of ``target_n`` records drawn from
+    the same distribution on the given device.
+    ``species_extrapolation`` enables the rarefaction correction for the
+    bucket population (important only when bucket merging is disabled).
+    """
+    n = int(keys.size)
+    if n == 0:
+        raise ConfigurationError("cannot scale from an empty sample")
+    if target_n < n:
+        raise ConfigurationError("target size must be >= the sample size")
+    if config is None:
+        key_bits = keys.dtype.itemsize * 8
+        value_bits = 0 if values is None else values.dtype.itemsize * 8
+        config = SortConfig.for_layout(key_bits, value_bits)
+    f = n / target_n
+    run_config = scaled_config(config, f)
+    sorter = HybridRadixSorter(config=run_config)
+    result = sorter.sort(keys, values)
+    sorted_ok = True
+    if verify:
+        sorted_ok = bool(np.all(result.keys[:-1] <= result.keys[1:]))
+
+    inv = 1.0 / f
+    trace = result.trace
+    local_sorts = tuple(
+        _rescale_local(
+            t, inv, config.effective_configs, run_config.effective_configs
+        )
+        for t in trace.local_sorts
+    )
+    if species_extrapolation and f < 1.0 and not config.use_bucket_merging:
+        factor = _extrapolate_species(
+            keys, values, config, f, _total_local_buckets(trace)
+        )
+        if factor > 1.0:
+            cap = _bucket_population_cap(trace, config)
+            local_sorts = _inflate_local_buckets(
+                local_sorts, factor, cap, config.effective_configs, inv
+            )
+    scaled_trace = SortTrace(
+        n=target_n,
+        key_bits=trace.key_bits,
+        value_bits=trace.value_bits,
+        counting_passes=tuple(
+            _rescale_counting(p, inv) for p in trace.counting_passes
+        ),
+        local_sorts=local_sorts,
+        finished_early=trace.finished_early,
+        final_buffer_index=trace.final_buffer_index,
+    )
+    model = CostModel(spec)
+    breakdown = model.price_hybrid(scaled_trace, config)
+    return ScaledSortOutcome(
+        target_n=target_n,
+        sample_n=n,
+        scale=f,
+        trace=scaled_trace,
+        breakdown=breakdown,
+        config=config,
+        sorted_ok=sorted_ok,
+    )

@@ -1,0 +1,194 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``sort``
+    Generate a workload, sort it with a chosen engine, verify, and
+    print the trace/timing summary.
+``info``
+    Show the simulated device, the Table 3 presets, and the §4.5
+    analytical bounds for a given input size.
+``sweep``
+    A quick Figure 6-style entropy sweep at a chosen sample size.
+
+Examples::
+
+    python -m repro sort --n 1000000 --distribution zipf --pairs
+    python -m repro info --n 500000000
+    python -m repro sweep --key-bits 64 --target 250000000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.baselines import (
+    CubRadixSort,
+    MergeSortBaseline,
+    ThrustRadixSort,
+)
+from repro.bench.reporting import format_table
+from repro.bench.scaling import simulate_sort_at_scale
+from repro.core.adaptive import AdaptiveSorter
+from repro.core.analytical import AnalyticalModel
+from repro.core.config import SortConfig, derive_table3
+from repro.core.hybrid_sort import HybridRadixSorter
+from repro.gpu.spec import TITAN_X_PASCAL
+from repro.workloads import (
+    ENTROPY_LADDER_32,
+    ENTROPY_LADDER_64,
+    constant_keys,
+    generate_entropy_keys,
+    generate_pairs,
+    uniform_keys,
+    zipf_keys,
+)
+
+GB = 1e9
+
+ENGINES = {
+    "hybrid": lambda: HybridRadixSorter(),
+    "adaptive": lambda: AdaptiveSorter(),
+    "cub": lambda: CubRadixSort("1.5.1"),
+    "cub164": lambda: CubRadixSort("1.6.4"),
+    "thrust": lambda: ThrustRadixSort(),
+    "mgpu": lambda: MergeSortBaseline(),
+}
+
+
+def _make_keys(args) -> np.ndarray:
+    rng = np.random.default_rng(args.seed)
+    if args.distribution == "uniform":
+        return uniform_keys(args.n, args.key_bits, rng)
+    if args.distribution == "zipf":
+        return zipf_keys(args.n, args.key_bits, rng=rng)
+    if args.distribution == "constant":
+        return constant_keys(args.n, args.key_bits)
+    depth = int(args.distribution.removeprefix("and"))
+    return generate_entropy_keys(args.n, args.key_bits, depth, rng)
+
+
+def cmd_sort(args) -> int:
+    keys = _make_keys(args)
+    values = None
+    if args.pairs:
+        keys, values = generate_pairs(keys, args.key_bits)
+    sorter = ENGINES[args.engine]()
+    result = sorter.sort(keys, values) if args.pairs else sorter.sort(keys)
+    ok = bool(np.all(result.keys[:-1] <= result.keys[1:]))
+    print(f"engine          : {args.engine}")
+    print(f"records         : {keys.size:,} ({args.distribution})")
+    print(f"sorted          : {'yes' if ok else 'NO'}")
+    if result.trace is not None:
+        print(f"counting passes : {result.trace.num_counting_passes}")
+        print(f"finished early  : {result.trace.finished_early}")
+        print(f"local-sorted    : {result.trace.total_local_keys:,} keys")
+    print(f"simulated time  : {result.simulated_seconds * 1e3:.3f} ms")
+    rate = result.sorting_rate() / GB
+    print(f"simulated rate  : {rate:.2f} GB/s ({TITAN_X_PASCAL.name})")
+    return 0 if ok else 1
+
+
+def cmd_info(args) -> int:
+    spec = TITAN_X_PASCAL
+    print(f"device: {spec.name}")
+    print(f"  SMs x cores      : {spec.sm_count} x {spec.cores_per_sm}")
+    print(f"  effective BW     : {spec.effective_bandwidth / GB:.2f} GB/s")
+    print(f"  device memory    : {spec.device_memory_bytes / 2**30:.0f} GiB")
+    print(f"  PCIe per dir     : {spec.pcie_bandwidth / GB:.2f} GB/s")
+    print("\nTable 3 presets:")
+    print(
+        format_table(
+            ["layout", "KPB", "threads", "KPT", "local ∂̂", "merge ∂"],
+            [
+                [r["layout"], r["kpb"], r["threads"], r["kpt"],
+                 r["local_threshold"], r["merge_threshold"]]
+                for r in derive_table3()
+            ],
+        )
+    )
+    model = AnalyticalModel(SortConfig.for_keys(args.key_bits))
+    req = model.memory_requirements(args.n)
+    print(f"\nanalytical model for n = {args.n:,} ({args.key_bits}-bit keys):")
+    print(f"  max buckets (I3) : {model.max_buckets(args.n):,}")
+    print(f"  max blocks (I4)  : {model.max_blocks(args.n):,}")
+    print(f"  memory M1        : {req.input_and_aux / 2**30:.2f} GiB")
+    print(f"  overhead M2-M5   : {100 * req.overhead_fraction:.2f} %")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    ladder = ENTROPY_LADDER_32 if args.key_bits == 32 else ENTROPY_LADDER_64
+    rng = np.random.default_rng(args.seed)
+    cub = CubRadixSort("1.5.1")
+    key_bytes = args.key_bits // 8
+    cub_rate = args.target * key_bytes / cub.simulated_seconds(
+        args.target, key_bytes
+    )
+    rows = []
+    for level in ladder:
+        keys = generate_entropy_keys(args.n, args.key_bits, level.and_depth, rng)
+        out = simulate_sort_at_scale(keys, args.target)
+        rows.append(
+            [
+                level.label,
+                out.trace.num_counting_passes,
+                f"{out.sorting_rate / GB:.2f}",
+                f"{cub_rate / GB:.2f}",
+                f"{out.sorting_rate / cub_rate:.2f}x",
+            ]
+        )
+    print(
+        format_table(
+            ["entropy (bits)", "passes", "hybrid GB/s", "CUB GB/s", "speed-up"],
+            rows,
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hybrid GPU radix sort (SIGMOD'17) on a simulated device",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sort = sub.add_parser("sort", help="sort a generated workload")
+    p_sort.add_argument("--n", type=int, default=1 << 20)
+    p_sort.add_argument("--key-bits", type=int, choices=(32, 64), default=32)
+    p_sort.add_argument(
+        "--distribution",
+        default="uniform",
+        choices=["uniform", "zipf", "constant"]
+        + [f"and{i}" for i in range(1, 11)],
+    )
+    p_sort.add_argument("--engine", choices=sorted(ENGINES), default="hybrid")
+    p_sort.add_argument("--pairs", action="store_true")
+    p_sort.add_argument("--seed", type=int, default=0)
+    p_sort.set_defaults(func=cmd_sort)
+
+    p_info = sub.add_parser("info", help="device, presets, and bounds")
+    p_info.add_argument("--n", type=int, default=500_000_000)
+    p_info.add_argument("--key-bits", type=int, choices=(32, 64), default=32)
+    p_info.set_defaults(func=cmd_info)
+
+    p_sweep = sub.add_parser("sweep", help="entropy sweep vs CUB")
+    p_sweep.add_argument("--n", type=int, default=1 << 19)
+    p_sweep.add_argument("--key-bits", type=int, choices=(32, 64), default=32)
+    p_sweep.add_argument("--target", type=int, default=500_000_000)
+    p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.set_defaults(func=cmd_sweep)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

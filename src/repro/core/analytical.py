@@ -1,0 +1,182 @@
+"""The analytical model of §4.5: bucket/block bounds and memory needs.
+
+The MSD approach can produce millions of buckets; the paper bounds the
+bookkeeping with rules R1–R4 and invariants I1–I4, then itemises memory
+M1–M5 and shows the overhead stays below 5 % of the input+auxiliary
+memory for a reasonable configuration (KPB = 6 912, ∂̂ = 9 216,
+∂ = 3 000, r = 256, 32-bit keys).  This module computes every bound and
+validates real execution traces against them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SortConfig
+from repro.errors import ConfigurationError
+from repro.types import SortTrace
+
+__all__ = ["MemoryRequirements", "AnalyticalModel"]
+
+
+@dataclass(frozen=True)
+class MemoryRequirements:
+    """The M1–M5 byte counts of §4.5."""
+
+    input_and_aux: int        # M1: 2 * n * k/8
+    bucket_histograms: int    # M2: 4 * r * floor(n/∂̂)
+    block_histograms: int     # M3: 4 * r * (floor(n/KPB) + floor(n/∂̂))
+    block_assignments: int    # M4: 2 * 16 * (floor(n/KPB) + floor(n/∂̂))
+    local_assignments: int    # M5: 12 * min(...)
+
+    @property
+    def overhead_bytes(self) -> int:
+        """Everything beyond the input and auxiliary buffers (M2–M5)."""
+        return (
+            self.bucket_histograms
+            + self.block_histograms
+            + self.block_assignments
+            + self.local_assignments
+        )
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Overhead relative to M1 — the paper's ≤ 5 % claim."""
+        if self.input_and_aux == 0:
+            return 0.0
+        return self.overhead_bytes / self.input_and_aux
+
+    @property
+    def total_bytes(self) -> int:
+        return self.input_and_aux + self.overhead_bytes
+
+
+class AnalyticalModel:
+    """Bounds I1–I4 and memory M1–M5 for a configuration."""
+
+    def __init__(self, config: SortConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Invariants I1–I4
+    # ------------------------------------------------------------------
+    def max_counting_buckets(self, n: int) -> int:
+        """I1: at most ``floor(n / ∂̂)`` buckets exceed the local limit."""
+        self._check_n(n)
+        return n // self.config.local_threshold
+
+    def max_buckets_unrefined(self, n: int) -> int:
+        """I2: at most ``r * floor(n / ∂̂)`` buckets exist at any time."""
+        return self.config.radix * self.max_counting_buckets(n)
+
+    def max_buckets(self, n: int) -> int:
+        """I3: merging refines I2 to
+        ``min(floor(2n/∂) + floor(n/∂̂), r * floor(n/∂̂))``.
+
+        Any two *adjacent* surviving sub-buckets total at least ∂ keys
+        (they would have merged otherwise), but one sub-bucket per parent
+        may stand alone.
+        """
+        self._check_n(n)
+        refined = (
+            2 * n // self.config.merge_threshold
+            + n // self.config.local_threshold
+        )
+        return min(refined, self.max_buckets_unrefined(n))
+
+    def max_blocks(self, n: int) -> int:
+        """I4: at most ``floor(n/KPB) + floor(n/∂̂)`` key blocks."""
+        self._check_n(n)
+        return n // self.config.kpb + n // self.config.local_threshold
+
+    # ------------------------------------------------------------------
+    # Memory M1–M5
+    # ------------------------------------------------------------------
+    def memory_requirements(self, n: int) -> MemoryRequirements:
+        self._check_n(n)
+        cfg = self.config
+        record = cfg.key_bytes + cfg.value_bytes
+        m1 = 2 * n * record
+        m2 = 4 * cfg.radix * self.max_counting_buckets(n)
+        blocks = n // cfg.kpb + n // cfg.local_threshold
+        m3 = 4 * cfg.radix * blocks
+        m4 = 2 * 16 * blocks
+        m5 = 12 * self.max_buckets(n)
+        return MemoryRequirements(
+            input_and_aux=m1,
+            bucket_histograms=m2,
+            block_histograms=m3,
+            block_assignments=m4,
+            local_assignments=m5,
+        )
+
+    # ------------------------------------------------------------------
+    # Pass-count arithmetic (the memory-transfer argument of §1/§6)
+    # ------------------------------------------------------------------
+    def counting_passes_worst_case(self) -> int:
+        """Passes when no bucket ever falls below ∂̂ (constant input)."""
+        return self.config.num_digits
+
+    def expected_counting_passes_uniform(self, n: int) -> int:
+        """Passes a uniform distribution needs before local sorts win.
+
+        Each pass divides expected bucket size by the radix; a bucket
+        becomes locally sortable once ``n / radix**p <= ∂̂``.
+        """
+        self._check_n(n)
+        passes = 0
+        expected = n
+        while expected > self.config.local_threshold and passes < self.config.num_digits:
+            expected = -(-expected // self.config.radix)
+            passes += 1
+        return passes
+
+    def transfer_reduction_vs_lsd(self, lsd_digit_bits: int) -> float:
+        """Memory-transfer ratio versus an LSD sort with the given digit.
+
+        Both algorithms move the input three times per pass (read for
+        histogram, read + write for scatter); the hybrid sort simply
+        needs fewer passes: e.g. 13 five-bit passes versus 8 eight-bit
+        passes for 64-bit keys = 1.625 (§6.1).
+        """
+        if lsd_digit_bits <= 0:
+            raise ConfigurationError("lsd_digit_bits must be positive")
+        lsd_passes = -(-self.config.key_bits // lsd_digit_bits)
+        return lsd_passes / self.config.num_digits
+
+    # ------------------------------------------------------------------
+    # Trace validation
+    # ------------------------------------------------------------------
+    def validate_trace(self, trace: SortTrace) -> list[str]:
+        """Check a real execution against I1–I4; returns violations."""
+        violations: list[str] = []
+        n = trace.n
+        if n <= 0:
+            return violations
+        bucket_bound = self.max_buckets(max(n, 1))
+        block_bound = self.max_blocks(max(n, 1))
+        for p in trace.counting_passes:
+            live = p.n_local_buckets + p.n_next_buckets
+            if self.config.use_bucket_merging and live > max(bucket_bound, 1):
+                violations.append(
+                    f"pass {p.pass_index}: {live} live buckets exceed "
+                    f"I3 bound {bucket_bound}"
+                )
+            if not self.config.use_bucket_merging:
+                unrefined = max(self.max_buckets_unrefined(n), 1)
+                if live > unrefined:
+                    violations.append(
+                        f"pass {p.pass_index}: {live} live buckets exceed "
+                        f"I2 bound {unrefined}"
+                    )
+            if p.n_blocks > max(block_bound, 1):
+                violations.append(
+                    f"pass {p.pass_index}: {p.n_blocks} blocks exceed "
+                    f"I4 bound {block_bound}"
+                )
+        return violations
+
+    @staticmethod
+    def _check_n(n: int) -> None:
+        if n < 0:
+            raise ConfigurationError("n must be non-negative")

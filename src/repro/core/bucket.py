@@ -1,0 +1,292 @@
+"""Bucket bookkeeping: descriptors, the merge rule R3, block subdivision.
+
+§4.5 of the paper specifies the device-memory structures that keep track
+of the sort's state between kernel launches:
+
+* block assignments ``{k_offs, k_count, b_id, b_offs}`` — which span of
+  keys each thread block handles and which bucket it belongs to (R4);
+* local-sort assignments ``{b_id, b_offs, is_merged}`` — buckets whose
+  size fell below ∂̂, flagged when they are the union of several
+  sub-buckets (R3).
+
+This module implements those records, the greedy merge of adjacent tiny
+sub-buckets ("merge any sequence of sub-buckets as long as their total
+number of keys is less than ∂"), and the subdivision of large buckets
+into fixed-size key blocks.  The merge runs as a column-wise state
+machine vectorised across all parent buckets, so a pass with thousands of
+parents costs only ``radix`` NumPy steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import concatenated_aranges
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "BlockAssignment",
+    "LocalBucketAssignment",
+    "PartitionOutcome",
+    "partition_subbuckets",
+    "subdivide_into_blocks",
+    "block_assignment_records",
+]
+
+
+@dataclass(frozen=True)
+class BlockAssignment:
+    """§4.5's block-assignment record: {k_offs, k_count, b_id, b_offs}."""
+
+    k_offs: int
+    k_count: int
+    b_id: int
+    b_offs: int
+
+    #: Bytes of the device-memory representation (four 4-byte uints).
+    RECORD_BYTES = 16
+
+
+@dataclass(frozen=True)
+class LocalBucketAssignment:
+    """§4.5's local-sort record: {b_id, b_offs, is_merged}."""
+
+    b_id: int
+    b_offs: int
+    is_merged: bool
+
+    #: Bytes of the device-memory representation (§4.5 uses 12).
+    RECORD_BYTES = 12
+
+
+@dataclass(frozen=True)
+class PartitionOutcome:
+    """Result of splitting counting-sorted parents into sub-buckets.
+
+    ``next_*`` describe buckets that exceed ∂̂ and continue into the next
+    counting pass; ``local_*`` describe buckets bound for a local sort.
+    ``local_is_merged`` marks buckets assembled from two or more
+    non-empty sub-buckets — those still disagree on the current digit, so
+    the local sort must include it (the engine tracks this through
+    ``local_sort_from``: the MSD digit index the local sort must start
+    at).  ``n_subbuckets_nonempty`` counts sub-buckets before merging,
+    for the trace.
+    """
+
+    next_offsets: np.ndarray
+    next_sizes: np.ndarray
+    local_offsets: np.ndarray
+    local_sizes: np.ndarray
+    local_is_merged: np.ndarray
+    n_subbuckets_nonempty: int
+
+    @property
+    def n_next(self) -> int:
+        return int(self.next_sizes.size)
+
+    @property
+    def n_local(self) -> int:
+        return int(self.local_sizes.size)
+
+    @property
+    def n_merged(self) -> int:
+        return int(np.count_nonzero(self.local_is_merged))
+
+
+def partition_subbuckets(
+    parent_offsets: np.ndarray,
+    counts: np.ndarray,
+    merge_threshold: int,
+    local_threshold: int,
+    merging_enabled: bool = True,
+) -> PartitionOutcome:
+    """Classify the sub-buckets of every parent after one counting pass.
+
+    Parameters
+    ----------
+    parent_offsets:
+        Global key offset of each parent bucket, shape ``(P,)``.
+    counts:
+        Per-parent digit histograms, shape ``(P, radix)``; row ``i``'s
+        prefix sums give the sub-bucket offsets inside parent ``i``.
+    merge_threshold / local_threshold:
+        ∂ and ∂̂ of rules R3 and R1/R2.
+    merging_enabled:
+        ``False`` reproduces the *no bucket merging* ablation: every
+        non-empty sub-bucket stands alone.
+
+    The greedy merge scans each parent's sub-buckets left to right,
+    accumulating a run while its total stays below ∂; a sub-bucket larger
+    than ∂̂ always closes the run and continues into the next pass, and a
+    sub-bucket of at least ∂ can never join a run (any sequence
+    containing it would reach ∂).
+    """
+    parent_offsets = np.asarray(parent_offsets, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.ndim != 2:
+        raise ConfigurationError("counts must have shape (parents, radix)")
+    if merge_threshold > local_threshold:
+        raise ConfigurationError("rule R3 requires ∂ <= ∂̂")
+    n_parents, radix = counts.shape
+    if n_parents == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return PartitionOutcome(
+            next_offsets=empty,
+            next_sizes=empty.copy(),
+            local_offsets=empty.copy(),
+            local_sizes=empty.copy(),
+            local_is_merged=np.empty(0, dtype=bool),
+            n_subbuckets_nonempty=0,
+        )
+    if parent_offsets.shape != (n_parents,):
+        raise ConfigurationError("parent_offsets must match counts rows")
+
+    # Sub-bucket offsets: parent offset + exclusive prefix sum of the row.
+    row_prefix = np.zeros((n_parents, radix), dtype=np.int64)
+    np.cumsum(counts[:, :-1], axis=1, out=row_prefix[:, 1:])
+    sub_offsets = parent_offsets[:, None] + row_prefix
+
+    if merging_enabled:
+        labels = _merge_labels(counts, merge_threshold, local_threshold)
+    else:
+        labels = np.broadcast_to(
+            np.arange(radix, dtype=np.int64), (n_parents, radix)
+        )
+
+    return _groups_from_labels(
+        labels, counts, sub_offsets, local_threshold, radix
+    )
+
+
+def _merge_labels(
+    counts: np.ndarray, merge_threshold: int, local_threshold: int
+) -> np.ndarray:
+    """Column-wise greedy-merge state machine, vectorised over parents.
+
+    Each sub-bucket receives the column index of the run it belongs to;
+    runs are therefore contiguous column ranges and groups can be
+    recovered from label changes.
+    """
+    n_parents, radix = counts.shape
+    labels = np.empty((n_parents, radix), dtype=np.int64)
+    run_start = np.full(n_parents, -1, dtype=np.int64)
+    run_total = np.zeros(n_parents, dtype=np.int64)
+    for col in range(radix):
+        size = counts[:, col]
+        oversized = size > local_threshold  # rule R2: continues next pass
+        new_total = run_total + size
+        closes = (~oversized) & (new_total >= merge_threshold)
+        standalone = closes & (size >= merge_threshold)
+        reopens = closes & ~standalone
+        joins = (~oversized) & (~closes)
+        in_open_run = joins & (run_start >= 0)
+        labels[:, col] = np.where(in_open_run, run_start, col)
+        opens_here = reopens | (joins & (run_start < 0))
+        run_start = np.where(
+            oversized | standalone,
+            -1,
+            np.where(opens_here, col, run_start),
+        )
+        run_total = np.where(
+            oversized | standalone,
+            0,
+            np.where(reopens, size, np.where(joins, new_total, run_total)),
+        )
+    return labels
+
+
+def _groups_from_labels(
+    labels: np.ndarray,
+    counts: np.ndarray,
+    sub_offsets: np.ndarray,
+    local_threshold: int,
+    radix: int,
+) -> PartitionOutcome:
+    """Aggregate label runs into bucket groups and classify them."""
+    n_parents = counts.shape[0]
+    # Make labels globally unique per parent, then find run starts.
+    flat_labels = (
+        labels + np.arange(n_parents, dtype=np.int64)[:, None] * radix
+    ).ravel()
+    flat_counts = counts.ravel()
+    starts = np.empty(flat_labels.size, dtype=bool)
+    starts[0] = True
+    np.not_equal(flat_labels[1:], flat_labels[:-1], out=starts[1:])
+    start_idx = np.flatnonzero(starts)
+    end_idx = np.concatenate((start_idx[1:], [flat_labels.size]))
+
+    prefix = np.concatenate(([0], np.cumsum(flat_counts)))
+    group_sizes = prefix[end_idx] - prefix[start_idx]
+    group_offsets = sub_offsets.ravel()[start_idx]
+
+    nonempty_prefix = np.concatenate(
+        ([0], np.cumsum((flat_counts > 0).astype(np.int64)))
+    )
+    group_members = nonempty_prefix[end_idx] - nonempty_prefix[start_idx]
+
+    nonzero = group_sizes > 0
+    is_counting = nonzero & (group_sizes > local_threshold)
+    is_local = nonzero & ~is_counting
+    return PartitionOutcome(
+        next_offsets=group_offsets[is_counting],
+        next_sizes=group_sizes[is_counting],
+        local_offsets=group_offsets[is_local],
+        local_sizes=group_sizes[is_local],
+        local_is_merged=group_members[is_local] >= 2,
+        n_subbuckets_nonempty=int(np.count_nonzero(flat_counts > 0)),
+    )
+
+
+def subdivide_into_blocks(
+    offsets: np.ndarray, sizes: np.ndarray, kpb: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split buckets into key blocks of at most ``kpb`` keys (rule R4).
+
+    Returns ``(block_offsets, block_sizes, block_bucket_ids)`` where
+    bucket ids index into the input arrays.  Every block holds keys from
+    exactly one bucket.
+    """
+    if kpb <= 0:
+        raise ConfigurationError("kpb must be positive")
+    offsets = np.asarray(offsets, dtype=np.int64)
+    sizes = np.asarray(sizes, dtype=np.int64)
+    blocks_per_bucket = -(-sizes // kpb)
+    bucket_ids = np.repeat(
+        np.arange(sizes.size, dtype=np.int64), blocks_per_bucket
+    )
+    if bucket_ids.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    # Index of each block within its bucket: 0, 1, ... per bucket.
+    within = concatenated_aranges(blocks_per_bucket)
+    block_offsets = offsets[bucket_ids] + within * kpb
+    block_sizes = np.minimum(
+        sizes[bucket_ids] - within * kpb, kpb
+    )
+    return block_offsets, block_sizes, bucket_ids
+
+
+def block_assignment_records(
+    offsets: np.ndarray, sizes: np.ndarray, kpb: int
+) -> list[BlockAssignment]:
+    """Materialise §4.5 block-assignment records (small inputs only).
+
+    The fast engines use the array form from
+    :func:`subdivide_into_blocks`; this list form feeds the faithful
+    engine and the memory-requirement checks.
+    """
+    block_offsets, block_sizes, bucket_ids = subdivide_into_blocks(
+        offsets, sizes, kpb
+    )
+    offsets = np.asarray(offsets, dtype=np.int64)
+    return [
+        BlockAssignment(
+            k_offs=int(block_offsets[i]),
+            k_count=int(block_sizes[i]),
+            b_id=int(bucket_ids[i]),
+            b_offs=int(offsets[bucket_ids[i]]),
+        )
+        for i in range(block_offsets.size)
+    ]

@@ -1,0 +1,103 @@
+"""Radix/digit geometry (§2.1).
+
+A k-bit key is reinterpreted as a sequence of d-bit digits.  The hybrid
+sort walks digits from the most significant (digit index 0) towards the
+least significant; LSD baselines walk the other way.  When ``d`` does not
+divide ``k`` the *least significant* digit is the narrow remainder, so
+the MSD-first hybrid sort always partitions on full-width digits until
+the final pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["DigitGeometry", "extract_digit", "extract_digit_lsd"]
+
+
+@dataclass(frozen=True)
+class DigitGeometry:
+    """Digit layout of a ``key_bits``-bit key with ``digit_bits`` digits.
+
+    ``num_digits = ceil(key_bits / digit_bits)``; the last MSD digit
+    (the least-significant one) may be narrower than ``digit_bits`` when
+    the division is not exact.
+    """
+
+    key_bits: int
+    digit_bits: int
+
+    def __post_init__(self) -> None:
+        if self.key_bits not in (8, 16, 32, 64):
+            raise ConfigurationError("key_bits must be 8, 16, 32, or 64")
+        if not 1 <= self.digit_bits <= 16:
+            raise ConfigurationError("digit_bits must be in [1, 16]")
+
+    @property
+    def num_digits(self) -> int:
+        return -(-self.key_bits // self.digit_bits)
+
+    @property
+    def radix(self) -> int:
+        return 1 << self.digit_bits
+
+    def shift_for(self, msd_index: int) -> int:
+        """Right-shift that brings MSD digit ``msd_index`` to the bottom."""
+        if not 0 <= msd_index < self.num_digits:
+            raise ConfigurationError(
+                f"digit index {msd_index} out of range "
+                f"[0, {self.num_digits})"
+            )
+        return max(0, self.key_bits - self.digit_bits * (msd_index + 1))
+
+    def width_for(self, msd_index: int) -> int:
+        """Bit width of MSD digit ``msd_index`` (the last may be narrow)."""
+        shift = self.shift_for(msd_index)
+        upper = self.key_bits - self.digit_bits * msd_index
+        return upper - shift
+
+    def mask_for(self, msd_index: int) -> int:
+        return (1 << self.width_for(msd_index)) - 1
+
+    def remaining_digits(self, from_msd_index: int) -> int:
+        """Digits still unsorted when digits [0, from_msd_index) are done."""
+        return self.num_digits - from_msd_index
+
+    def remaining_bits(self, from_msd_index: int) -> int:
+        """Bits still unsorted when digits [0, from_msd_index) are done.
+
+        Leading digits are full width; only the final digit may be the
+        narrow remainder.
+        """
+        if from_msd_index >= self.num_digits:
+            return 0
+        return self.key_bits - self.digit_bits * from_msd_index
+
+
+def extract_digit(
+    keys: np.ndarray, geometry: DigitGeometry, msd_index: int
+) -> np.ndarray:
+    """Extract MSD digit ``msd_index`` from unsigned ``keys``.
+
+    Returns an ``int64`` array of digit values in ``[0, radix)`` (a wide
+    type so callers can combine digits with segment ids safely).
+    """
+    shift = geometry.shift_for(msd_index)
+    mask = geometry.mask_for(msd_index)
+    work = keys.astype(np.uint64, copy=False)
+    return ((work >> np.uint64(shift)) & np.uint64(mask)).astype(np.int64)
+
+
+def extract_digit_lsd(
+    keys: np.ndarray, geometry: DigitGeometry, lsd_index: int
+) -> np.ndarray:
+    """Extract LSD digit ``lsd_index`` (0 = least significant).
+
+    The LSD view is just the MSD view indexed from the other end.
+    """
+    msd_index = geometry.num_digits - 1 - lsd_index
+    return extract_digit(keys, geometry, msd_index)

@@ -1,0 +1,190 @@
+"""Histogram kernels (§4.3).
+
+Two functional implementations of the per-block histogram:
+
+* **atomics only** — every thread iterates its KPT keys and issues one
+  shared-memory atomicAdd per key;
+* **thread reduction & atomics** — every thread sorts runs of up to nine
+  digit values through the 25-comparator network and issues one atomicAdd
+  per run of equal values.
+
+Both produce identical histograms (tests assert this); they differ in the
+*number and conflict pattern of atomic operations*, which is what the
+cost model prices.  This module also provides the sampling estimators
+that turn a real digit stream into the
+:class:`repro.types.BlockStats` fields:
+``measure_warp_conflict`` (expected max multiplicity of a digit within a
+warp) and ``thread_reduction_ops_per_key`` (atomics per key after run
+combining).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import run_lengths
+from repro.core.sorting_network import batch_sort_network
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "bucket_histograms",
+    "block_histograms",
+    "histogram_atomics_only",
+    "histogram_thread_reduction",
+    "measure_warp_conflict",
+    "thread_reduction_ops_per_key",
+    "max_digit_fraction",
+]
+
+
+def bucket_histograms(
+    digits: np.ndarray, segment_ids: np.ndarray, n_segments: int, radix: int
+) -> np.ndarray:
+    """Per-bucket digit histograms in one shot.
+
+    ``digits`` and ``segment_ids`` are parallel arrays over the active
+    region; the result has shape ``(n_segments, radix)``.
+    """
+    combined = segment_ids * radix + digits
+    counts = np.bincount(combined, minlength=n_segments * radix)
+    return counts.reshape(n_segments, radix)
+
+
+def block_histograms(
+    digits: np.ndarray,
+    block_offsets: np.ndarray,
+    block_sizes: np.ndarray,
+    radix: int,
+    region_offset: int = 0,
+) -> np.ndarray:
+    """Histogram of each key block (the per-block records of §4.3).
+
+    ``digits`` covers a contiguous region starting at global offset
+    ``region_offset``; blocks address global offsets.
+    """
+    n_blocks = block_offsets.size
+    out = np.zeros((n_blocks, radix), dtype=np.int64)
+    for i in range(n_blocks):
+        start = int(block_offsets[i]) - region_offset
+        stop = start + int(block_sizes[i])
+        out[i] = np.bincount(digits[start:stop], minlength=radix)
+    return out
+
+
+def histogram_atomics_only(digits: np.ndarray, radix: int) -> tuple[np.ndarray, int]:
+    """The unoptimised kernel: one atomicAdd per key.
+
+    Returns ``(histogram, atomic_ops)``.
+    """
+    hist = np.bincount(digits, minlength=radix)
+    return hist, int(digits.size)
+
+
+def histogram_thread_reduction(
+    digits: np.ndarray, radix: int, run: int = 9
+) -> tuple[np.ndarray, int]:
+    """The optimised kernel: sort 9-value runs, combine equal neighbours.
+
+    Each simulated thread takes ``run`` consecutive digit values, pushes
+    them through the sorting network, then walks the sorted run and emits
+    one atomicAdd per group of equal values.  Returns
+    ``(histogram, atomic_ops)`` — the histogram is identical to the
+    atomics-only kernel; only the operation count shrinks.
+    """
+    if run != 9:
+        raise ConfigurationError("the paper's network sorts runs of nine")
+    n = digits.size
+    hist = np.bincount(digits, minlength=radix)
+    if n == 0:
+        return hist, 0
+    full = (n // run) * run
+    ops = 0
+    if full:
+        rows = digits[:full].reshape(-1, run)
+        sorted_rows = batch_sort_network(rows)
+        distinct = 1 + np.count_nonzero(
+            sorted_rows[:, 1:] != sorted_rows[:, :-1], axis=1
+        ).astype(np.int64)
+        ops += int(distinct.sum())
+    # The trailing partial run is combined with a plain scan.
+    tail = digits[full:]
+    if tail.size:
+        values, _ = run_lengths(np.sort(tail))
+        ops += int(values.size)
+    return hist, ops
+
+
+# ----------------------------------------------------------------------
+# Sampling estimators feeding the cost model
+# ----------------------------------------------------------------------
+
+def _sample_rows(
+    digits: np.ndarray, row_width: int, max_rows: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample up to ``max_rows`` aligned rows of ``row_width`` digits."""
+    n_rows = digits.size // row_width
+    if n_rows == 0:
+        return np.empty((0, row_width), dtype=digits.dtype)
+    usable = digits[: n_rows * row_width].reshape(n_rows, row_width)
+    if n_rows <= max_rows:
+        return usable
+    picks = rng.choice(n_rows, size=max_rows, replace=False)
+    return usable[picks]
+
+
+def measure_warp_conflict(
+    digits: np.ndarray,
+    warp_size: int = 32,
+    max_warps: int = 2048,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Expected max multiplicity of a digit value within one warp.
+
+    The statistic driving the atomic-serialization model: 1.0 means every
+    lane hits a different counter, ``warp_size`` means full collision
+    (the constant distribution).  Estimated from a sample of warp-shaped
+    rows of the actual digit stream.
+    """
+    rng = rng or np.random.default_rng(0x5EED)
+    if digits.size == 0:
+        return 1.0
+    if digits.size < warp_size:
+        values, lengths = run_lengths(np.sort(digits))
+        return float(lengths.max())
+    rows = _sample_rows(digits, warp_size, max_warps, rng)
+    srows = np.sort(rows, axis=1)
+    eq = srows[:, 1:] == srows[:, :-1]
+    # Longest run of equal neighbours per row, +1 = max multiplicity.
+    run_acc = np.zeros(rows.shape[0], dtype=np.int64)
+    best = np.zeros(rows.shape[0], dtype=np.int64)
+    for col in range(eq.shape[1]):
+        run_acc = np.where(eq[:, col], run_acc + 1, 0)
+        best = np.maximum(best, run_acc)
+    return float((best + 1).mean())
+
+
+def thread_reduction_ops_per_key(
+    digits: np.ndarray,
+    run: int = 9,
+    max_rows: int = 4096,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Atomic operations per key after 9-run sorting and combining."""
+    rng = rng or np.random.default_rng(0x5EED)
+    if digits.size == 0:
+        return 1.0
+    if digits.size < run:
+        values, _ = run_lengths(np.sort(digits))
+        return values.size / digits.size
+    rows = _sample_rows(digits, run, max_rows, rng)
+    srows = np.sort(rows, axis=1)
+    distinct = 1 + np.count_nonzero(srows[:, 1:] != srows[:, :-1], axis=1)
+    return float(distinct.mean()) / run
+
+
+def max_digit_fraction(counts: np.ndarray) -> float:
+    """Weight of the most loaded digit value, from a histogram row."""
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    return float(counts.max()) / float(total)

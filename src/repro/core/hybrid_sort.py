@@ -1,0 +1,371 @@
+"""The hybrid MSD radix sorter — the paper's primary contribution (§4).
+
+Workflow (§4.1, Figure 1): a counting sort partitions the input on the
+most-significant digit into up to ``radix`` sub-buckets; every subsequent
+pass either partitions a bucket further (size > ∂̂) or finishes it with a
+local sort in on-chip memory (size ≤ ∂̂).  Adjacent tiny sub-buckets are
+merged while their total stays below ∂ (R3).  Double buffering alternates
+input and output memory per pass; local sorts always place their output
+in the buffer that will hold the final sequence, so the algorithm may
+finish early (all buckets locally sorted) without a compaction step.
+
+The sorter is distribution-sensitive but order-insensitive, supports
+keys-only and key-value (decomposed) layouts, and any dtype with an
+order-preserving bijection (§4.6).  Every run emits a
+:class:`~repro.types.SortTrace`; the simulated Titan X timing attached to
+the result comes from :class:`repro.cost.model.CostModel`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bucket import PartitionOutcome, partition_subbuckets
+from repro.core.config import SortConfig
+from repro.core.counting_sort import counting_sort_pass
+from repro.core.keys import (
+    bits_dtype_for,
+    from_sortable_bits,
+    to_sortable_bits,
+)
+from repro.core.local_sort import LocalSortEngine
+from repro.errors import ConfigurationError
+from repro.gpu.device import SimulatedGPU
+from repro.gpu.kernel import KernelLaunch, LaunchConfig
+from repro.types import (
+    CountingPassTrace,
+    LocalSortTrace,
+    SortResult,
+    SortTrace,
+)
+
+__all__ = ["HybridRadixSorter"]
+
+
+def _finished_outcome(counts: np.ndarray) -> PartitionOutcome:
+    """Terminal outcome for the final pass: every sub-bucket is done."""
+    empty = np.empty(0, dtype=np.int64)
+    return PartitionOutcome(
+        next_offsets=empty,
+        next_sizes=empty.copy(),
+        local_offsets=empty.copy(),
+        local_sizes=empty.copy(),
+        local_is_merged=np.empty(0, dtype=bool),
+        n_subbuckets_nonempty=int(np.count_nonzero(counts)),
+    )
+
+
+class HybridRadixSorter:
+    """Hybrid MSD radix sort on the simulated GPU.
+
+    Parameters
+    ----------
+    config:
+        Tuning parameters; defaults to the Table 3 preset matching the
+        input layout at :meth:`sort` time.
+    device:
+        Simulated GPU used for launch/traffic accounting; a fresh Titan X
+        when omitted.
+    cost_model:
+        Prices the execution trace; a default-calibrated
+        :class:`~repro.cost.model.CostModel` when omitted.
+    """
+
+    def __init__(
+        self,
+        config: SortConfig | None = None,
+        device: SimulatedGPU | None = None,
+        cost_model=None,
+    ) -> None:
+        self.config = config
+        self.device = device or SimulatedGPU()
+        self._cost_model = cost_model
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def sort(
+        self, keys: np.ndarray, values: np.ndarray | None = None
+    ) -> SortResult:
+        """Sort ``keys`` (with optional parallel ``values``) ascending.
+
+        Returns a :class:`~repro.types.SortResult` with fresh output
+        arrays, the execution trace, and the simulated duration.
+        """
+        keys = np.asarray(keys)
+        if keys.ndim != 1:
+            raise ConfigurationError("keys must be one-dimensional")
+        if values is not None:
+            values = np.asarray(values)
+            if values.shape != keys.shape:
+                raise ConfigurationError("values must parallel keys")
+        config = self._resolve_config(keys, values)
+
+        bits = to_sortable_bits(keys)
+        trace, sorted_bits, sorted_values = self._sort_bits(
+            bits, values, config
+        )
+        out_keys = from_sortable_bits(sorted_bits, keys.dtype)
+        result = SortResult(
+            keys=out_keys,
+            values=sorted_values,
+            trace=trace,
+            meta={"config": config},
+        )
+        model = self._resolve_cost_model()
+        breakdown = model.price_hybrid(trace, config)
+        result.breakdown = breakdown
+        result.simulated_seconds = breakdown.total
+        return result
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _resolve_config(
+        self, keys: np.ndarray, values: np.ndarray | None
+    ) -> SortConfig:
+        key_bits = bits_dtype_for(keys.dtype).itemsize * 8
+        value_bits = 0 if values is None else values.dtype.itemsize * 8
+        if self.config is None:
+            return SortConfig.for_layout(key_bits, value_bits)
+        if self.config.key_bits != key_bits:
+            raise ConfigurationError(
+                f"config is for {self.config.key_bits}-bit keys; "
+                f"got {key_bits}-bit input"
+            )
+        if self.config.value_bits != value_bits:
+            raise ConfigurationError(
+                f"config is for {self.config.value_bits}-bit values; "
+                f"got {value_bits}-bit input"
+            )
+        return self.config
+
+    def _resolve_cost_model(self):
+        if self._cost_model is None:
+            from repro.cost.model import CostModel
+
+            self._cost_model = CostModel(self.device.spec)
+        return self._cost_model
+
+    def _sort_bits(
+        self,
+        bits: np.ndarray,
+        values: np.ndarray | None,
+        config: SortConfig,
+    ) -> tuple[SortTrace, np.ndarray, np.ndarray | None]:
+        n = bits.size
+        num_digits = config.num_digits
+        final_idx = 0 if num_digits % 2 == 0 else 1
+        geometry = config.geometry
+
+        if n <= 1:
+            trace = SortTrace(
+                n=n,
+                key_bits=config.key_bits,
+                value_bits=config.value_bits,
+                counting_passes=(),
+                local_sorts=(),
+                finished_early=True,
+                final_buffer_index=final_idx,
+            )
+            return trace, bits.copy(), None if values is None else values.copy()
+
+        key_buffers = [bits.copy(), np.empty_like(bits)]
+        value_buffers = None
+        if values is not None:
+            value_buffers = [values.copy(), np.empty_like(values)]
+
+        local_engine = LocalSortEngine(config.effective_configs, geometry)
+        counting_traces: list[CountingPassTrace] = []
+        local_traces: list[LocalSortTrace] = []
+
+        if n <= config.local_threshold:
+            # The whole input fits one local sort; no counting pass runs.
+            trace_ls = local_engine.execute(
+                pass_index=0,
+                src_keys=key_buffers[0],
+                dst_keys=key_buffers[final_idx],
+                offsets=np.array([0], dtype=np.int64),
+                sizes=np.array([n], dtype=np.int64),
+                sort_from=np.array([0], dtype=np.int64),
+                src_values=None if value_buffers is None else value_buffers[0],
+                dst_values=None
+                if value_buffers is None
+                else value_buffers[final_idx],
+            )
+            local_traces.append(trace_ls)
+            self._record_local_launches(trace_ls, pass_index=0)
+            active_offsets = np.empty(0, dtype=np.int64)
+            active_sizes = np.empty(0, dtype=np.int64)
+        else:
+            active_offsets = np.array([0], dtype=np.int64)
+            active_sizes = np.array([n], dtype=np.int64)
+
+        for pass_index in range(num_digits):
+            if active_sizes.size == 0:
+                break
+            src = key_buffers[pass_index % 2]
+            dst = key_buffers[(pass_index + 1) % 2]
+            src_v = dst_v = None
+            if value_buffers is not None:
+                src_v = value_buffers[pass_index % 2]
+                dst_v = value_buffers[(pass_index + 1) % 2]
+
+            output = counting_sort_pass(
+                src,
+                dst,
+                active_offsets,
+                active_sizes,
+                config,
+                pass_index,
+                src_values=src_v,
+                dst_values=dst_v,
+            )
+            final_pass = pass_index == num_digits - 1
+            if final_pass:
+                # After the least-significant digit everything is fully
+                # sorted where it stands — no merging, no local sorts.
+                outcome = _finished_outcome(output.counts)
+            else:
+                outcome = partition_subbuckets(
+                    active_offsets,
+                    output.counts,
+                    config.merge_threshold,
+                    config.local_threshold,
+                    merging_enabled=config.use_bucket_merging,
+                )
+            counting_traces.append(
+                self._counting_trace(
+                    pass_index, output, outcome, active_sizes, config
+                )
+            )
+            self._record_counting_launches(
+                pass_index, output.n_blocks, output.n_keys, config
+            )
+
+            if outcome.n_local:
+                # Merged buckets still disagree on this pass's digit;
+                # plain ones are settled through it.
+                sort_from = np.where(
+                    outcome.local_is_merged, pass_index, pass_index + 1
+                ).astype(np.int64)
+                trace_ls = local_engine.execute(
+                    pass_index=pass_index,
+                    src_keys=dst,
+                    dst_keys=key_buffers[final_idx],
+                    offsets=outcome.local_offsets,
+                    sizes=outcome.local_sizes,
+                    sort_from=sort_from,
+                    src_values=dst_v,
+                    dst_values=None
+                    if value_buffers is None
+                    else value_buffers[final_idx],
+                )
+                local_traces.append(trace_ls)
+                self._record_local_launches(trace_ls, pass_index)
+
+            active_offsets = outcome.next_offsets
+            active_sizes = outcome.next_sizes
+
+        trace = SortTrace(
+            n=n,
+            key_bits=config.key_bits,
+            value_bits=config.value_bits,
+            counting_passes=tuple(counting_traces),
+            local_sorts=tuple(local_traces),
+            finished_early=len(counting_traces) < num_digits,
+            final_buffer_index=final_idx,
+        )
+        out_values = (
+            None if value_buffers is None else value_buffers[final_idx]
+        )
+        return trace, key_buffers[final_idx], out_values
+
+    def _counting_trace(
+        self,
+        pass_index: int,
+        output,
+        outcome: PartitionOutcome,
+        active_sizes: np.ndarray,
+        config: SortConfig,
+    ) -> CountingPassTrace:
+        counts = output.counts
+        nonzero_per_bucket = np.count_nonzero(counts, axis=1)
+        blocks_per_bucket = -(-active_sizes // config.kpb)
+        # A block cannot hit more distinct sub-buckets than its bucket has
+        # non-empty ones; weight by block population for the average.
+        total_blocks = max(1, int(blocks_per_bucket.sum()))
+        avg_nonempty = float(
+            (nonzero_per_bucket * blocks_per_bucket).sum() / total_blocks
+        )
+        return CountingPassTrace(
+            pass_index=pass_index,
+            n_keys=output.n_keys,
+            n_buckets_in=int(active_sizes.size),
+            n_blocks=output.n_blocks,
+            n_subbuckets_nonempty=outcome.n_subbuckets_nonempty,
+            n_merged_buckets=outcome.n_merged,
+            n_local_buckets=outcome.n_local,
+            n_next_buckets=outcome.n_next,
+            block_stats=output.stats,
+            key_bytes=config.key_bytes,
+            value_bytes=config.value_bytes,
+            avg_nonempty_per_block=avg_nonempty,
+        )
+
+    def _record_counting_launches(
+        self, pass_index: int, n_blocks: int, n_keys: int, config: SortConfig
+    ) -> None:
+        """§4.2: exactly three launches per pass, whatever the buckets."""
+        key_bytes = config.key_bytes
+        value_bytes = config.value_bytes
+        hist_bytes_read = n_keys * key_bytes
+        hist_bytes_written = n_blocks * config.radix * 4
+        self.device.record_launch(
+            KernelLaunch(
+                name="histogram",
+                config=LaunchConfig(n_blocks, config.threads),
+                bytes_read=hist_bytes_read,
+                bytes_written=hist_bytes_written,
+                pass_index=pass_index,
+            )
+        )
+        self.device.record_launch(
+            KernelLaunch(
+                name="prefix_assign",
+                config=LaunchConfig(1, config.threads),
+                bytes_read=hist_bytes_written,
+                bytes_written=hist_bytes_written,
+                pass_index=pass_index,
+            )
+        )
+        pair_bytes = n_keys * value_bytes
+        self.device.record_launch(
+            KernelLaunch(
+                name="scatter",
+                config=LaunchConfig(n_blocks, config.threads),
+                bytes_read=n_keys * key_bytes + hist_bytes_written + pair_bytes,
+                bytes_written=n_keys * key_bytes + pair_bytes,
+                pass_index=pass_index,
+            )
+        )
+
+    def _record_local_launches(
+        self, trace: LocalSortTrace, pass_index: int
+    ) -> None:
+        """One launch per local-sort configuration with work (§4.2)."""
+        record_bytes = trace.key_bytes + trace.value_bytes
+        for stats in trace.per_config:
+            if stats.n_buckets == 0:
+                continue
+            self.device.record_launch(
+                KernelLaunch(
+                    name=f"local_sort[{stats.capacity}]",
+                    config=LaunchConfig(
+                        stats.n_buckets, min(stats.capacity, 1024)
+                    ),
+                    bytes_read=stats.total_keys * record_bytes,
+                    bytes_written=stats.total_keys * record_bytes,
+                    pass_index=pass_index,
+                )
+            )

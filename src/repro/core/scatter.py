@@ -1,0 +1,200 @@
+"""Key scattering (§4.4).
+
+The scatter step moves each block's keys into the r sub-buckets of its
+bucket.  The paper's kernel:
+
+1. re-uses the block histogram stored during the histogram step;
+2. reserves a chunk inside each destination sub-bucket with one
+   device-memory atomicAdd per (block, digit) pair — blocks therefore
+   land in *completion order*, which is why the hybrid sort is not
+   stable;
+3. partitions the block's keys into per-digit staging areas in shared
+   memory (write combining, Figure 3), coordinating with one
+   shared-memory atomic per key — or per run of up to three equal-digit
+   keys when the *look-ahead of two* is active;
+4. copies each staging area to its reserved chunk with coalesced writes.
+
+:class:`BlockScatterEngine` is the faithful functional emulation of that
+pipeline, including an out-of-order block completion schedule.  The fast
+vectorized engine in :mod:`repro.core.counting_sort` produces the same
+bucket contents (asserted by tests); this one exists to demonstrate and
+test the mechanism itself, and to expose the operation counts the cost
+model uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import run_lengths
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ScatterStats",
+    "BlockScatterEngine",
+    "lookahead_ops_per_key",
+]
+
+
+def lookahead_ops_per_key(
+    digits: np.ndarray,
+    depth: int = 2,
+    max_keys: int = 1 << 16,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Shared-memory reservations per key with a look-ahead of ``depth``.
+
+    Each thread writes any run of up to ``depth + 1`` consecutive keys
+    sharing a digit value with a single reservation, so a run of length
+    ``L`` costs ``ceil(L / (depth + 1))`` operations.  Estimated on a
+    contiguous sample of the digit stream.
+    """
+    if depth < 0:
+        raise ConfigurationError("depth must be non-negative")
+    if digits.size == 0:
+        return 1.0
+    rng = rng or np.random.default_rng(0x5EED)
+    if digits.size > max_keys:
+        start = int(rng.integers(0, digits.size - max_keys + 1))
+        digits = digits[start : start + max_keys]
+    _, lengths = run_lengths(digits)
+    combine = depth + 1
+    ops = int((-(-lengths // combine)).sum())
+    return ops / digits.size
+
+
+@dataclass
+class ScatterStats:
+    """Operation counts collected by the faithful scatter engine."""
+
+    shared_atomic_ops: int = 0
+    device_reservations: int = 0
+    blocks_processed: int = 0
+    lookahead_blocks: int = 0
+
+
+class BlockScatterEngine:
+    """Faithful block-level scatter for one bucket's counting pass.
+
+    Parameters
+    ----------
+    radix:
+        Number of sub-buckets.
+    lookahead_depth:
+        Keys inspected beyond the current one when combining writes.
+    skew_threshold:
+        Fraction of a block's keys on one digit value above which the
+        look-ahead path activates (§4.4: only highly skewed blocks use
+        it).
+    completion_seed:
+        Seed of the deterministic out-of-order block completion schedule;
+        varying it permutes keys *within* sub-buckets but never across
+        sub-bucket boundaries — the tests build on exactly that property
+        to demonstrate non-stability with correctness.
+    """
+
+    def __init__(
+        self,
+        radix: int,
+        lookahead_depth: int = 2,
+        skew_threshold: float = 0.5,
+        use_lookahead: bool = True,
+        completion_seed: int = 0xB10C,
+    ) -> None:
+        if radix < 2:
+            raise ConfigurationError("radix must be at least 2")
+        self.radix = radix
+        self.lookahead_depth = lookahead_depth
+        self.skew_threshold = skew_threshold
+        self.use_lookahead = use_lookahead
+        self.completion_seed = completion_seed
+        self.stats = ScatterStats()
+
+    def scatter_bucket(
+        self,
+        keys: np.ndarray,
+        digits: np.ndarray,
+        sub_offsets: np.ndarray,
+        out: np.ndarray,
+        kpb: int,
+        values: np.ndarray | None = None,
+        out_values: np.ndarray | None = None,
+    ) -> None:
+        """Scatter one bucket's ``keys`` into ``out`` at ``sub_offsets``.
+
+        ``sub_offsets`` holds the first write position of every sub-bucket
+        (exclusive prefix sum of the bucket histogram, §4.1 step 2);
+        ``out`` must be large enough to take the bucket span.
+        """
+        n = keys.size
+        if digits.size != n:
+            raise ConfigurationError("digits must parallel keys")
+        if sub_offsets.size != self.radix:
+            raise ConfigurationError("one offset per sub-bucket required")
+        if values is not None and (out_values is None or values.size != n):
+            raise ConfigurationError("values require an output array")
+        cursors = np.asarray(sub_offsets, dtype=np.int64).copy()
+        n_blocks = -(-n // kpb)
+        rng = np.random.default_rng(self.completion_seed)
+        completion_order = rng.permutation(n_blocks)
+        for block in completion_order:
+            start = int(block) * kpb
+            stop = min(start + kpb, n)
+            self._scatter_block(
+                keys[start:stop],
+                digits[start:stop],
+                cursors,
+                out,
+                values[start:stop] if values is not None else None,
+                out_values,
+            )
+
+    def _scatter_block(
+        self,
+        block_keys: np.ndarray,
+        block_digits: np.ndarray,
+        cursors: np.ndarray,
+        out: np.ndarray,
+        block_values: np.ndarray | None,
+        out_values: np.ndarray | None,
+    ) -> None:
+        """One thread block: stage in shared memory, then copy out."""
+        hist = np.bincount(block_digits, minlength=self.radix)
+        skewed = (
+            self.use_lookahead
+            and block_digits.size > 0
+            and hist.max() / block_digits.size >= self.skew_threshold
+        )
+        # Shared-memory partition (stable within the block): one
+        # reservation per key, or per capped run on the look-ahead path.
+        order = np.argsort(block_digits, kind="stable")
+        staged_keys = block_keys[order]
+        staged_values = (
+            block_values[order] if block_values is not None else None
+        )
+        if skewed:
+            _, lengths = run_lengths(block_digits)
+            combine = self.lookahead_depth + 1
+            self.stats.shared_atomic_ops += int((-(-lengths // combine)).sum())
+            self.stats.lookahead_blocks += 1
+        else:
+            self.stats.shared_atomic_ops += int(block_digits.size)
+        # Device-memory chunk reservation: one atomicAdd per non-empty
+        # destination sub-bucket, then a coalesced copy per chunk.
+        local_start = 0
+        for digit in np.flatnonzero(hist):
+            count = int(hist[digit])
+            dest = int(cursors[digit])
+            cursors[digit] += count
+            self.stats.device_reservations += 1
+            out[dest : dest + count] = staged_keys[
+                local_start : local_start + count
+            ]
+            if staged_values is not None:
+                out_values[dest : dest + count] = staged_values[
+                    local_start : local_start + count
+                ]
+            local_start += count
+        self.stats.blocks_processed += 1

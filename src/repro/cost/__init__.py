@@ -1,0 +1,17 @@
+"""Analytical cost model: execution traces → simulated Titan X time.
+
+:mod:`repro.cost.calibration` holds every tunable constant with the
+paper anchor it was fitted against; :mod:`repro.cost.model` applies them
+to hybrid-sort traces and to the baseline sorters' pass structures.
+"""
+
+from repro.cost.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.cost.model import CostModel, LSDCostPreset, MergeSortCostPreset
+
+__all__ = [
+    "Calibration",
+    "CostModel",
+    "DEFAULT_CALIBRATION",
+    "LSDCostPreset",
+    "MergeSortCostPreset",
+]

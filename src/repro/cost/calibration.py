@@ -1,0 +1,135 @@
+"""Calibration constants for the cost model, with provenance.
+
+Every constant is fitted against a number the paper itself reports; the
+comment on each field names the anchor.  The defaults describe the
+evaluation platform (Titan X Pascal, §6); alternative hardware can carry
+its own :class:`Calibration`.
+
+The constants are deliberately few: the *shape* of every figure comes
+from the execution traces (pass counts, bucket populations, conflict
+statistics measured on real data), not from per-figure fudging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Calibration", "DEFAULT_CALIBRATION"]
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Cost-model constants for one device generation."""
+
+    # ------------------------------------------------------------------
+    # Shared-memory atomics (§4.3, Figure 2)
+    # ------------------------------------------------------------------
+    #: Conflict-free atomic updates per SM per second.  Anchor: full
+    #: serialization (factor 32) must give the paper's measured
+    #: 1.7 G updates/SM/s on a constant distribution: 32 * 1.7e9.
+    hist_atomic_conflict_free: float = 54.4e9
+
+    #: Ceiling on per-SM atomic throughput.  Anchor: "as much as 3.3
+    #: billion updates per SM per second, almost achieving peak memory
+    #: bandwidth" — just above the ~3.30 G keys/SM/s needed for 32-bit
+    #: keys at 369.17 GB/s.
+    hist_atomic_saturated: float = 3.45e9
+
+    #: Per-SM key throughput of the thread-reduction path's sorting
+    #: network + run scan.  Anchor: Figure 2 shows the optimised kernel
+    #: within a few percent of full utilisation at every q, so the cap
+    #: sits just above the 32-bit saturation requirement.
+    thread_reduction_compute_rate: float = 3.40e9
+
+    #: Scatter shared-memory compute: seconds per key per SM is
+    #: ``(base + conflict_cost * warp_conflict * ops_per_key) * width``
+    #: where ``width`` scales with the record bytes staged through shared
+    #: memory (values double the work, §4.6).  Anchors: Figure 11's
+    #: "no look-ahead" column — −3 % at 17.39 bits rising to ≈ −18 % at
+    #: 0 bits for 32-bit keys — pins both coefficients; the same
+    #: coefficients then predict Figure 12/14's all-zero look-ahead
+    #: columns (64-bit rows are bandwidth-bound regardless) and Figure
+    #: 13's intermediate −13 %.
+    scatter_base_seconds_per_key: float = 0.58e-9
+    scatter_conflict_seconds_per_key: float = 0.0094e-9
+
+    # ------------------------------------------------------------------
+    # Scatter write efficiency (§4.4)
+    # ------------------------------------------------------------------
+    #: Fraction of a straggler transaction charged per non-empty
+    #: sub-bucket of a block (worst case would be 1.0; §4.4's 80 %
+    #: worst-case bound for d=8 corresponds to the full straggler).
+    scatter_straggler_fraction: float = 0.5
+
+    #: Residual write-bandwidth penalty at extreme skew: when nearly all
+    #: keys target one sub-bucket, the staged copy degenerates into a
+    #: single stream with shared-memory bank pressure.  Anchor: the
+    #: paper's 1.7-fold (32-bit) speed-up over CUB at 0-bit entropy —
+    #: pure pass-count arithmetic alone would predict more.
+    skew_write_penalty: float = 0.18
+
+    # ------------------------------------------------------------------
+    # Local sort (§4.1/§4.2, Figure 6 peaks)
+    # ------------------------------------------------------------------
+    #: Per-SM throughput of the in-shared-memory block radix sort in
+    #: key-digits per second, by (key_bits, value_bits).  Anchors: the
+    #: Figure 6 peak rates — 62.6 ms for 2 GB of 32-bit keys, 66.7 ms
+    #: for 64-bit keys, 40.2 GB/s for 32/32 pairs, 56 ms for 64/64
+    #: pairs — after subtracting the counting-pass bandwidth time.
+    local_digit_rates: dict = field(
+        default_factory=lambda: {
+            (32, 0): 1.47e9,
+            (64, 0): 1.89e9,
+            (32, 32): 1.01e9,
+            (64, 64): 1.14e9,
+        }
+    )
+
+    #: Fallback per-SM local-sort rate for unlisted layouts.
+    local_digit_rate_default: float = 1.0e9
+
+    #: Device-wide serial cost of dispatching one thread block plus its
+    #: short, latency-bound reads and writes (the GigaThread engine
+    #: hands out blocks a few cycles apart device-wide, and a tiny
+    #: bucket's transfers cannot amortise transaction latency).
+    #: Negligible for the ~10^5 blocks of a merged run, but §4.5's
+    #: "millions and millions of buckets" — the no-bucket-merging
+    #: ablation — turn it into tens of milliseconds, which is what
+    #: Figure 12's −42 % column is made of.
+    block_dispatch_serial: float = 8.0e-9
+
+    # ------------------------------------------------------------------
+    # Kernel-launch and per-pass fixed costs (Figure 7 small inputs)
+    # ------------------------------------------------------------------
+    #: Fixed cost per hybrid counting pass beyond the raw launches:
+    #: assignment generation, pipeline fill.  Anchor: the Figure 7
+    #: crossover — CUB stays ahead below ~1.9 M keys on the worst-case
+    #: distribution.
+    hybrid_pass_fixed_overhead: float = 120.0e-6
+
+    #: Fixed cost per LSD baseline pass (CUB's launch pipeline is lean;
+    #: the paper: "incurring a slightly lower constant overhead, CUB has
+    #: an edge for very small ... inputs").
+    lsd_pass_fixed_overhead: float = 15.0e-6
+
+    # ------------------------------------------------------------------
+    # CPU side (§5/§6.2)
+    # ------------------------------------------------------------------
+    #: Six-core multiway-merge streaming bandwidth, bytes/second per
+    #: pass.  Anchor: Figure 9 — merging 64 GB (16 chunks, two
+    #: four-way passes) takes ~9.3 s.
+    cpu_merge_bandwidth: float = 17.0e9
+
+    #: Widest merge the six-core host handles in one pass.  Anchor: §6.2
+    #: "our parallel multiway merge lacks the compute power to
+    #: efficiently merge more than four chunks at a time".
+    cpu_merge_width: int = 4
+
+    #: Extra per-record comparison cost per merge pass, seconds.  Anchor:
+    #: the same 9.3 s figure — two bandwidth passes (~7.5 s) plus the
+    #: comparison tax on 4 G records closes the gap.
+    cpu_merge_per_record: float = 0.2e-9
+
+
+#: The Titan X (Pascal) calibration used throughout the evaluation.
+DEFAULT_CALIBRATION = Calibration()

@@ -1,0 +1,306 @@
+"""The cost model: traces and pass structures → simulated seconds.
+
+The model charges, per kernel, the slower of its memory time (bytes over
+effective bandwidth, §4.4's transaction efficiency applied to scattered
+writes) and its compute time (shared-memory atomic throughput under the
+measured conflict level, §4.3), plus launch and dispatch overheads.  It
+knows three sorter families:
+
+* the hybrid radix sort — priced from a :class:`~repro.types.SortTrace`;
+* LSD radix baselines (CUB 1.5.1 / 1.6.4, Thrust, Satish et al.,
+  GPU Multisplit) — priced from their pass structure via
+  :class:`LSDCostPreset`;
+* pairwise merge sort (MGPU) — priced from its pass structure via
+  :class:`MergeSortCostPreset`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.config import SortConfig
+from repro.cost.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.errors import TraceError
+from repro.gpu.atomics import AtomicThroughputModel
+from repro.gpu.spec import GPUSpec, TITAN_X_PASCAL
+from repro.types import (
+    CountingPassTrace,
+    LocalSortTrace,
+    SortTrace,
+    TimeBreakdown,
+)
+
+__all__ = ["CostModel", "LSDCostPreset", "MergeSortCostPreset"]
+
+
+@dataclass(frozen=True)
+class LSDCostPreset:
+    """Cost profile of one LSD radix-sort implementation.
+
+    Attributes
+    ----------
+    name:
+        Implementation label, e.g. ``"CUB 1.5.1"``.
+    digit_bits:
+        Bits sorted per pass (CUB 1.5.1: 5; CUB 1.6.4: up to 7;
+        Thrust and Satish et al.: 4; Multisplit-based: 6).
+    bandwidth_efficiency:
+        Fraction of effective bandwidth the implementation sustains.
+    compute_rate:
+        Optional per-SM key throughput cap (keys/s) for compute-bound
+        implementations (Satish et al.'s binary-split ranking).
+    pass_fixed_overhead:
+        Fixed per-pass cost in seconds (launches, scan pipeline).
+    """
+
+    name: str
+    digit_bits: int
+    bandwidth_efficiency: float = 1.0
+    compute_rate: float | None = None
+    pass_fixed_overhead: float | None = None
+
+    def passes_for(self, key_bits: int) -> int:
+        return -(-key_bits // self.digit_bits)
+
+
+@dataclass(frozen=True)
+class MergeSortCostPreset:
+    """Cost profile of a pairwise GPU merge sort (MGPU)."""
+
+    name: str
+    block_size: int = 1024
+    bandwidth_efficiency: float = 0.85
+    #: Per-SM merge throughput in keys/s for 32-bit keys; wider keys
+    #: scale inversely with their width (comparison-bound).
+    merge_rate_32: float = 0.9e9
+
+    def merge_passes_for(self, n: int) -> int:
+        blocks = max(1, -(-n // self.block_size))
+        return max(0, math.ceil(math.log2(blocks)))
+
+
+class CostModel:
+    """Prices sorter executions on a simulated device."""
+
+    def __init__(
+        self,
+        spec: GPUSpec = TITAN_X_PASCAL,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+    ) -> None:
+        self.spec = spec
+        self.calibration = calibration
+        self._hist_atomics = AtomicThroughputModel(
+            spec,
+            conflict_free_rate=calibration.hist_atomic_conflict_free,
+            saturated_rate=calibration.hist_atomic_saturated,
+        )
+
+    # ------------------------------------------------------------------
+    # Hybrid radix sort
+    # ------------------------------------------------------------------
+    def price_hybrid(
+        self, trace: SortTrace, config: SortConfig
+    ) -> TimeBreakdown:
+        """Simulated duration of one hybrid sort, decomposed by phase."""
+        if trace.n < 0:
+            raise TraceError("negative key count in trace")
+        hist = scatter = local = mgmt = launch = 0.0
+        for pass_trace in trace.counting_passes:
+            hist += self._histogram_time(pass_trace, config)
+            scatter += self._scatter_time(pass_trace, config)
+            mgmt += self._management_time(pass_trace)
+            launch += (
+                pass_trace.kernel_launch_count
+                * self.spec.kernel_launch_overhead
+                + self.calibration.hybrid_pass_fixed_overhead
+            )
+        for local_trace in trace.local_sorts:
+            local += self._local_sort_time(local_trace, config)
+            launch += (
+                local_trace.kernel_launch_count
+                * self.spec.kernel_launch_overhead
+            )
+        return TimeBreakdown(
+            histogram=hist,
+            scatter=scatter,
+            local_sort=local,
+            bucket_management=mgmt,
+            launch_overhead=launch,
+        )
+
+    def _histogram_time(
+        self, p: CountingPassTrace, config: SortConfig
+    ) -> float:
+        """§4.3: read keys, accumulate in shared memory, spill per block."""
+        bytes_read = p.n_keys * p.key_bytes
+        bytes_written = p.n_blocks * config.radix * 4
+        mem_time = (bytes_read + bytes_written) / self.spec.effective_bandwidth
+        stats = p.block_stats
+        rate = self._hist_atomics.key_rate(
+            stats.warp_conflict, stats.hist_ops_per_key
+        )
+        if stats.hist_ops_per_key < 1.0:
+            # The thread-reduction path pays for its sorting network.
+            rate = min(rate, self.calibration.thread_reduction_compute_rate)
+        compute_time = p.n_keys / (rate * self.spec.sm_count)
+        return max(mem_time, compute_time)
+
+    def _scatter_time(
+        self, p: CountingPassTrace, config: SortConfig
+    ) -> float:
+        """§4.4: re-read keys (+values), stage in shared memory, write.
+
+        Compute cost per record is affine in the warp-conflict level:
+        a fixed staging term plus a serialization term that the
+        look-ahead's write combining (``scatter_ops_per_key`` < 1)
+        shrinks.  Staging values through shared memory (§4.6) scales the
+        whole term with the record width.
+        """
+        record_bytes = p.key_bytes + p.value_bytes
+        bytes_read = (
+            p.n_keys * record_bytes + p.n_blocks * config.radix * 4
+        )
+        bytes_written = p.n_keys * record_bytes
+        efficiency = self._write_efficiency(p, config)
+        mem_time = (
+            bytes_read + bytes_written / efficiency
+        ) / self.spec.effective_bandwidth
+        stats = p.block_stats
+        cal = self.calibration
+        width_factor = record_bytes / p.key_bytes
+        per_key = (
+            cal.scatter_base_seconds_per_key
+            + cal.scatter_conflict_seconds_per_key
+            * stats.warp_conflict
+            * stats.scatter_ops_per_key
+        ) * width_factor
+        compute_time = p.n_keys * per_key / self.spec.sm_count
+        return max(mem_time, compute_time)
+
+    def _write_efficiency(
+        self, p: CountingPassTrace, config: SortConfig
+    ) -> float:
+        """Transaction efficiency of the staged sub-bucket writes (§4.4)."""
+        block_bytes = config.kpb * (p.key_bytes + p.value_bytes)
+        lower = max(1.0, block_bytes / self.spec.transaction_bytes)
+        stragglers = (
+            self.calibration.scatter_straggler_fraction
+            * p.avg_nonempty_per_block
+        )
+        efficiency = lower / (lower + stragglers)
+        skew = p.block_stats.max_digit_fraction
+        return efficiency * (1.0 - self.calibration.skew_write_penalty * skew)
+
+    def _management_time(self, p: CountingPassTrace) -> float:
+        """Prefix sums and assignment generation between kernels (§4.2)."""
+        metadata_bytes = 32.0 * (
+            p.n_blocks + p.n_local_buckets + p.n_next_buckets
+        )
+        return metadata_bytes / self.spec.effective_bandwidth
+
+    def _local_sort_time(
+        self, t: LocalSortTrace, config: SortConfig
+    ) -> float:
+        """§4.1: two device-memory touches plus in-shared-memory compute.
+
+        Compute scales with *provisioned* keys — a block sized for its
+        configuration's capacity spends that many thread-slots regardless
+        of how full the bucket is, which is exactly why the configuration
+        ladder and bucket merging matter (Figures 11–14).
+        """
+        record_bytes = t.key_bytes + t.value_bytes
+        rate = self.calibration.local_digit_rates.get(
+            (config.key_bits, config.value_bits),
+            self.calibration.local_digit_rate_default,
+        )
+        total = 0.0
+        for stats in t.per_config:
+            mem_time = (
+                2.0 * stats.total_keys * record_bytes
+            ) / self.spec.effective_bandwidth
+            digit_work = stats.provisioned_keys * max(
+                1.0, stats.avg_remaining_digits
+            )
+            compute_time = digit_work / (rate * self.spec.sm_count)
+            dispatch = (
+                stats.n_buckets * self.calibration.block_dispatch_serial
+            )
+            total += max(mem_time, compute_time) + dispatch
+        return total
+
+    # ------------------------------------------------------------------
+    # LSD baselines
+    # ------------------------------------------------------------------
+    def price_lsd(
+        self,
+        n: int,
+        key_bytes: int,
+        value_bytes: int,
+        preset: LSDCostPreset,
+    ) -> float:
+        """End-to-end time of an LSD radix sort with the given profile.
+
+        Per pass the input is read twice and written once (§1); values
+        travel through the downsweep read+write each pass.  LSD sorts are
+        distribution-insensitive — their ranking does not contend the way
+        the hybrid histogram does — so no skew term appears.
+        """
+        passes = preset.passes_for(key_bytes * 8)
+        bw = self.spec.effective_bandwidth * preset.bandwidth_efficiency
+        per_pass_bytes = 3.0 * n * key_bytes + 2.0 * n * value_bytes
+        mem_time = per_pass_bytes / bw
+        compute_time = 0.0
+        if preset.compute_rate is not None:
+            compute_time = n / (preset.compute_rate * self.spec.sm_count)
+        fixed = (
+            preset.pass_fixed_overhead
+            if preset.pass_fixed_overhead is not None
+            else self.calibration.lsd_pass_fixed_overhead
+        )
+        return passes * (max(mem_time, compute_time) + fixed)
+
+    # ------------------------------------------------------------------
+    # Merge sort (MGPU)
+    # ------------------------------------------------------------------
+    def price_mergesort(
+        self,
+        n: int,
+        key_bytes: int,
+        value_bytes: int,
+        preset: MergeSortCostPreset,
+    ) -> float:
+        """Block sort plus ``log2(blocks)`` pairwise merge passes."""
+        record_bytes = key_bytes + value_bytes
+        bw = self.spec.effective_bandwidth * preset.bandwidth_efficiency
+        merge_rate = preset.merge_rate_32 * (4.0 / key_bytes)
+        per_pass_mem = 2.0 * n * record_bytes / bw
+        per_pass_compute = n / (merge_rate * self.spec.sm_count)
+        per_pass = max(per_pass_mem, per_pass_compute)
+        passes = preset.merge_passes_for(n)
+        block_sort = per_pass  # the initial block sort costs about a pass
+        fixed = (passes + 1) * self.calibration.lsd_pass_fixed_overhead
+        return block_sort + passes * per_pass + fixed
+
+    # ------------------------------------------------------------------
+    # Figure 2: histogram bandwidth utilisation
+    # ------------------------------------------------------------------
+    def histogram_utilisation(
+        self,
+        warp_conflict: float,
+        key_bytes: int,
+        ops_per_key: float = 1.0,
+        thread_reduction: bool = False,
+    ) -> float:
+        """Fraction of peak bandwidth the histogram kernel achieves."""
+        compute_rate = (
+            self.calibration.thread_reduction_compute_rate
+            if thread_reduction
+            else None
+        )
+        return self._hist_atomics.bandwidth_utilisation(
+            warp_conflict,
+            key_bytes,
+            ops_per_key=ops_per_key,
+            compute_rate=compute_rate,
+        )

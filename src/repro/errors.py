@@ -1,0 +1,54 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  More specific subclasses communicate *which* subsystem
+rejected the request, mirroring how a production sorting library would
+distinguish configuration mistakes from resource exhaustion.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A sort or device configuration is inconsistent or out of range.
+
+    Examples: a digit width that does not divide into the key width
+    sensibly, a merge threshold larger than the local-sort threshold
+    (violating rule R3 of the paper), or a thread-block geometry that does
+    not fit on a single streaming multiprocessor.
+    """
+
+
+class ResourceExhaustedError(ReproError):
+    """A simulated hardware resource was over-committed.
+
+    Raised, for example, when a kernel requests more shared memory than the
+    device provides, or when a heterogeneous-sort chunk does not fit into
+    the device-memory budget of the three-buffer layout.
+    """
+
+
+class UnsupportedDtypeError(ReproError):
+    """The given NumPy dtype has no order-preserving bijection registered."""
+
+
+class DeviceStateError(ReproError):
+    """The simulated device was used in an invalid order.
+
+    For example reading back a buffer that was never allocated, or freeing
+    memory twice.
+    """
+
+
+class TraceError(ReproError):
+    """An execution trace is malformed or inconsistent with its workload.
+
+    The cost model validates traces before pricing them; a failed
+    validation indicates a bug in an engine rather than user error, but is
+    surfaced as an exception so it can never silently produce a bogus
+    timing.
+    """

@@ -1,0 +1,41 @@
+"""Simulated GPU substrate.
+
+This package models the hardware the paper ran on: an NVIDIA Titan X
+(Pascal).  It provides the device specification (:mod:`repro.gpu.spec`),
+a device-memory/transaction model (:mod:`repro.gpu.memory`), a
+shared-memory atomic contention model (:mod:`repro.gpu.atomics`), an SM
+occupancy calculator (:mod:`repro.gpu.occupancy`), kernel-launch
+accounting (:mod:`repro.gpu.kernel`), a simulated device facade
+(:mod:`repro.gpu.device`), and a PCIe link model (:mod:`repro.gpu.pcie`).
+
+The substrate is purely a *model*: no CUDA is involved.  Algorithms in
+:mod:`repro.core` run on NumPy and report their behaviour to this layer,
+which accounts time and resources the way the real hardware would.
+"""
+
+from repro.gpu.atomics import AtomicThroughputModel
+from repro.gpu.device import DeviceCounters, SimulatedGPU, Timeline
+from repro.gpu.kernel import KernelLaunch, LaunchConfig
+from repro.gpu.memory import MemoryTransactionModel, TransferDirection
+from repro.gpu.occupancy import BlockResources, OccupancyResult, occupancy
+from repro.gpu.pcie import PCIeLink
+from repro.gpu.spec import GPUSpec, GTX_980, TESLA_P100, TITAN_X_PASCAL
+
+__all__ = [
+    "AtomicThroughputModel",
+    "BlockResources",
+    "DeviceCounters",
+    "GPUSpec",
+    "GTX_980",
+    "KernelLaunch",
+    "LaunchConfig",
+    "MemoryTransactionModel",
+    "OccupancyResult",
+    "PCIeLink",
+    "SimulatedGPU",
+    "TESLA_P100",
+    "TITAN_X_PASCAL",
+    "Timeline",
+    "TransferDirection",
+    "occupancy",
+]

@@ -1,0 +1,110 @@
+"""Shared-memory atomic throughput model.
+
+§4.3 of the paper observes that the histogram kernel is limited by
+contention on shared-memory counters: with a constant key distribution
+(all 32 threads of a warp incrementing the *same* counter) the Titan X
+achieves only ~1.7 billion updates per SM per second, while a uniform
+distribution over three or more distinct digit values reaches ~3.3 billion
+updates per SM per second — enough to saturate memory bandwidth.
+
+The model here captures that behaviour: atomics issued by a warp serialise
+on conflicting addresses, so the per-SM update throughput is a
+conflict-free peak divided by the expected maximum multiplicity of a digit
+value within a warp ("serialization factor").  The *thread reduction &
+atomics* optimisation reduces the number of atomic operations per key by
+run-length combining (after a 9-element sorting network), which this model
+expresses through ``ops_per_key``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import expected_max_multinomial
+from repro.errors import ConfigurationError
+from repro.gpu.spec import GPUSpec
+
+__all__ = ["AtomicThroughputModel"]
+
+
+@dataclass(frozen=True)
+class AtomicThroughputModel:
+    """Throughput of shared-memory atomic updates on one SM.
+
+    Attributes
+    ----------
+    spec:
+        Device specification (supplies the warp size).
+    conflict_free_rate:
+        Atomic updates per second per SM when no two lanes of a warp touch
+        the same address.  Calibrated so that full serialization (factor
+        32) yields the paper's 1.7 G updates/SM/s: 32 * 1.7e9 = 54.4e9.
+    saturated_rate:
+        Ceiling on updates per second per SM; the paper's measured best of
+        ~3.3 G updates/SM/s sits just above the ~3.296 G keys/SM/s needed
+        to saturate bandwidth for 32-bit keys, so we cap slightly above it.
+    """
+
+    spec: GPUSpec
+    conflict_free_rate: float = 54.4e9
+    saturated_rate: float = 3.45e9
+
+    def serialization_factor(self, warp_conflict: float) -> float:
+        """Cycles-per-update multiplier for a measured conflict level.
+
+        ``warp_conflict`` is the (expected) maximum number of lanes in a
+        warp updating the same shared-memory address, between 1 (no
+        conflict) and ``warp_size`` (all lanes collide).
+        """
+        if warp_conflict < 1.0:
+            raise ConfigurationError("warp_conflict must be >= 1")
+        return min(float(self.spec.warp_size), warp_conflict)
+
+    def update_rate(self, warp_conflict: float) -> float:
+        """Atomic updates per second per SM at the given conflict level."""
+        rate = self.conflict_free_rate / self.serialization_factor(warp_conflict)
+        return min(rate, self.saturated_rate)
+
+    def key_rate(self, warp_conflict: float, ops_per_key: float = 1.0) -> float:
+        """Keys processed per second per SM.
+
+        ``ops_per_key`` < 1 models write combining: the thread-reduction
+        histogram issues one atomicAdd per *run* of equal digit values, and
+        the look-ahead scatter combines up to three keys per operation.
+        """
+        if ops_per_key <= 0.0:
+            raise ConfigurationError("ops_per_key must be positive")
+        return self.update_rate(warp_conflict) / ops_per_key
+
+    def uniform_conflict(self, distinct_values: int) -> float:
+        """Expected warp conflict for a uniform draw over q digit values.
+
+        For q = 1 every lane collides (conflict 32); for large q the
+        expected maximum multiplicity approaches 1–2.  Matches the x-axis
+        of Figure 2.
+        """
+        if distinct_values <= 0:
+            raise ConfigurationError("distinct_values must be positive")
+        return max(
+            1.0, expected_max_multinomial(self.spec.warp_size, distinct_values)
+        )
+
+    def bandwidth_utilisation(
+        self,
+        warp_conflict: float,
+        key_bytes: int,
+        ops_per_key: float = 1.0,
+        compute_rate: float | None = None,
+    ) -> float:
+        """Fraction of peak memory bandwidth the histogram kernel reaches.
+
+        The kernel is the slower of the atomic pipeline and (optionally) a
+        per-key compute cost such as the thread-reduction sorting network;
+        utilisation is that throughput over the rate required to saturate
+        the memory bus (§4.3), clipped to 1.
+        """
+        required = self.spec.required_histogram_throughput(key_bytes)
+        achieved = self.key_rate(warp_conflict, ops_per_key)
+        if compute_rate is not None:
+            achieved = min(achieved, compute_rate)
+        return min(1.0, achieved / required)

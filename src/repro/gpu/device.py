@@ -1,0 +1,154 @@
+"""Simulated device facade: counters, allocations, and a timeline.
+
+:class:`SimulatedGPU` is what the sorting engines talk to.  It does not
+execute anything — algorithms run on NumPy — but it keeps the books a real
+device driver would: how much device memory is allocated (the
+heterogeneous sorter's three-buffer layout must fit, §5), how many bytes
+each kernel read and wrote, how many launches happened per pass, and a
+named timeline of simulated durations produced by the cost model.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.errors import DeviceStateError, ResourceExhaustedError
+from repro.gpu.kernel import KernelLaunch
+from repro.gpu.memory import MemoryTransactionModel
+from repro.gpu.spec import GPUSpec, TITAN_X_PASCAL
+
+__all__ = ["DeviceCounters", "Timeline", "SimulatedGPU"]
+
+
+@dataclass
+class DeviceCounters:
+    """Aggregate traffic and launch counters."""
+
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    kernel_launches: int = 0
+    launches_by_name: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def bytes_total(self) -> float:
+        return self.bytes_read + self.bytes_written
+
+    def record(self, launch: KernelLaunch) -> None:
+        self.bytes_read += launch.bytes_read
+        self.bytes_written += launch.bytes_written
+        self.kernel_launches += 1
+        self.launches_by_name[launch.name] = (
+            self.launches_by_name.get(launch.name, 0) + 1
+        )
+
+
+class Timeline:
+    """Accumulates simulated durations under named phases.
+
+    Phases nest naturally by name convention (``"pass0/histogram"``);
+    :meth:`total` sums everything, :meth:`by_prefix` aggregates groups.
+    """
+
+    def __init__(self) -> None:
+        self._durations: dict[str, float] = defaultdict(float)
+        self._order: list[str] = []
+
+    def add(self, phase: str, seconds: float) -> None:
+        if seconds < 0:
+            raise DeviceStateError(f"negative duration for phase {phase!r}")
+        if phase not in self._durations:
+            self._order.append(phase)
+        self._durations[phase] += seconds
+
+    def total(self) -> float:
+        return sum(self._durations.values())
+
+    def get(self, phase: str) -> float:
+        return self._durations.get(phase, 0.0)
+
+    def by_prefix(self, prefix: str) -> float:
+        return sum(
+            seconds
+            for phase, seconds in self._durations.items()
+            if phase.startswith(prefix)
+        )
+
+    def phases(self) -> list[tuple[str, float]]:
+        """Phases in first-recorded order with their durations."""
+        return [(phase, self._durations[phase]) for phase in self._order]
+
+    def __len__(self) -> int:
+        return len(self._durations)
+
+
+class SimulatedGPU:
+    """Book-keeping facade for one simulated device.
+
+    Parameters
+    ----------
+    spec:
+        Hardware description; defaults to the paper's Titan X (Pascal).
+    """
+
+    def __init__(self, spec: GPUSpec = TITAN_X_PASCAL) -> None:
+        self.spec = spec
+        self.memory_model = MemoryTransactionModel(spec)
+        self.counters = DeviceCounters()
+        self.timeline = Timeline()
+        self.launches: list[KernelLaunch] = []
+        self._allocations: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Memory management
+    # ------------------------------------------------------------------
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(self._allocations.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.spec.device_memory_bytes - self.allocated_bytes
+
+    def allocate(self, tag: str, nbytes: int) -> None:
+        """Reserve ``nbytes`` of device memory under ``tag``.
+
+        Raises :class:`ResourceExhaustedError` when the device is full —
+        the guard that forces the heterogeneous sorter to chunk its input.
+        """
+        if tag in self._allocations:
+            raise DeviceStateError(f"allocation tag {tag!r} already exists")
+        if nbytes < 0:
+            raise DeviceStateError("allocation size must be non-negative")
+        if nbytes > self.free_bytes:
+            raise ResourceExhaustedError(
+                f"cannot allocate {nbytes} B under {tag!r}: only "
+                f"{self.free_bytes} B free of {self.spec.device_memory_bytes}"
+            )
+        self._allocations[tag] = nbytes
+
+    def free(self, tag: str) -> None:
+        if tag not in self._allocations:
+            raise DeviceStateError(f"no allocation named {tag!r}")
+        del self._allocations[tag]
+
+    def allocation(self, tag: str) -> int:
+        if tag not in self._allocations:
+            raise DeviceStateError(f"no allocation named {tag!r}")
+        return self._allocations[tag]
+
+    # ------------------------------------------------------------------
+    # Kernel accounting
+    # ------------------------------------------------------------------
+    def record_launch(self, launch: KernelLaunch) -> None:
+        self.launches.append(launch)
+        self.counters.record(launch)
+
+    def launches_in_pass(self, pass_index: int) -> list[KernelLaunch]:
+        return [l for l in self.launches if l.pass_index == pass_index]
+
+    def reset(self) -> None:
+        """Clear counters, launches, and the timeline (keep allocations)."""
+        self.counters = DeviceCounters()
+        self.timeline = Timeline()
+        self.launches = []

@@ -1,0 +1,68 @@
+"""Kernel-launch accounting.
+
+§4.2 of the paper stresses that the hybrid sort uses only a *constant
+number of kernel invocations per sorting pass*, independent of the number
+of buckets: work assignments are written to device memory as a byproduct
+of the prefix-sum and read back by the next kernel.  The classes here give
+the engines a uniform way to record launches (name, grid/block geometry,
+bytes touched) so the cost model can charge launch overheads and the tests
+can assert the constant-invocation property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LaunchConfig", "KernelLaunch"]
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Grid geometry of one kernel invocation."""
+
+    grid_blocks: int
+    block_threads: int
+
+    def __post_init__(self) -> None:
+        if self.grid_blocks < 0:
+            raise ConfigurationError("grid_blocks must be non-negative")
+        if self.block_threads <= 0:
+            raise ConfigurationError("block_threads must be positive")
+
+    @property
+    def total_threads(self) -> int:
+        return self.grid_blocks * self.block_threads
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """A recorded kernel invocation.
+
+    Attributes
+    ----------
+    name:
+        Kernel identifier, e.g. ``"histogram"``, ``"scatter"``,
+        ``"local_sort[256]"``.
+    config:
+        Grid geometry.
+    bytes_read / bytes_written:
+        Device-memory traffic attributed to this launch.
+    pass_index:
+        Which sorting pass the launch belongs to (-1 for setup kernels).
+    metadata:
+        Free-form details (e.g. digit index, bucket counts) used by
+        reports and tests.
+    """
+
+    name: str
+    config: LaunchConfig
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    pass_index: int = -1
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def bytes_total(self) -> float:
+        return self.bytes_read + self.bytes_written

@@ -1,0 +1,128 @@
+"""Device-memory transaction model.
+
+§4.4 of the paper reasons about memory efficiency in terms of T-byte
+transactions: a key block of ``KPB`` keys needs at least
+``ceil(KPB * key_bytes / T)`` write transactions, but scattering into ``r``
+sub-buckets can cost up to ``r`` extra transactions for the sub-bucket
+remainders.  The worst-case efficiency (lower bound / upper bound) is what
+led the authors to choose d = 8 bits.  This module reproduces that
+arithmetic and supplies byte-level accounting helpers used by the cost
+model and the device counters.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.gpu.spec import GPUSpec
+
+__all__ = [
+    "TransferDirection",
+    "TransactionEstimate",
+    "MemoryTransactionModel",
+]
+
+
+class TransferDirection(enum.Enum):
+    """Direction of a device-memory access."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class TransactionEstimate:
+    """Transaction counts for scattering one key block into sub-buckets.
+
+    ``lower`` is the coalesced minimum, ``upper`` the worst case with one
+    straggler transaction per sub-bucket, and ``expected`` an average-case
+    estimate (half a straggler per non-empty sub-bucket).
+    """
+
+    lower: int
+    upper: int
+    expected: float
+
+    @property
+    def worst_case_efficiency(self) -> float:
+        """§4.4's efficiency metric: lower bound over upper bound."""
+        if self.upper == 0:
+            return 1.0
+        return self.lower / self.upper
+
+    @property
+    def expected_efficiency(self) -> float:
+        """Average-case efficiency used for pricing the scatter kernel."""
+        if self.expected == 0:
+            return 1.0
+        return self.lower / self.expected
+
+
+class MemoryTransactionModel:
+    """Transaction arithmetic for a given device.
+
+    Parameters
+    ----------
+    spec:
+        The device whose ``transaction_bytes`` granularity applies.
+    """
+
+    def __init__(self, spec: GPUSpec) -> None:
+        self._spec = spec
+
+    @property
+    def transaction_bytes(self) -> int:
+        return self._spec.transaction_bytes
+
+    def transactions_for(self, nbytes: int) -> int:
+        """Minimum transactions to move ``nbytes`` of contiguous data."""
+        if nbytes < 0:
+            raise ConfigurationError("nbytes must be non-negative")
+        return math.ceil(nbytes / self._spec.transaction_bytes)
+
+    def scatter_estimate(
+        self,
+        block_bytes: int,
+        radix: int,
+        non_empty_buckets: int | None = None,
+    ) -> TransactionEstimate:
+        """Transactions for scattering one block into ``radix`` buckets.
+
+        Reproduces §4.4: lower bound ``ceil(block_bytes / T)``; worst case
+        adds one transaction per sub-bucket.  ``non_empty_buckets`` (when
+        known from an actual histogram) tightens the straggler count to
+        the buckets that actually received keys.
+        """
+        if radix <= 0:
+            raise ConfigurationError("radix must be positive")
+        lower = self.transactions_for(block_bytes)
+        stragglers = radix if non_empty_buckets is None else non_empty_buckets
+        stragglers = min(stragglers, radix)
+        upper = lower + radix
+        expected = lower + 0.5 * stragglers
+        return TransactionEstimate(lower=lower, upper=upper, expected=expected)
+
+    def worst_case_scatter_efficiency(
+        self, block_bytes: int, digit_bits: int
+    ) -> float:
+        """Worst-case write efficiency for a given digit width.
+
+        §4.4 evaluates this for a 32 768-byte block: 80% for 8-bit digits,
+        dropping to 66.66%, 50% and 33.33% for 9, 10 and 11 bits.  That
+        cliff is why the hybrid sort uses d = 8.
+        """
+        radix = 1 << digit_bits
+        return self.scatter_estimate(block_bytes, radix).worst_case_efficiency
+
+    def time_for_bytes(self, nbytes: float, efficiency: float = 1.0) -> float:
+        """Seconds to stream ``nbytes`` at the effective bandwidth.
+
+        ``efficiency`` scales the achievable bandwidth down (e.g. for
+        scatter writes that waste part of each transaction).
+        """
+        if efficiency <= 0.0 or efficiency > 1.0:
+            raise ConfigurationError("efficiency must be in (0, 1]")
+        return nbytes / (self._spec.effective_bandwidth * efficiency)

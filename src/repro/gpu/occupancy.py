@@ -1,0 +1,113 @@
+"""SM occupancy model.
+
+§2.2 of the paper walks through the resource arithmetic: an SM with 96 KB
+of shared memory and 65 536 registers can host eight blocks of 256 threads
+if each block needs 8 KB of shared memory and 16 registers per thread.
+This module reproduces that calculation.  It is also the machinery behind
+Table 3: the default KPB / thread-count / KPT / local-sort-threshold
+configurations are the ones that keep the kernels resident at good
+occupancy for each key/value size (see
+:func:`repro.core.config.derive_table3`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, ResourceExhaustedError
+from repro.gpu.spec import GPUSpec
+
+__all__ = ["BlockResources", "OccupancyResult", "occupancy"]
+
+
+@dataclass(frozen=True)
+class BlockResources:
+    """Resources one thread block requires.
+
+    Attributes
+    ----------
+    threads:
+        Threads per block.
+    shared_memory_bytes:
+        Shared memory allocated by the block.
+    registers_per_thread:
+        Registers each thread uses.
+    """
+
+    threads: int
+    shared_memory_bytes: int
+    registers_per_thread: int
+
+    def __post_init__(self) -> None:
+        if self.threads <= 0:
+            raise ConfigurationError("threads must be positive")
+        if self.shared_memory_bytes < 0:
+            raise ConfigurationError("shared memory must be non-negative")
+        if self.registers_per_thread <= 0:
+            raise ConfigurationError("registers_per_thread must be positive")
+
+    @property
+    def registers_per_block(self) -> int:
+        return self.threads * self.registers_per_thread
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Outcome of the occupancy calculation for one kernel."""
+
+    blocks_per_sm: int
+    limiting_resource: str
+    resident_threads: int
+    occupancy_fraction: float
+
+    @property
+    def is_resident(self) -> bool:
+        """True if at least one block fits on an SM."""
+        return self.blocks_per_sm >= 1
+
+
+def occupancy(spec: GPUSpec, block: BlockResources) -> OccupancyResult:
+    """How many copies of ``block`` fit on one SM of ``spec``.
+
+    Evaluates each limiting resource in turn (threads, shared memory,
+    registers, and the per-block shared-memory cap) and reports the
+    binding constraint.  Raises :class:`ResourceExhaustedError` if the
+    block cannot run at all — the paper uses exactly this constraint to
+    bound the local-sort threshold ∂̂ ("the kernel's on-chip memory
+    requirements for processing ∂̂ elements must not exceed the available
+    resources of a single SM", §6).
+    """
+    if block.threads > spec.max_threads_per_block:
+        raise ResourceExhaustedError(
+            f"block of {block.threads} threads exceeds the device limit of "
+            f"{spec.max_threads_per_block}"
+        )
+    if block.shared_memory_bytes > spec.shared_memory_per_block:
+        raise ResourceExhaustedError(
+            f"block requests {block.shared_memory_bytes} B shared memory; "
+            f"device allows {spec.shared_memory_per_block} B per block"
+        )
+
+    limits: dict[str, int] = {
+        "threads": spec.max_threads_per_sm // block.threads,
+    }
+    if block.shared_memory_bytes > 0:
+        limits["shared_memory"] = (
+            spec.shared_memory_per_sm // block.shared_memory_bytes
+        )
+    if block.registers_per_block > 0:
+        limits["registers"] = spec.registers_per_sm // block.registers_per_block
+
+    limiting = min(limits, key=lambda name: limits[name])
+    blocks = limits[limiting]
+    if blocks < 1:
+        raise ResourceExhaustedError(
+            f"block does not fit on an SM (limited by {limiting})"
+        )
+    resident = blocks * block.threads
+    return OccupancyResult(
+        blocks_per_sm=blocks,
+        limiting_resource=limiting,
+        resident_threads=resident,
+        occupancy_fraction=resident / spec.max_threads_per_sm,
+    )

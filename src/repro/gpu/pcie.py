@@ -1,0 +1,59 @@
+"""PCIe link model.
+
+§5 treats the PCIe bus as a full-duplex channel: host-to-device and
+device-to-host transfers proceed concurrently without stealing each
+other's bandwidth.  Figure 8's measurements imply ~11.1 GB/s per direction
+on the authors' system (6 GB in 540 ms).  The heterogeneous pipeline
+simulator uses this model for the HtD and DtH stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.gpu.spec import GPUSpec
+
+__all__ = ["PCIeLink"]
+
+
+@dataclass(frozen=True)
+class PCIeLink:
+    """A full-duplex PCIe link.
+
+    Attributes
+    ----------
+    bandwidth:
+        Per-direction bandwidth in bytes/second.
+    latency:
+        Fixed per-transfer setup cost in seconds (DMA setup, driver
+        overhead); matters only for small chunks.
+    """
+
+    bandwidth: float
+    latency: float = 10.0e-6
+
+    @classmethod
+    def for_spec(cls, spec: GPUSpec) -> "PCIeLink":
+        return cls(bandwidth=spec.pcie_bandwidth)
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ConfigurationError("PCIe bandwidth must be positive")
+        if self.latency < 0:
+            raise ConfigurationError("PCIe latency must be non-negative")
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Seconds to move ``nbytes`` in one direction."""
+        if nbytes < 0:
+            raise ConfigurationError("nbytes must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        return self.latency + nbytes / self.bandwidth
+
+    def duplex_time(self, bytes_up: float, bytes_down: float) -> float:
+        """Seconds for concurrent transfers in both directions.
+
+        Full duplex: the slower direction determines the makespan.
+        """
+        return max(self.transfer_time(bytes_up), self.transfer_time(bytes_down))

@@ -1,0 +1,155 @@
+"""GPU hardware specifications.
+
+The paper evaluates on an NVIDIA Titan X (Pascal); §2.2 and §4.3 also cite
+the GTX 980 (Maxwell) and the Tesla P100 whitepapers for the shared-memory
+atomics and bandwidth figures.  A :class:`GPUSpec` captures every hardware
+quantity the cost model needs.  All bandwidths are bytes per second and
+all times are seconds, so arithmetic stays unit-consistent throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["GPUSpec", "TITAN_X_PASCAL", "GTX_980", "TESLA_P100"]
+
+GIB = 1024**3
+GB = 10**9
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of a simulated GPU.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, used in reports.
+    sm_count:
+        Number of streaming multiprocessors.
+    cores_per_sm:
+        CUDA cores per SM (informational; the cost model works in terms of
+        per-SM throughputs, not individual cores).
+    clock_hz:
+        Base clock in Hz.
+    device_memory_bytes:
+        Total device (global) memory.
+    peak_bandwidth:
+        Theoretical peak device-memory bandwidth, bytes/second.
+    effective_bandwidth:
+        Achievable bandwidth for streaming workloads, bytes/second.  The
+        paper measured 369.17 GB/s on the Titan X with a read-only
+        micro-benchmark (§4.3, Figure 2 caption).
+    shared_memory_per_sm:
+        Shared memory per SM, bytes.
+    shared_memory_per_block:
+        Maximum shared memory a single thread block may allocate, bytes.
+    registers_per_sm:
+        32-bit registers per SM.
+    max_threads_per_sm:
+        Resident-thread limit per SM.
+    max_threads_per_block:
+        Thread limit for a single block.
+    warp_size:
+        Threads per warp (32 on every CUDA architecture to date).
+    transaction_bytes:
+        Granularity of a device-memory transaction (§4.4 uses T = 32).
+    kernel_launch_overhead:
+        Fixed host-side cost of one kernel invocation, seconds.
+    pcie_bandwidth:
+        Per-direction PCIe bandwidth, bytes/second.  The paper's Figure 8
+        shows 6 GB moving host-to-device in 540 ms, i.e. ~11.1 GB/s.
+    """
+
+    name: str
+    sm_count: int
+    cores_per_sm: int
+    clock_hz: float
+    device_memory_bytes: int
+    peak_bandwidth: float
+    effective_bandwidth: float
+    shared_memory_per_sm: int
+    shared_memory_per_block: int
+    registers_per_sm: int
+    max_threads_per_sm: int = 2048
+    max_threads_per_block: int = 1024
+    warp_size: int = 32
+    transaction_bytes: int = 32
+    kernel_launch_overhead: float = 5.0e-6
+    pcie_bandwidth: float = 6 * GB / 0.540
+
+    def __post_init__(self) -> None:
+        if self.sm_count <= 0:
+            raise ConfigurationError("sm_count must be positive")
+        if self.effective_bandwidth > self.peak_bandwidth:
+            raise ConfigurationError(
+                "effective_bandwidth cannot exceed peak_bandwidth"
+            )
+        if self.shared_memory_per_block > self.shared_memory_per_sm:
+            raise ConfigurationError(
+                "a block cannot use more shared memory than its SM has"
+            )
+
+    @property
+    def total_cores(self) -> int:
+        """Total CUDA cores on the device."""
+        return self.sm_count * self.cores_per_sm
+
+    def required_histogram_throughput(self, key_bytes: int) -> float:
+        """Per-SM key throughput needed to saturate memory bandwidth.
+
+        §4.3: "each SM must achieve a processing rate of
+        ``8 * BW / (k * |SMs|)`` keys per second" (with k in bits; here we
+        take key size in bytes).  For the Titan X and 32-bit keys this is
+        ~3.3 billion keys per SM per second.
+        """
+        return self.effective_bandwidth / (key_bytes * self.sm_count)
+
+
+#: The paper's evaluation platform (§6): Titan X (Pascal), 12 GB, 3584
+#: cores, base clock 1417 MHz.  28 SMs of 128 cores; 96 KB shared memory
+#: per SM; effective read bandwidth 369.17 GB/s measured by the authors.
+TITAN_X_PASCAL = GPUSpec(
+    name="NVIDIA Titan X (Pascal)",
+    sm_count=28,
+    cores_per_sm=128,
+    clock_hz=1.417e9,
+    device_memory_bytes=12 * GIB,
+    peak_bandwidth=480.0 * GB,
+    effective_bandwidth=369.17 * GB,
+    shared_memory_per_sm=96 * 1024,
+    shared_memory_per_block=48 * 1024,
+    registers_per_sm=65536,
+)
+
+#: Maxwell reference (NVIDIA GeForce GTX 980 whitepaper [31]); first
+#: generation with fast native shared-memory atomics.
+GTX_980 = GPUSpec(
+    name="NVIDIA GeForce GTX 980",
+    sm_count=16,
+    cores_per_sm=128,
+    clock_hz=1.126e9,
+    device_memory_bytes=4 * GIB,
+    peak_bandwidth=224.0 * GB,
+    effective_bandwidth=185.0 * GB,
+    shared_memory_per_sm=96 * 1024,
+    shared_memory_per_block=48 * 1024,
+    registers_per_sm=65536,
+)
+
+#: Pascal compute flagship (NVIDIA Tesla P100 whitepaper [32]); the paper
+#: cites its 750 GB/s or so of HBM2 bandwidth in §2.2.
+TESLA_P100 = GPUSpec(
+    name="NVIDIA Tesla P100",
+    sm_count=56,
+    cores_per_sm=64,
+    clock_hz=1.328e9,
+    device_memory_bytes=16 * GIB,
+    peak_bandwidth=732.0 * GB,
+    effective_bandwidth=550.0 * GB,
+    shared_memory_per_sm=64 * 1024,
+    shared_memory_per_block=48 * 1024,
+    registers_per_sm=65536,
+)

@@ -1,0 +1,213 @@
+"""Shared dataclasses: execution traces and sort results.
+
+The functional engines *describe* what they did through these trace
+records; the cost model (:mod:`repro.cost.model`) prices them.  Keeping
+the trace explicit — instead of timing buried inside the engines — is
+what lets the tests assert structural properties (pass counts, bucket
+bounds, constant launches per pass) independently of any calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "BlockStats",
+    "CountingPassTrace",
+    "LocalConfigStats",
+    "LocalSortTrace",
+    "SortTrace",
+    "SortResult",
+    "TimeBreakdown",
+]
+
+
+@dataclass(frozen=True)
+class BlockStats:
+    """Aggregate per-block behaviour of one counting-sort pass.
+
+    Attributes
+    ----------
+    warp_conflict:
+        Expected maximum multiplicity of a digit value among the 32
+        digits a warp processes concurrently (1 = conflict-free, 32 =
+        fully serialised).  Measured by sampling the actual digit stream.
+    hist_ops_per_key:
+        Atomic operations per key in the histogram kernel after
+        thread-reduction combining (1.0 when the optimisation is off).
+    scatter_ops_per_key:
+        Shared-memory reservation operations per key in the scatter
+        kernel after look-ahead combining (1.0 when off/inactive).
+    lookahead_active_fraction:
+        Fraction of keys living in blocks whose histogram was skewed
+        enough to switch the look-ahead path on.
+    max_digit_fraction:
+        Weight of the most loaded digit value across the pass — the skew
+        statistic the activation decision is based on.
+    """
+
+    warp_conflict: float = 1.0
+    hist_ops_per_key: float = 1.0
+    scatter_ops_per_key: float = 1.0
+    lookahead_active_fraction: float = 0.0
+    max_digit_fraction: float = 0.0
+
+
+@dataclass(frozen=True)
+class CountingPassTrace:
+    """What one counting-sort pass did (one MSD digit, all active buckets)."""
+
+    pass_index: int
+    n_keys: int
+    n_buckets_in: int
+    n_blocks: int
+    n_subbuckets_nonempty: int
+    n_merged_buckets: int
+    n_local_buckets: int
+    n_next_buckets: int
+    block_stats: BlockStats
+    key_bytes: int
+    value_bytes: int
+    avg_nonempty_per_block: float
+
+    @property
+    def kernel_launch_count(self) -> int:
+        """Launches per pass: histogram, prefix/assignment, scatter (§4.2)."""
+        return 3
+
+
+@dataclass(frozen=True)
+class LocalConfigStats:
+    """Local-sort work routed to one configuration capacity."""
+
+    capacity: int
+    n_buckets: int
+    total_keys: int
+    provisioned_keys: int
+    avg_remaining_digits: float
+
+
+@dataclass(frozen=True)
+class LocalSortTrace:
+    """All local-sort work issued after one pass.
+
+    ``bucket_sizes`` and ``bucket_remaining`` (remaining digits per
+    bucket) carry the raw per-bucket populations so the scale-model
+    simulation can re-derive configuration routing at the target size.
+    """
+
+    pass_index: int
+    per_config: tuple[LocalConfigStats, ...]
+    key_bytes: int
+    value_bytes: int
+    bucket_sizes: np.ndarray | None = None
+    bucket_remaining: np.ndarray | None = None
+
+    @property
+    def total_keys(self) -> int:
+        return sum(c.total_keys for c in self.per_config)
+
+    @property
+    def total_buckets(self) -> int:
+        return sum(c.n_buckets for c in self.per_config)
+
+    @property
+    def provisioned_keys(self) -> int:
+        return sum(c.provisioned_keys for c in self.per_config)
+
+    @property
+    def kernel_launch_count(self) -> int:
+        """One launch per configuration with work (§4.2)."""
+        return sum(1 for c in self.per_config if c.n_buckets > 0)
+
+
+@dataclass(frozen=True)
+class SortTrace:
+    """Complete structural record of one hybrid radix sort."""
+
+    n: int
+    key_bits: int
+    value_bits: int
+    counting_passes: tuple[CountingPassTrace, ...]
+    local_sorts: tuple[LocalSortTrace, ...]
+    finished_early: bool
+    final_buffer_index: int
+
+    @property
+    def num_counting_passes(self) -> int:
+        return len(self.counting_passes)
+
+    @property
+    def total_counting_keys(self) -> int:
+        """Keys processed across all counting passes (with multiplicity)."""
+        return sum(p.n_keys for p in self.counting_passes)
+
+    @property
+    def total_local_keys(self) -> int:
+        return sum(t.total_keys for t in self.local_sorts)
+
+    @property
+    def max_live_buckets(self) -> int:
+        """Peak bucket population across passes (for bound checks)."""
+        peak = 0
+        for p in self.counting_passes:
+            peak = max(peak, p.n_local_buckets + p.n_next_buckets)
+        return peak
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """Simulated wall-clock decomposition of one sort, in seconds."""
+
+    histogram: float = 0.0
+    scatter: float = 0.0
+    local_sort: float = 0.0
+    bucket_management: float = 0.0
+    launch_overhead: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.histogram
+            + self.scatter
+            + self.local_sort
+            + self.bucket_management
+            + self.launch_overhead
+        )
+
+
+@dataclass
+class SortResult:
+    """Output of a sorter: data plus trace plus simulated timing.
+
+    ``keys`` (and ``values`` when present) are freshly allocated arrays
+    in the caller's original dtype.  ``simulated_seconds`` comes from the
+    cost model; ``breakdown`` decomposes it.  ``trace`` is present for
+    the hybrid sorter (baselines produce their own lighter traces).
+    """
+
+    keys: np.ndarray
+    values: np.ndarray | None = None
+    trace: SortTrace | None = None
+    simulated_seconds: float = 0.0
+    breakdown: TimeBreakdown | None = None
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        return int(self.keys.size)
+
+    def sorted_bytes(self) -> int:
+        """Payload size: what the paper's GB/s rates are measured over."""
+        nbytes = self.keys.nbytes
+        if self.values is not None:
+            nbytes += self.values.nbytes
+        return nbytes
+
+    def sorting_rate(self) -> float:
+        """Simulated sorting rate in bytes/second."""
+        if self.simulated_seconds <= 0:
+            return float("inf")
+        return self.sorted_bytes() / self.simulated_seconds

@@ -1,0 +1,45 @@
+"""Workload generators used throughout the evaluation.
+
+* :mod:`repro.workloads.entropy` — the Thearling & Smith benchmark the
+  paper uses for Figures 6, 7, and 10–14: repeatedly AND-ing uniform
+  random keys skews the distribution towards keys with few set bits, with
+  a closed-form Shannon entropy per AND level.
+* :mod:`repro.workloads.zipf` — the Gray et al. Zipfian generator used for
+  the PARADIS comparison (Figure 9).
+* :mod:`repro.workloads.generators` — uniform / constant / sorted /
+  reverse-sorted / staircase inputs plus key-value pair helpers.
+"""
+
+from repro.workloads.entropy import (
+    ENTROPY_LADDER_32,
+    ENTROPY_LADDER_64,
+    and_depth_for_entropy,
+    entropy_bits_for_and_depth,
+    generate_entropy_keys,
+    measured_key_entropy,
+)
+from repro.workloads.generators import (
+    constant_keys,
+    generate_pairs,
+    reverse_sorted_keys,
+    sorted_keys,
+    staircase_keys,
+    uniform_keys,
+)
+from repro.workloads.zipf import zipf_keys
+
+__all__ = [
+    "ENTROPY_LADDER_32",
+    "ENTROPY_LADDER_64",
+    "and_depth_for_entropy",
+    "constant_keys",
+    "entropy_bits_for_and_depth",
+    "generate_entropy_keys",
+    "generate_pairs",
+    "measured_key_entropy",
+    "reverse_sorted_keys",
+    "sorted_keys",
+    "staircase_keys",
+    "uniform_keys",
+    "zipf_keys",
+]

@@ -1,0 +1,93 @@
+"""Zipfian key generator (Gray et al., SIGMOD 1994).
+
+Figure 9 compares the heterogeneous sort against PARADIS on a Zipfian
+distribution with θ = 0.75, citing Gray et al.'s "Quickly generating
+billion-record synthetic databases" [14].  Ranks follow
+``P(rank = i) ∝ 1 / i**θ`` over a universe of ``N`` ranks; because
+θ < 1 the classical rejection samplers do not apply, so we invert the
+continuous approximation of the generalized-harmonic CDF,
+
+    F(x) ≈ (x**(1-θ) - 1) / (N**(1-θ) - 1),
+
+which is the standard trick for θ in (0, 1).  Ranks are then scattered
+over the key space with a multiplicative hash so that hot keys are not
+numerically adjacent (Gray et al. permute for the same reason).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["zipf_keys", "zipf_ranks"]
+
+#: Knuth's multiplicative-hash constants for 32/64-bit scrambling.
+_MIX_32 = np.uint32(2654435761)
+_MIX_64 = np.uint64(11400714819323198485)
+
+
+def zipf_ranks(
+    n: int,
+    universe: int,
+    theta: float,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Draw ``n`` Zipfian ranks in ``[1, universe]`` with exponent θ."""
+    if n < 0:
+        raise ConfigurationError("n must be non-negative")
+    if universe <= 0:
+        raise ConfigurationError("universe must be positive")
+    if not 0.0 < theta < 1.0:
+        raise ConfigurationError(
+            "this sampler covers theta in (0, 1); the paper uses 0.75"
+        )
+    rng = rng or np.random.default_rng()
+    u = rng.random(n)
+    exponent = 1.0 - theta
+    ranks = np.power(1.0 + u * (universe**exponent - 1.0), 1.0 / exponent)
+    return np.minimum(ranks.astype(np.uint64), np.uint64(universe))
+
+
+def zipf_keys(
+    n: int,
+    key_bits: int,
+    theta: float = 0.75,
+    universe: int | None = None,
+    rng: np.random.Generator | None = None,
+    scramble: bool = True,
+) -> np.ndarray:
+    """Generate ``n`` Zipf-distributed keys of ``key_bits`` bits.
+
+    Parameters
+    ----------
+    n:
+        Number of keys.
+    key_bits:
+        32 or 64.
+    theta:
+        Zipf exponent; Figure 9 uses 0.75.
+    universe:
+        Number of distinct ranks; defaults to ``min(n, 2**26)`` so that
+        repetition (the interesting property for a radix sort) is present
+        at every input size.
+    scramble:
+        Multiplicatively hash ranks over the key space.  Without it, hot
+        keys cluster near zero, which additionally (and unrealistically)
+        collapses the most-significant digits.
+    """
+    if key_bits not in (32, 64):
+        raise ConfigurationError("key_bits must be 32 or 64")
+    rng = rng or np.random.default_rng()
+    if universe is None:
+        universe = max(1, min(n, 1 << 26))
+    ranks = zipf_ranks(n, universe, theta, rng)
+    if key_bits == 32:
+        keys = ranks.astype(np.uint32)
+        if scramble:
+            keys = keys * _MIX_32
+        return keys
+    keys = ranks.astype(np.uint64)
+    if scramble:
+        keys = keys * _MIX_64
+    return keys

@@ -1,0 +1,94 @@
+"""Tests for the generic LSD radix baseline engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.lsd_radix import LSDRadixSorter
+from repro.cost.model import LSDCostPreset
+from repro.errors import ConfigurationError
+from repro.workloads import uniform_keys
+
+
+PRESET = LSDCostPreset(name="test", digit_bits=5)
+
+
+class TestCorrectness:
+    def test_sorts_uniform(self, rng):
+        keys = uniform_keys(10_000, 32, rng)
+        result = LSDRadixSorter(PRESET).sort(keys)
+        assert np.array_equal(result.keys, np.sort(keys))
+
+    def test_sorts_64bit(self, rng):
+        keys = uniform_keys(5_000, 64, rng)
+        result = LSDRadixSorter(PRESET).sort(keys)
+        assert np.array_equal(result.keys, np.sort(keys))
+
+    def test_is_stable(self, rng):
+        # The defining LSD property the hybrid sort gives up (§2.1).
+        keys = rng.integers(0, 8, 2000, dtype=np.uint64).astype(np.uint32)
+        values = np.arange(2000, dtype=np.uint32)
+        result = LSDRadixSorter(PRESET).sort(keys, values)
+        expected = np.argsort(keys, kind="stable").astype(np.uint32)
+        assert np.array_equal(result.values, expected)
+
+    def test_signed_and_float(self, rng):
+        ints = rng.integers(-1000, 1000, 3000, dtype=np.int64).astype(np.int32)
+        assert np.array_equal(
+            LSDRadixSorter(PRESET).sort(ints).keys, np.sort(ints)
+        )
+        floats = rng.normal(size=3000).astype(np.float64)
+        assert np.array_equal(
+            LSDRadixSorter(PRESET).sort(floats).keys, np.sort(floats)
+        )
+
+    def test_invalid_shapes(self):
+        with pytest.raises(ConfigurationError):
+            LSDRadixSorter(PRESET).sort(np.zeros((2, 2), dtype=np.uint32))
+
+
+class TestPassStructure:
+    def test_pass_count_32bit_5bit(self, rng):
+        # ceil(32/5) = 7 passes, the CUB figure from §1/§6.1.
+        result = LSDRadixSorter(PRESET).sort(uniform_keys(100, 32, rng))
+        assert len(result.meta["passes"]) == 7
+
+    def test_pass_count_64bit_5bit(self, rng):
+        result = LSDRadixSorter(PRESET).sort(uniform_keys(100, 64, rng))
+        assert len(result.meta["passes"]) == 13
+
+    def test_every_pass_reads_twice_writes_once(self, rng):
+        # §1: "the whole input has to be read twice and written once with
+        # each sorting pass".
+        result = LSDRadixSorter(PRESET).sort(uniform_keys(1000, 32, rng))
+        for p in result.meta["passes"]:
+            assert p.bytes_read == 2 * 1000 * 4
+            assert p.bytes_written == 1000 * 4
+
+    def test_preset_passes_for(self):
+        assert PRESET.passes_for(32) == 7
+        assert LSDCostPreset("x", 7).passes_for(64) == 10
+        assert LSDCostPreset("x", 4).passes_for(32) == 8
+
+
+class TestTiming:
+    def test_distribution_insensitive(self, rng):
+        sorter = LSDRadixSorter(PRESET)
+        uniform = sorter.sort(uniform_keys(5000, 32, rng))
+        constant = sorter.sort(np.zeros(5000, dtype=np.uint32))
+        assert uniform.simulated_seconds == pytest.approx(
+            constant.simulated_seconds
+        )
+
+    def test_values_cost_more(self):
+        sorter = LSDRadixSorter(PRESET)
+        keys_only = sorter.simulated_seconds(10**6, 4, 0)
+        with_values = sorter.simulated_seconds(10**6, 4, 4)
+        assert with_values > keys_only
+
+    def test_linear_in_n_at_scale(self):
+        sorter = LSDRadixSorter(PRESET)
+        t1 = sorter.simulated_seconds(10**8, 4, 0)
+        t2 = sorter.simulated_seconds(2 * 10**8, 4, 0)
+        assert t2 == pytest.approx(2 * t1, rel=0.01)

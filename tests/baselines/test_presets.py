@@ -1,0 +1,135 @@
+"""Tests for the per-implementation baseline presets and their rates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CUB_1_5_1,
+    CUB_1_6_4,
+    CubRadixSort,
+    MergeSortBaseline,
+    MultisplitSort,
+    SatishRadixSort,
+    ThrustRadixSort,
+)
+from repro.workloads import uniform_keys
+
+GB = 1e9
+
+
+def _rate(sorter, n, key_bytes, value_bytes=0):
+    t = sorter.simulated_seconds(n, key_bytes, value_bytes)
+    return n * (key_bytes + value_bytes) / t / GB
+
+
+class TestCubPresets:
+    def test_digit_widths(self):
+        # §3: CUB 1.5.1 sorts five bits at a time; Appendix A: 1.6.4
+        # supports up to seven.
+        assert CUB_1_5_1.digit_bits == 5
+        assert CUB_1_6_4.digit_bits == 7
+
+    def test_unknown_version(self):
+        with pytest.raises(ValueError):
+            CubRadixSort("2.0.0")
+
+    def test_cub_32bit_rate_near_paper(self):
+        # Figure 6a: CUB sits around 15-16 GB/s for 2 GB of 32-bit keys.
+        rate = _rate(CubRadixSort("1.5.1"), 500_000_000, 4)
+        assert 14.0 <= rate <= 17.0
+
+    def test_cub_64bit_sees_half_rate(self):
+        # §6.1: "CUB requires roughly twice as many sorting passes for
+        # 64-bit keys ... and therefore sees a 49% performance drop."
+        r32 = _rate(CubRadixSort("1.5.1"), 500_000_000, 4)
+        r64 = _rate(CubRadixSort("1.5.1"), 250_000_000, 8)
+        assert r64 / r32 == pytest.approx(0.52, abs=0.06)
+
+    def test_cub164_faster_than_151(self):
+        r151 = _rate(CubRadixSort("1.5.1"), 500_000_000, 4)
+        r164 = _rate(CubRadixSort("1.6.4"), 500_000_000, 4)
+        assert r164 > r151
+
+    def test_sorts_correctly(self, rng):
+        keys = uniform_keys(20_000, 32, rng)
+        for version in ("1.5.1", "1.6.4"):
+            result = CubRadixSort(version).sort(keys)
+            assert np.array_equal(result.keys, np.sort(keys))
+
+
+class TestThrustAndSatish:
+    def test_thrust_slower_than_cub(self):
+        assert _rate(ThrustRadixSort(), 500_000_000, 4) < _rate(
+            CubRadixSort("1.5.1"), 500_000_000, 4
+        )
+
+    def test_satish_is_compute_bound(self):
+        # Rate stays flat when bandwidth would allow more.
+        sorter = SatishRadixSort()
+        rate = _rate(sorter, 500_000_000, 4)
+        assert 4.5 <= rate <= 6.5
+
+    def test_min_speedup_ordering_fig6a(self):
+        # Figure 6a ordering for 2 GB 32-bit keys:
+        # CUB > Thrust > Satish ≈ MGPU.
+        cub = _rate(CubRadixSort("1.5.1"), 500_000_000, 4)
+        thrust = _rate(ThrustRadixSort(), 500_000_000, 4)
+        satish = _rate(SatishRadixSort(), 500_000_000, 4)
+        mgpu = _rate(MergeSortBaseline(), 500_000_000, 4)
+        assert cub > thrust > satish
+        assert cub > thrust > mgpu
+
+
+class TestMultisplit:
+    def test_between_cub_versions_for_keys(self):
+        # Appendix A: "GPU Multisplit is superior to CUB (version 1.5.1),
+        # yet, inferior to CUB (version 1.6.4)" for 32-bit keys.
+        ms = _rate(MultisplitSort(), 500_000_000, 4)
+        assert _rate(CubRadixSort("1.5.1"), 500_000_000, 4) < ms
+        assert ms < _rate(CubRadixSort("1.6.4"), 500_000_000, 4)
+
+    def test_on_par_with_cub164_for_pairs(self):
+        # Appendix A: "roughly on a par for sorting key-value pairs".
+        ms = _rate(MultisplitSort(), 250_000_000, 4, 4)
+        cub = _rate(CubRadixSort("1.6.4"), 250_000_000, 4, 4)
+        assert ms / cub == pytest.approx(1.0, abs=0.15)
+
+    def test_sorts_pairs(self, rng):
+        keys = uniform_keys(5000, 32, rng)
+        values = np.arange(5000, dtype=np.uint32)
+        result = MultisplitSort().sort(keys, values)
+        assert np.array_equal(keys[result.values], result.keys)
+
+
+class TestMergeSort:
+    def test_sorts(self, rng):
+        keys = uniform_keys(10_000, 32, rng)
+        result = MergeSortBaseline().sort(keys)
+        assert np.array_equal(result.keys, np.sort(keys))
+
+    def test_stable_with_values(self, rng):
+        keys = rng.integers(0, 4, 5000, dtype=np.uint64).astype(np.uint32)
+        values = np.arange(5000, dtype=np.uint32)
+        result = MergeSortBaseline().sort(keys, values)
+        assert np.array_equal(
+            result.values, np.argsort(keys, kind="stable").astype(np.uint32)
+        )
+
+    def test_non_power_of_two(self, rng):
+        keys = uniform_keys(3333, 32, rng)
+        result = MergeSortBaseline().sort(keys)
+        assert np.array_equal(result.keys, np.sort(keys))
+
+    def test_rate_near_figure6(self):
+        rate = _rate(MergeSortBaseline(), 500_000_000, 4)
+        assert 4.0 <= rate <= 6.0
+
+    def test_64bit_rate_stays_flat(self):
+        # Comparison-bound n·log n: per-byte cost is width-invariant
+        # (half the keys per GB, each comparison twice as wide), so MGPU
+        # stays in the same ~5 GB/s band for 64-bit keys (Figure 6c).
+        r32 = _rate(MergeSortBaseline(), 500_000_000, 4)
+        r64 = _rate(MergeSortBaseline(), 250_000_000, 8)
+        assert r64 == pytest.approx(r32, rel=0.15)

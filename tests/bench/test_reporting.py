@@ -1,0 +1,74 @@
+"""Tests for the benchmark reporting helpers."""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_ratio, format_series, format_table
+from repro.bench.runner import BenchmarkSettings, ExperimentResult
+
+
+class TestFormatTable:
+    def test_contains_headers_and_rows(self):
+        text = format_table(["a", "bb"], [[1, 2], [30, 40]])
+        lines = text.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "-" in lines[1]
+        assert "30" in lines[3]
+
+    def test_alignment_width(self):
+        text = format_table(["col"], [["wide-value"]])
+        header, rule, row = text.splitlines()
+        assert len(header) == len(row)
+
+
+class TestFormatSeries:
+    def test_one_row_per_x(self):
+        text = format_series(
+            "entropy", [32, 16], {"HRS": [1.0, 2.0], "CUB": [0.5, 0.25]}
+        )
+        assert len(text.splitlines()) == 4
+        assert "HRS (GB/s)" in text
+
+    def test_precision(self):
+        text = format_series("x", [1], {"s": [1.23456]}, precision=1)
+        assert "1.2" in text
+
+
+class TestFormatRatio:
+    def test_speedup(self):
+        assert format_ratio(2.32, 1.0) == "2.32x"
+
+    def test_zero_denominator(self):
+        assert format_ratio(1.0, 0.0) == "inf"
+
+
+class TestExperimentResult:
+    def test_add_point(self):
+        r = ExperimentResult(experiment="fig6a", x_label="entropy")
+        r.add_point(32.0, hrs=30.0, cub=15.0)
+        r.add_point(0.0, hrs=25.0, cub=15.0)
+        assert r.x_values == [32.0, 0.0]
+        assert r.series["hrs"] == [30.0, 25.0]
+
+    def test_headline(self):
+        r = ExperimentResult(experiment="fig6a", x_label="entropy")
+        r.headline("min_speedup_vs_cub", 1.69)
+        assert r.headlines["min_speedup_vs_cub"] == 1.69
+
+
+class TestBenchmarkSettings:
+    def test_defaults(self):
+        s = BenchmarkSettings()
+        assert s.sample_n == 1 << 20
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_N", "4096")
+        monkeypatch.setenv("REPRO_BENCH_SEED", "7")
+        s = BenchmarkSettings.from_env()
+        assert s.sample_n == 4096
+        assert s.seed == 7
+
+    def test_rng_salted(self):
+        s = BenchmarkSettings()
+        a = s.rng(0).integers(0, 100, 5)
+        b = s.rng(1).integers(0, 100, 5)
+        assert not (a == b).all()

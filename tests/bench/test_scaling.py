@@ -1,0 +1,126 @@
+"""Tests for the scale-model simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.scaling import scaled_config, simulate_sort_at_scale
+from repro.core.config import SortConfig
+from repro.errors import ConfigurationError
+from repro.workloads import constant_keys, generate_pairs, uniform_keys
+
+GB = 1e9
+
+
+class TestScaledConfig:
+    def test_identity_at_full_scale(self):
+        config = SortConfig.for_keys(32)
+        assert scaled_config(config, 1.0) is config
+
+    def test_thresholds_shrink(self):
+        config = SortConfig.for_keys(32)
+        scaled = scaled_config(config, 0.01)
+        assert scaled.local_threshold < config.local_threshold
+        assert scaled.merge_threshold < config.merge_threshold
+        assert scaled.kpb < config.kpb
+
+    def test_ladder_keeps_rung_count(self):
+        config = SortConfig.for_keys(32)
+        scaled = scaled_config(config, 0.005)
+        assert len(scaled.local_sort_configs) == len(
+            config.local_sort_configs
+        )
+
+    def test_ladder_strictly_ascending(self):
+        config = SortConfig.for_keys(64)
+        scaled = scaled_config(config, 0.001)
+        ladder = scaled.local_sort_configs
+        assert all(a < b for a, b in zip(ladder, ladder[1:]))
+
+    def test_r3_preserved(self):
+        for f in (0.5, 0.05, 0.002):
+            scaled = scaled_config(SortConfig.for_pairs(64, 64), f)
+            assert scaled.merge_threshold <= scaled.local_threshold
+
+    def test_invalid_factor(self):
+        with pytest.raises(ConfigurationError):
+            scaled_config(SortConfig.for_keys(32), 0.0)
+        with pytest.raises(ConfigurationError):
+            scaled_config(SortConfig.for_keys(32), 1.5)
+
+    def test_ablation_switches_survive(self):
+        config = SortConfig.for_keys(32).with_ablations(lookahead=False)
+        scaled = scaled_config(config, 0.01)
+        assert not scaled.use_lookahead
+
+
+class TestScaledSimulation:
+    def test_paper_pass_structure_uniform_32(self, rng):
+        # 500 M uniform 32-bit keys: two counting passes then local sorts.
+        keys = uniform_keys(1 << 20, 32, rng)
+        out = simulate_sort_at_scale(keys, 500_000_000)
+        assert out.trace.num_counting_passes == 2
+        assert out.trace.finished_early
+        assert out.sorted_ok
+
+    def test_paper_rate_uniform_32(self, rng):
+        # Figure 6a peak: ~32 GB/s (62.6 ms for 2 GB).
+        keys = uniform_keys(1 << 20, 32, rng)
+        out = simulate_sort_at_scale(keys, 500_000_000)
+        assert out.sorting_rate / GB == pytest.approx(32.0, rel=0.12)
+
+    def test_paper_rate_64_64_pairs(self, rng):
+        # §6.1: 2 GB of 64/64 pairs in ~56 ms.
+        keys = uniform_keys(1 << 20, 64, rng)
+        keys, values = generate_pairs(keys, 64)
+        out = simulate_sort_at_scale(keys, 125_000_000, values=values)
+        assert out.simulated_seconds == pytest.approx(0.056, rel=0.12)
+
+    def test_constant_runs_all_passes(self):
+        keys = constant_keys(1 << 18, 32)
+        out = simulate_sort_at_scale(keys, 500_000_000)
+        assert out.trace.num_counting_passes == 4
+        assert not out.trace.finished_early
+
+    def test_trace_scaled_to_target(self, rng):
+        keys = uniform_keys(1 << 18, 32, rng)
+        out = simulate_sort_at_scale(keys, 100_000_000)
+        assert out.trace.n == 100_000_000
+        assert out.trace.counting_passes[0].n_keys == 100_000_000
+
+    def test_local_capacities_mapped_to_real_ladder(self, rng):
+        keys = uniform_keys(1 << 18, 32, rng)
+        out = simulate_sort_at_scale(keys, 100_000_000)
+        real_ladder = set(SortConfig.for_keys(32).local_sort_configs)
+        for trace in out.trace.local_sorts:
+            for stats in trace.per_config:
+                assert stats.capacity in real_ladder
+
+    def test_full_scale_passthrough(self, rng):
+        keys = uniform_keys(1 << 16, 32, rng)
+        out = simulate_sort_at_scale(keys, keys.size)
+        assert out.scale == 1.0
+        assert out.trace.n == keys.size
+
+    def test_target_smaller_than_sample_rejected(self, rng):
+        keys = uniform_keys(1000, 32, rng)
+        with pytest.raises(ConfigurationError):
+            simulate_sort_at_scale(keys, 10)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate_sort_at_scale(np.empty(0, dtype=np.uint32), 100)
+
+    def test_rate_scale_consistency(self, rng):
+        # The same distribution priced at the same target from different
+        # sample sizes must agree.
+        big = simulate_sort_at_scale(
+            uniform_keys(1 << 20, 32, rng), 500_000_000
+        )
+        small = simulate_sort_at_scale(
+            uniform_keys(1 << 18, 32, rng), 500_000_000
+        )
+        assert big.simulated_seconds == pytest.approx(
+            small.simulated_seconds, rel=0.1
+        )

@@ -1,0 +1,128 @@
+"""Tests for the rarefaction/species machinery in the scale model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.scaling import (
+    _bucket_population_cap,
+    _extrapolate_species,
+    _inflate_local_buckets,
+    simulate_sort_at_scale,
+)
+from repro.core.config import SortConfig
+from repro.types import LocalConfigStats, LocalSortTrace
+from repro.workloads import generate_entropy_keys, uniform_keys
+
+
+def _local_trace(buckets: int, capacity: int = 128, keys_per: int = 50):
+    return LocalSortTrace(
+        pass_index=1,
+        per_config=(
+            LocalConfigStats(
+                capacity=capacity,
+                n_buckets=buckets,
+                total_keys=buckets * keys_per,
+                provisioned_keys=buckets * capacity,
+                avg_remaining_digits=2.0,
+            ),
+        ),
+        key_bytes=4,
+        value_bytes=0,
+    )
+
+
+class TestInflation:
+    def test_factor_one_is_identity(self):
+        traces = (_local_trace(100),)
+        out = _inflate_local_buckets(traces, 1.0, cap=10_000,
+                                     real_ladder=(128, 9216), inv=100.0)
+        assert out[0].total_buckets == 100
+
+    def test_inflation_adds_tiny_buckets(self):
+        traces = (_local_trace(100),)
+        out = _inflate_local_buckets(traces, 3.0, cap=10_000,
+                                     real_ladder=(128, 9216), inv=100.0)
+        assert out[0].total_buckets == 300
+        # Extra buckets join the rung covering ~inv/2-key buckets.
+        assert out[0].per_config[0].capacity == 128
+
+    def test_cap_limits_inflation(self):
+        traces = (_local_trace(100),)
+        out = _inflate_local_buckets(traces, 1000.0, cap=250,
+                                     real_ladder=(128, 9216), inv=100.0)
+        assert out[0].total_buckets == 250
+
+    def test_share_proportional_across_traces(self):
+        traces = (_local_trace(100), _local_trace(300))
+        out = _inflate_local_buckets(traces, 2.0, cap=10_000,
+                                     real_ladder=(128, 9216), inv=100.0)
+        total = sum(t.total_buckets for t in out)
+        assert total == pytest.approx(800, abs=2)
+        assert out[1].total_buckets > out[0].total_buckets
+
+
+class TestExtrapolation:
+    def test_uniform_distribution_measures_no_growth(self, rng):
+        # A saturated population (uniform 32-bit at modest depth) must
+        # not inflate.
+        keys = uniform_keys(1 << 18, 32, rng)
+        config = SortConfig.for_keys(32).with_ablations(bucket_merging=False)
+        factor = _extrapolate_species(
+            keys, None, config, f=(1 << 18) / 500_000_000,
+            observed_buckets=65_536,
+        )
+        assert factor == pytest.approx(1.0, abs=0.5)
+
+    def test_skewed_distribution_grows(self, rng):
+        from repro.bench.scaling import _total_local_buckets, scaled_config
+        from repro.core.hybrid_sort import HybridRadixSorter
+
+        keys = generate_entropy_keys(1 << 18, 64, 1, rng)
+        config = SortConfig.for_keys(64).with_ablations(bucket_merging=False)
+        f = (1 << 18) / 250_000_000
+        run = HybridRadixSorter(config=scaled_config(config, f)).sort(keys)
+        observed = _total_local_buckets(run.trace)
+        factor = _extrapolate_species(
+            keys, None, config, f=f, observed_buckets=observed
+        )
+        assert factor > 1.5
+
+    def test_tiny_sample_returns_identity(self):
+        keys = np.zeros(100, dtype=np.uint32)
+        config = SortConfig.for_keys(32)
+        assert _extrapolate_species(keys, None, config, 0.01, 10) == 1.0
+
+
+class TestCap:
+    def test_cap_excludes_final_pass(self, rng):
+        keys = generate_entropy_keys(1 << 16, 32, None, rng)  # constant
+        out = simulate_sort_at_scale(keys, 10_000_000)
+        cap = _bucket_population_cap(out.trace, SortConfig.for_keys(32))
+        # Constant input: one parent per non-final pass, 3 passes count.
+        assert cap == 3 * 256
+
+    def test_cap_positive_for_empty_traces(self):
+        from repro.types import SortTrace
+
+        trace = SortTrace(
+            n=0, key_bits=32, value_bits=0, counting_passes=(),
+            local_sorts=(), finished_early=True, final_buffer_index=0,
+        )
+        assert _bucket_population_cap(trace, SortConfig.for_keys(32)) == 1
+
+
+class TestEndToEndSpecies:
+    def test_extrapolation_only_when_merging_disabled(self, rng):
+        keys = generate_entropy_keys(1 << 18, 64, 1, rng)
+        merged = simulate_sort_at_scale(keys, 250_000_000)
+        config = SortConfig.for_keys(64).with_ablations(bucket_merging=False)
+        unmerged = simulate_sort_at_scale(keys, 250_000_000, config=config)
+        unmerged_off = simulate_sort_at_scale(
+            keys, 250_000_000, config=config, species_extrapolation=False
+        )
+        # The extrapolation makes the unmerged run slower than both the
+        # merged baseline and the uncorrected unmerged run.
+        assert unmerged.simulated_seconds > merged.simulated_seconds
+        assert unmerged.simulated_seconds >= unmerged_off.simulated_seconds

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite.
+
+``small_config`` scales the Table 3 geometry down so that multi-pass
+structure (counting passes, merging, local-sort ladder) is exercised on
+inputs of a few thousand keys, keeping the suite fast while touching the
+same code paths as paper-scale runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SortConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xD1CE)
+
+
+@pytest.fixture
+def small_config() -> SortConfig:
+    """A miniature 32-bit configuration: ∂̂=128, ∂=40, KPB=96."""
+    return SortConfig(
+        key_bits=32,
+        value_bits=0,
+        kpb=96,
+        threads=32,
+        kpt=3,
+        local_threshold=128,
+        merge_threshold=40,
+        local_sort_configs=(16, 32, 64, 128),
+    )
+
+
+@pytest.fixture
+def small_pair_config() -> SortConfig:
+    """Miniature 32/32 pair configuration."""
+    return SortConfig(
+        key_bits=32,
+        value_bits=32,
+        kpb=64,
+        threads=32,
+        kpt=2,
+        local_threshold=96,
+        merge_threshold=32,
+        local_sort_configs=(16, 32, 64, 96),
+    )

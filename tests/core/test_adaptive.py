@@ -1,0 +1,76 @@
+"""Tests for the adaptive sorter (§6.1's case distinction)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import (
+    AdaptiveSorter,
+    PAPER_CROSSOVER_KEYS,
+    PAPER_CROSSOVER_PAIRS,
+    calibrate_crossover,
+)
+from repro.errors import ConfigurationError
+from repro.workloads import constant_keys, uniform_keys
+
+
+class TestDispatch:
+    def test_paper_thresholds(self):
+        sorter = AdaptiveSorter()
+        assert not sorter.chooses_hybrid(1_000_000, has_values=False)
+        assert sorter.chooses_hybrid(2_000_000, has_values=False)
+        assert not sorter.chooses_hybrid(1_500_000, has_values=True)
+        assert sorter.chooses_hybrid(1_700_000, has_values=True)
+
+    def test_threshold_constants(self):
+        # §6.1: 1.9 M keys / 1.6 M pairs.
+        assert PAPER_CROSSOVER_KEYS == 1_900_000
+        assert PAPER_CROSSOVER_PAIRS == 1_600_000
+
+    def test_small_input_uses_fallback(self, rng):
+        keys = uniform_keys(10_000, 32, rng)
+        result = AdaptiveSorter().sort(keys)
+        assert result.meta["engine"] == "cub-fallback"
+        assert np.array_equal(result.keys, np.sort(keys))
+
+    def test_large_input_uses_hybrid(self, rng):
+        keys = uniform_keys(50_000, 32, rng)
+        sorter = AdaptiveSorter(key_crossover=20_000)
+        result = sorter.sort(keys)
+        assert result.meta["engine"] == "hybrid"
+        assert result.trace is not None
+        assert np.array_equal(result.keys, np.sort(keys))
+
+    def test_pairs_dispatch(self, rng):
+        keys = uniform_keys(5_000, 32, rng)
+        values = np.arange(5_000, dtype=np.uint32)
+        sorter = AdaptiveSorter(pair_crossover=1_000)
+        result = sorter.sort(keys, values)
+        assert result.meta["engine"] == "hybrid"
+        assert np.array_equal(keys[result.values], result.keys)
+
+    def test_both_engines_agree(self, rng):
+        keys = uniform_keys(30_000, 32, rng)
+        small = AdaptiveSorter(key_crossover=10**9).sort(keys)
+        large = AdaptiveSorter(key_crossover=0).sort(keys)
+        assert np.array_equal(small.keys, large.keys)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveSorter(key_crossover=-1)
+
+
+class TestCalibration:
+    def test_worst_case_crossover_near_paper(self):
+        # A constant distribution recovers the ~1.9 M-key region.
+        keys = constant_keys(1 << 18, 64)
+        crossover = calibrate_crossover(keys)
+        assert 500_000 <= crossover <= 8_000_000
+
+    def test_uniform_crossover_is_small(self, rng):
+        # For uniform inputs the hybrid sort wins much earlier.
+        keys = uniform_keys(1 << 18, 64, rng)
+        crossover_uniform = calibrate_crossover(keys)
+        crossover_worst = calibrate_crossover(constant_keys(1 << 18, 64))
+        assert crossover_uniform <= crossover_worst

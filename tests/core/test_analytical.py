@@ -1,0 +1,147 @@
+"""Tests for the §4.5 analytical model: bounds I1-I4 and memory M1-M5."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.analytical import AnalyticalModel
+from repro.core.config import SortConfig
+from repro.core.hybrid_sort import HybridRadixSorter
+from repro.workloads import staircase_keys, uniform_keys, zipf_keys
+
+
+@pytest.fixture
+def model() -> AnalyticalModel:
+    return AnalyticalModel(SortConfig.for_keys(32))
+
+
+class TestBounds:
+    def test_i1(self, model):
+        assert model.max_counting_buckets(1_000_000) == 1_000_000 // 9216
+
+    def test_i2(self, model):
+        assert (
+            model.max_buckets_unrefined(1_000_000)
+            == 256 * (1_000_000 // 9216)
+        )
+
+    def test_i3_refinement(self, model):
+        n = 1_000_000
+        refined = 2 * n // 3000 + n // 9216
+        assert model.max_buckets(n) == min(
+            refined, model.max_buckets_unrefined(n)
+        )
+
+    def test_i3_never_exceeds_i2(self, model):
+        for n in (10_000, 10**6, 10**8):
+            assert model.max_buckets(n) <= model.max_buckets_unrefined(n)
+
+    def test_i4(self, model):
+        n = 1_000_000
+        assert model.max_blocks(n) == n // 6912 + n // 9216
+
+    def test_zero_input(self, model):
+        assert model.max_buckets(0) == 0
+        assert model.max_blocks(0) == 0
+
+
+class TestMemoryModel:
+    def test_paper_5_percent_claim(self):
+        # §4.5: "for 32-bit keys ... the total amount of memory required
+        # by M2 through M5 is bound by a mere 5% of M1" with
+        # KPB = 6 912, ∂̂ = 9 216, ∂ = 3 000, r = 256.
+        model = AnalyticalModel(SortConfig.for_keys(32))
+        req = model.memory_requirements(500_000_000)
+        assert req.overhead_fraction < 0.05
+
+    def test_m1(self, model):
+        req = model.memory_requirements(1000)
+        assert req.input_and_aux == 2 * 1000 * 4
+
+    def test_m1_for_pairs(self):
+        model = AnalyticalModel(SortConfig.for_pairs(64, 64))
+        req = model.memory_requirements(1000)
+        assert req.input_and_aux == 2 * 1000 * 16
+
+    def test_m2(self, model):
+        n = 100_000
+        req = model.memory_requirements(n)
+        assert req.bucket_histograms == 4 * 256 * (n // 9216)
+
+    def test_m3_m4_share_block_count(self, model):
+        n = 1_000_000
+        req = model.memory_requirements(n)
+        blocks = n // 6912 + n // 9216
+        assert req.block_histograms == 4 * 256 * blocks
+        assert req.block_assignments == 2 * 16 * blocks
+
+    def test_m5(self, model):
+        n = 1_000_000
+        req = model.memory_requirements(n)
+        assert req.local_assignments == 12 * model.max_buckets(n)
+
+    def test_total(self, model):
+        req = model.memory_requirements(10_000)
+        assert req.total_bytes == req.input_and_aux + req.overhead_bytes
+
+    def test_overhead_fraction_roughly_scale_invariant(self, model):
+        f1 = model.memory_requirements(10**6).overhead_fraction
+        f2 = model.memory_requirements(10**8).overhead_fraction
+        assert f1 == pytest.approx(f2, rel=0.05)
+
+
+class TestPassArithmetic:
+    def test_worst_case_passes(self, model):
+        assert model.counting_passes_worst_case() == 4
+
+    def test_uniform_expected_passes_paper_scale(self, model):
+        # 500 M uniform keys: 2 counting passes before ∂̂ is reached.
+        assert model.expected_counting_passes_uniform(500_000_000) == 2
+
+    def test_transfer_reduction_32bit(self, model):
+        # §6.1: "reducing from seven to only four sorting passes"
+        # -> 1.75x fewer transfers than CUB.
+        assert model.transfer_reduction_vs_lsd(5) == pytest.approx(1.75)
+
+    def test_transfer_reduction_64bit(self):
+        # §6.1: "13 versus eight sorting passes" -> 1.625x.
+        model = AnalyticalModel(SortConfig.for_keys(64))
+        assert model.transfer_reduction_vs_lsd(5) == pytest.approx(1.625)
+
+    def test_reduction_at_least_1_6(self):
+        # §1: "reduces the number of sorting passes ... by a factor of at
+        # least 1.6".
+        for key_bits in (32, 64):
+            model = AnalyticalModel(SortConfig.for_keys(key_bits))
+            assert model.transfer_reduction_vs_lsd(5) >= 1.6
+
+
+class TestTraceValidation:
+    @pytest.mark.parametrize(
+        "make_keys",
+        [
+            lambda rng: uniform_keys(20_000, 32, rng),
+            lambda rng: staircase_keys(20_000, 32, steps=9),
+            lambda rng: zipf_keys(20_000, 32, rng=rng),
+        ],
+        ids=["uniform", "staircase", "zipf"],
+    )
+    def test_real_traces_respect_bounds(self, rng, small_config, make_keys):
+        keys = make_keys(rng)
+        result = HybridRadixSorter(config=small_config).sort(keys)
+        model = AnalyticalModel(small_config)
+        assert model.validate_trace(result.trace) == []
+
+    def test_no_merging_respects_i2(self, rng):
+        config = SortConfig(
+            key_bits=32, kpb=96, threads=32, kpt=3,
+            local_threshold=128, merge_threshold=40,
+            local_sort_configs=(16, 32, 64, 128),
+            use_bucket_merging=False,
+        )
+        keys = staircase_keys(20_000, 32, steps=23)
+        result = HybridRadixSorter(config=config).sort(keys)
+        assert np.array_equal(result.keys, np.sort(keys))
+        model = AnalyticalModel(config)
+        assert model.validate_trace(result.trace) == []

@@ -1,0 +1,224 @@
+"""Tests for bucket bookkeeping: merge rule R3 and block subdivision R4."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bucket import (
+    BlockAssignment,
+    LocalBucketAssignment,
+    block_assignment_records,
+    partition_subbuckets,
+    subdivide_into_blocks,
+)
+from repro.errors import ConfigurationError
+
+
+def _partition(counts, merge=40, local=128, merging=True, offsets=None):
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.ndim == 1:
+        counts = counts[None, :]
+    if offsets is None:
+        offsets = np.zeros(counts.shape[0], dtype=np.int64)
+    return partition_subbuckets(
+        np.asarray(offsets, dtype=np.int64),
+        counts,
+        merge_threshold=merge,
+        local_threshold=local,
+        merging_enabled=merging,
+    )
+
+
+class TestClassification:
+    def test_oversized_goes_to_next_pass(self):
+        out = _partition([200, 0, 0, 0])
+        assert out.n_next == 1
+        assert out.next_sizes.tolist() == [200]
+        assert out.n_local == 0
+
+    def test_small_goes_local(self):
+        out = _partition([100, 0, 0, 0])
+        assert out.n_local == 1
+        assert out.local_sizes.tolist() == [100]
+        assert not out.local_is_merged[0]
+
+    def test_empty_subbuckets_vanish(self):
+        out = _partition([0, 0, 0, 0])
+        assert out.n_local == 0
+        assert out.n_next == 0
+
+    def test_mixed(self):
+        out = _partition([300, 100, 0, 50])
+        assert out.n_next == 1
+        assert out.n_local == 2
+
+
+class TestMergeRuleR3:
+    def test_tiny_neighbours_merge(self):
+        # 10+10+10 = 30 < ∂=40: one merged bucket.
+        out = _partition([10, 10, 10, 0])
+        assert out.n_local == 1
+        assert out.local_sizes.tolist() == [30]
+        assert out.local_is_merged.tolist() == [True]
+
+    def test_run_closes_at_threshold(self):
+        # 30+30 = 60 >= 40: the run closes before the second bucket.
+        out = _partition([30, 30, 0, 0])
+        assert out.n_local == 2
+        assert out.local_sizes.tolist() == [30, 30]
+
+    def test_merged_total_below_threshold(self):
+        rng = np.random.default_rng(9)
+        counts = rng.integers(0, 20, size=(8, 16))
+        out = _partition(counts, merge=40, local=128)
+        merged_sizes = out.local_sizes[out.local_is_merged]
+        assert np.all(merged_sizes < 40)
+
+    def test_large_single_cannot_join_run(self):
+        # A sub-bucket of >= ∂ keys stands alone (any sequence holding it
+        # reaches ∂).
+        out = _partition([10, 90, 10, 0])
+        assert out.n_local == 3
+        assert sorted(out.local_sizes.tolist()) == [10, 10, 90]
+
+    def test_oversized_closes_run(self):
+        out = _partition([10, 200, 10, 0])
+        assert out.n_next == 1
+        assert out.n_local == 2
+        assert out.n_merged == 0
+
+    def test_merging_respects_parent_boundaries(self):
+        # Two parents, each with one tiny sub-bucket: never merged across.
+        counts = np.array([[5, 0, 0, 0], [5, 0, 0, 0]])
+        out = _partition(counts, offsets=[0, 5])
+        assert out.n_local == 2
+        assert out.local_offsets.tolist() == [0, 5]
+
+    def test_merging_disabled(self):
+        out = _partition([10, 10, 10, 0], merging=False)
+        assert out.n_local == 3
+        assert out.n_merged == 0
+
+    def test_zero_size_gap_does_not_split_run(self):
+        out = _partition([10, 0, 10, 0])
+        assert out.n_local == 1
+        assert out.local_sizes.tolist() == [20]
+        assert out.local_is_merged.tolist() == [True]
+
+    def test_single_member_run_not_flagged_merged(self):
+        out = _partition([10, 90, 0, 0])
+        flags = dict(zip(out.local_sizes.tolist(), out.local_is_merged.tolist()))
+        assert flags[10] is False or flags[10] == False  # noqa: E712
+
+    def test_offsets_are_contiguous_prefix_sums(self):
+        out = _partition([50, 60, 70, 200], merge=40, local=128, offsets=[1000])
+        # Sub-bucket offsets: 1000, 1050, 1110, 1180.
+        all_offsets = sorted(
+            out.local_offsets.tolist() + out.next_offsets.tolist()
+        )
+        assert all_offsets == [1000, 1050, 1110, 1180]
+
+    def test_r3_validation(self):
+        with pytest.raises(ConfigurationError):
+            _partition([1, 2, 3, 4], merge=200, local=128)
+
+    def test_empty_parents(self):
+        out = partition_subbuckets(
+            np.empty(0, dtype=np.int64),
+            np.empty((0, 4), dtype=np.int64),
+            merge_threshold=40,
+            local_threshold=128,
+        )
+        assert out.n_local == 0
+        assert out.n_next == 0
+
+
+class TestSizeConservation:
+    def test_total_keys_preserved(self):
+        rng = np.random.default_rng(17)
+        counts = rng.integers(0, 300, size=(20, 32))
+        offsets = np.concatenate(
+            ([0], np.cumsum(counts.sum(axis=1))[:-1])
+        )
+        out = partition_subbuckets(
+            offsets, counts, merge_threshold=40, local_threshold=128
+        )
+        total = out.local_sizes.sum() + out.next_sizes.sum()
+        assert total == counts.sum()
+
+    def test_extents_disjoint(self):
+        rng = np.random.default_rng(23)
+        counts = rng.integers(0, 100, size=(5, 16))
+        offsets = np.concatenate(([0], np.cumsum(counts.sum(axis=1))[:-1]))
+        out = partition_subbuckets(
+            offsets, counts, merge_threshold=40, local_threshold=128
+        )
+        spans = sorted(
+            list(zip(out.local_offsets.tolist(), out.local_sizes.tolist()))
+            + list(zip(out.next_offsets.tolist(), out.next_sizes.tolist()))
+        )
+        for (o1, s1), (o2, _) in zip(spans, spans[1:]):
+            assert o1 + s1 <= o2
+
+
+class TestBlockSubdivision:
+    def test_exact_division(self):
+        offsets, sizes, ids = subdivide_into_blocks(
+            np.array([0]), np.array([300]), kpb=100
+        )
+        assert offsets.tolist() == [0, 100, 200]
+        assert sizes.tolist() == [100, 100, 100]
+        assert ids.tolist() == [0, 0, 0]
+
+    def test_remainder_block(self):
+        offsets, sizes, ids = subdivide_into_blocks(
+            np.array([0]), np.array([250]), kpb=100
+        )
+        assert sizes.tolist() == [100, 100, 50]
+
+    def test_r4_one_bucket_per_block(self):
+        offsets, sizes, ids = subdivide_into_blocks(
+            np.array([0, 150]), np.array([150, 70]), kpb=100
+        )
+        assert ids.tolist() == [0, 0, 1]
+        assert offsets.tolist() == [0, 100, 150]
+        assert sizes.tolist() == [100, 50, 70]
+
+    def test_block_count_bound_i4(self):
+        # I4: at most floor(n/KPB) + (#buckets) blocks.
+        rng = np.random.default_rng(3)
+        sizes = rng.integers(1, 1000, 50)
+        offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+        _, bsizes, _ = subdivide_into_blocks(offsets, sizes, kpb=96)
+        n = int(sizes.sum())
+        assert bsizes.size <= n // 96 + sizes.size
+
+    def test_empty(self):
+        offsets, sizes, ids = subdivide_into_blocks(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), kpb=10
+        )
+        assert offsets.size == 0
+
+    def test_invalid_kpb(self):
+        with pytest.raises(ConfigurationError):
+            subdivide_into_blocks(np.array([0]), np.array([10]), kpb=0)
+
+
+class TestRecords:
+    def test_record_bytes_match_paper(self):
+        # §4.5: block assignments are 16 bytes, local assignments 12.
+        assert BlockAssignment.RECORD_BYTES == 16
+        assert LocalBucketAssignment.RECORD_BYTES == 12
+
+    def test_block_assignment_records(self):
+        records = block_assignment_records(
+            np.array([0, 250]), np.array([250, 30]), kpb=100
+        )
+        assert len(records) == 4
+        assert records[0] == BlockAssignment(
+            k_offs=0, k_count=100, b_id=0, b_offs=0
+        )
+        assert records[-1] == BlockAssignment(
+            k_offs=250, k_count=30, b_id=1, b_offs=250
+        )

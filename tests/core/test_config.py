@@ -1,0 +1,147 @@
+"""Tests for sort configurations and the Table 3 presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SortConfig, TABLE3_PRESETS, derive_table3
+from repro.errors import ConfigurationError
+
+
+class TestTable3Presets:
+    """The exact rows of Table 3."""
+
+    def test_32bit_keys(self):
+        c = SortConfig.for_keys(32)
+        assert (c.kpb, c.threads, c.kpt, c.local_threshold) == (
+            6912, 384, 18, 9216,
+        )
+
+    def test_64bit_keys(self):
+        c = SortConfig.for_keys(64)
+        assert (c.kpb, c.threads, c.kpt, c.local_threshold) == (
+            3456, 384, 9, 4224,
+        )
+
+    def test_32_32_pairs(self):
+        c = SortConfig.for_pairs(32, 32)
+        assert (c.kpb, c.threads, c.kpt, c.local_threshold) == (
+            3456, 384, 18, 5760,
+        )
+
+    def test_64_64_pairs(self):
+        c = SortConfig.for_pairs(64, 64)
+        assert (c.kpb, c.threads, c.kpt, c.local_threshold) == (
+            2304, 256, 9, 3840,
+        )
+
+    def test_for_layout_dispatch(self):
+        assert SortConfig.for_layout(32, 0) == SortConfig.for_keys(32)
+        assert SortConfig.for_layout(64, 64) == SortConfig.for_pairs(64, 64)
+
+    def test_merge_threshold_respects_r3(self):
+        for config in TABLE3_PRESETS.values():
+            assert config.merge_threshold <= config.local_threshold
+
+    def test_paper_example_merge_threshold(self):
+        # §4.5: "a reasonable configuration, such as KPB = 6 912,
+        # ∂̂ = 9 216, ∂ = 3 000".
+        c = SortConfig.for_keys(32)
+        assert c.merge_threshold == 3000
+
+    def test_eight_bit_digits_everywhere(self):
+        # §6: "For the counting sort, we used d = 8 bits per digit."
+        for config in TABLE3_PRESETS.values():
+            assert config.digit_bits == 8
+            assert config.radix == 256
+
+
+class TestGeometryProperties:
+    def test_num_digits(self):
+        assert SortConfig.for_keys(32).num_digits == 4
+        assert SortConfig.for_keys(64).num_digits == 8
+
+    def test_record_bytes(self):
+        assert SortConfig.for_pairs(64, 64).record_bytes == 16
+        assert SortConfig.for_keys(32).record_bytes == 4
+
+    def test_ladder_ascending_and_capped(self):
+        for config in TABLE3_PRESETS.values():
+            ladder = config.local_sort_configs
+            assert list(ladder) == sorted(ladder)
+            assert ladder[-1] == config.local_threshold
+            assert ladder[0] == 128
+
+
+class TestAblationSwitches:
+    def test_defaults_all_on(self):
+        c = SortConfig.for_keys(32)
+        assert c.use_bucket_merging
+        assert c.use_multi_config
+        assert c.use_lookahead
+        assert c.use_thread_reduction
+
+    def test_with_ablations(self):
+        c = SortConfig.for_keys(32).with_ablations(
+            bucket_merging=False, lookahead=False
+        )
+        assert not c.use_bucket_merging
+        assert not c.use_lookahead
+        assert c.use_multi_config
+        assert c.use_thread_reduction
+
+    def test_single_config_ladder(self):
+        c = SortConfig.for_keys(32).with_ablations(multi_config=False)
+        assert c.effective_configs == (9216,)
+
+    def test_multi_config_ladder(self):
+        c = SortConfig.for_keys(32)
+        assert len(c.effective_configs) > 1
+
+
+class TestValidation:
+    def test_r3_violation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SortConfig(
+                key_bits=32, merge_threshold=10_000, local_threshold=9216
+            )
+
+    def test_bad_key_bits(self):
+        with pytest.raises(ConfigurationError):
+            SortConfig(key_bits=24)
+
+    def test_unsorted_ladder_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SortConfig(
+                key_bits=32,
+                local_threshold=9216,
+                local_sort_configs=(256, 128, 9216),
+            )
+
+    def test_ladder_must_end_at_threshold(self):
+        with pytest.raises(ConfigurationError):
+            SortConfig(
+                key_bits=32,
+                local_threshold=9216,
+                local_sort_configs=(128, 256),
+            )
+
+    def test_zero_kpb_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SortConfig(key_bits=32, kpb=0)
+
+
+class TestDeriveTable3:
+    def test_four_rows(self):
+        rows = derive_table3()
+        assert len(rows) == 4
+
+    def test_presets_feasible_on_titan_x(self):
+        for row in derive_table3():
+            assert row["scatter_blocks_per_sm"] >= 2
+            assert row["local_sort_shared_bytes"] <= 96 * 1024
+
+    def test_row_labels(self):
+        labels = [row["layout"] for row in derive_table3()]
+        assert "32-bit keys" in labels
+        assert "64-bit/64-bit pairs" in labels

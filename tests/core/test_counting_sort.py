@@ -1,0 +1,184 @@
+"""Tests for the counting-sort pass: fast engine vs faithful engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.counting_sort import (
+    block_level_counting_sort,
+    counting_sort_pass,
+)
+from repro.core.digits import extract_digit
+from repro.errors import ConfigurationError
+
+
+def _run_pass(keys, config, digit_index=0, offsets=None, sizes=None,
+              values=None):
+    src = np.asarray(keys, dtype=np.uint32)
+    dst = np.zeros_like(src)
+    if offsets is None:
+        offsets = np.array([0], dtype=np.int64)
+        sizes = np.array([src.size], dtype=np.int64)
+    src_v = dst_v = None
+    if values is not None:
+        src_v = np.asarray(values)
+        dst_v = np.zeros_like(src_v)
+    out = counting_sort_pass(
+        src, dst,
+        np.asarray(offsets, dtype=np.int64),
+        np.asarray(sizes, dtype=np.int64),
+        config, digit_index,
+        src_values=src_v, dst_values=dst_v,
+    )
+    return dst, dst_v, out
+
+
+class TestFastEngine:
+    def test_partitions_by_msd(self, rng, small_config):
+        keys = rng.integers(0, 2**32, 1000, dtype=np.uint64).astype(np.uint32)
+        dst, _, out = _run_pass(keys, small_config)
+        digits = extract_digit(dst, small_config.geometry, 0)
+        assert np.all(digits[:-1] <= digits[1:])
+        assert np.array_equal(np.sort(dst), np.sort(keys))
+
+    def test_histogram_matches(self, rng, small_config):
+        keys = rng.integers(0, 2**32, 500, dtype=np.uint64).astype(np.uint32)
+        _, _, out = _run_pass(keys, small_config)
+        digits = extract_digit(keys, small_config.geometry, 0)
+        assert np.array_equal(out.counts[0], np.bincount(digits, minlength=256))
+
+    def test_stable_within_bucket(self, rng, small_config):
+        # The fast engine is per-bucket stable (the faithful engine is
+        # what exhibits the non-stability; equivalence is multiset-level).
+        keys = rng.integers(0, 2**32, 300, dtype=np.uint64).astype(np.uint32)
+        values = np.arange(300, dtype=np.uint32)
+        dst, dst_v, _ = _run_pass(keys, small_config, values=values)
+        digits = extract_digit(keys, small_config.geometry, 0)
+        order = np.argsort(digits, kind="stable")
+        assert np.array_equal(dst, keys[order])
+        assert np.array_equal(dst_v, values[order])
+
+    def test_multiple_buckets_partition_independently(self, rng, small_config):
+        keys = rng.integers(0, 2**32, 600, dtype=np.uint64).astype(np.uint32)
+        offsets = np.array([0, 200])
+        sizes = np.array([200, 400])
+        dst, _, out = _run_pass(
+            keys, small_config, digit_index=1, offsets=offsets, sizes=sizes
+        )
+        for off, size in zip(offsets, sizes):
+            segment = dst[off : off + size]
+            digits = extract_digit(segment, small_config.geometry, 1)
+            assert np.all(digits[:-1] <= digits[1:])
+            assert np.array_equal(
+                np.sort(segment), np.sort(keys[off : off + size])
+            )
+        assert out.counts.shape == (2, 256)
+
+    def test_block_count_r4(self, rng, small_config):
+        keys = rng.integers(0, 2**32, 500, dtype=np.uint64).astype(np.uint32)
+        _, _, out = _run_pass(keys, small_config)
+        assert out.n_blocks == -(-500 // small_config.kpb)
+
+    def test_untouched_region_left_alone(self, rng, small_config):
+        keys = rng.integers(0, 2**32, 300, dtype=np.uint64).astype(np.uint32)
+        src = keys.copy()
+        dst = np.zeros_like(src)
+        counting_sort_pass(
+            src, dst,
+            np.array([100], dtype=np.int64),
+            np.array([100], dtype=np.int64),
+            small_config, 0,
+        )
+        assert np.all(dst[:100] == 0)
+        assert np.all(dst[200:] == 0)
+
+    def test_empty_pass(self, small_config):
+        keys = np.zeros(10, dtype=np.uint32)
+        dst, _, out = _run_pass(
+            keys, small_config, offsets=np.empty(0), sizes=np.empty(0)
+        )
+        assert out.n_keys == 0
+        assert out.n_blocks == 0
+
+    def test_mismatched_arrays_rejected(self, small_config):
+        with pytest.raises(ConfigurationError):
+            counting_sort_pass(
+                np.zeros(4, dtype=np.uint32),
+                np.zeros(4, dtype=np.uint32),
+                np.array([0]),
+                np.array([4, 4]),
+                small_config,
+                0,
+            )
+
+
+class TestPassStatistics:
+    def test_constant_input_stats(self, small_config):
+        keys = np.zeros(1000, dtype=np.uint32)
+        _, _, out = _run_pass(keys, small_config)
+        assert out.stats.warp_conflict == pytest.approx(32.0)
+        assert out.stats.max_digit_fraction == pytest.approx(1.0)
+        assert out.stats.lookahead_active_fraction == pytest.approx(1.0)
+        assert out.stats.scatter_ops_per_key == pytest.approx(1 / 3, rel=0.01)
+        assert out.stats.hist_ops_per_key == pytest.approx(1 / 9, rel=0.01)
+
+    def test_uniform_input_stats(self, rng, small_config):
+        keys = rng.integers(0, 2**32, 10_000, dtype=np.uint64).astype(np.uint32)
+        _, _, out = _run_pass(keys, small_config)
+        assert out.stats.warp_conflict < 4.0
+        assert out.stats.max_digit_fraction < 0.05
+        assert out.stats.lookahead_active_fraction == 0.0
+        assert out.stats.scatter_ops_per_key == 1.0
+
+    def test_thread_reduction_switch(self, rng, small_config):
+        keys = np.zeros(1000, dtype=np.uint32)
+        no_tr = small_config.with_ablations(thread_reduction=False)
+        _, _, out = _run_pass(keys, no_tr)
+        assert out.stats.hist_ops_per_key == 1.0
+
+    def test_lookahead_switch(self, small_config):
+        keys = np.zeros(1000, dtype=np.uint32)
+        no_la = small_config.with_ablations(lookahead=False)
+        _, _, out = _run_pass(keys, no_la)
+        assert out.stats.scatter_ops_per_key == 1.0
+        assert out.stats.lookahead_active_fraction == 0.0
+
+
+class TestEngineEquivalence:
+    """Fast and faithful engines agree on bucket structure (DESIGN §5)."""
+
+    def test_same_subbucket_contents(self, rng, small_config):
+        keys = rng.integers(0, 2**32, 700, dtype=np.uint64).astype(np.uint32)
+        dst_fast, _, out = _run_pass(keys, small_config)
+        out_faithful, _, hist = block_level_counting_sort(
+            keys, small_config, 0
+        )
+        assert np.array_equal(hist, out.counts[0])
+        bounds = np.concatenate(([0], np.cumsum(hist)))
+        for d in range(256):
+            lo, hi = bounds[d], bounds[d + 1]
+            assert np.array_equal(
+                np.sort(dst_fast[lo:hi]), np.sort(out_faithful[lo:hi])
+            )
+
+    def test_faithful_engine_values(self, rng, small_config):
+        keys = rng.integers(0, 2**32, 300, dtype=np.uint64).astype(np.uint32)
+        values = np.arange(300, dtype=np.uint32)
+        out_keys, out_values, _ = block_level_counting_sort(
+            keys, small_config, 0, values=values
+        )
+        assert np.array_equal(keys[out_values], out_keys)
+
+    def test_faithful_engine_not_stable_with_many_blocks(self, rng, small_config):
+        # Non-stability (§4.1): different completion seeds permute keys
+        # within sub-buckets.
+        keys = rng.integers(0, 2**32, 2000, dtype=np.uint64).astype(np.uint32)
+        a, _, _ = block_level_counting_sort(
+            keys, small_config, 0, completion_seed=1
+        )
+        b, _, _ = block_level_counting_sort(
+            keys, small_config, 0, completion_seed=2
+        )
+        assert not np.array_equal(a, b)
+        assert np.array_equal(np.sort(a), np.sort(b))

@@ -1,0 +1,115 @@
+"""Tests for the radix/digit geometry (§2.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.digits import DigitGeometry, extract_digit, extract_digit_lsd
+from repro.errors import ConfigurationError
+
+
+class TestGeometry:
+    def test_8bit_digits_32bit_keys(self):
+        g = DigitGeometry(32, 8)
+        assert g.num_digits == 4
+        assert g.radix == 256
+
+    def test_8bit_digits_64bit_keys(self):
+        # §6.1: 8 passes for 64-bit keys.
+        g = DigitGeometry(64, 8)
+        assert g.num_digits == 8
+
+    def test_cub_5bit_geometry(self):
+        # §6.1: "13 versus eight sorting passes" and "from seven to only
+        # four" — CUB's 5-bit digits give 7/13 passes.
+        assert DigitGeometry(32, 5).num_digits == 7
+        assert DigitGeometry(64, 5).num_digits == 13
+
+    def test_narrow_trailing_digit(self):
+        # Leading digits stay full width; the remainder lands at the end.
+        g = DigitGeometry(32, 5)
+        assert g.width_for(0) == 5
+        assert g.width_for(6) == 2
+        assert g.shift_for(0) == 27
+        assert g.shift_for(6) == 0
+
+    def test_shifts_decrease_to_zero(self):
+        g = DigitGeometry(32, 8)
+        assert [g.shift_for(i) for i in range(4)] == [24, 16, 8, 0]
+
+    def test_remaining_digits(self):
+        g = DigitGeometry(32, 8)
+        assert g.remaining_digits(0) == 4
+        assert g.remaining_digits(3) == 1
+
+    def test_remaining_bits_exact_division(self):
+        g = DigitGeometry(32, 8)
+        assert g.remaining_bits(0) == 32
+        assert g.remaining_bits(2) == 16
+        assert g.remaining_bits(4) == 0
+
+    def test_remaining_bits_narrow_trailing(self):
+        g = DigitGeometry(32, 5)
+        assert g.remaining_bits(0) == 32
+        assert g.remaining_bits(1) == 27
+        assert g.remaining_bits(6) == 2
+
+    def test_invalid_key_bits(self):
+        with pytest.raises(ConfigurationError):
+            DigitGeometry(48, 8)
+
+    def test_invalid_digit_index(self):
+        g = DigitGeometry(32, 8)
+        with pytest.raises(ConfigurationError):
+            g.shift_for(4)
+
+
+class TestExtraction:
+    def test_msd_digit_values(self):
+        g = DigitGeometry(32, 8)
+        keys = np.array([0xAABBCCDD], dtype=np.uint32)
+        assert extract_digit(keys, g, 0)[0] == 0xAA
+        assert extract_digit(keys, g, 1)[0] == 0xBB
+        assert extract_digit(keys, g, 2)[0] == 0xCC
+        assert extract_digit(keys, g, 3)[0] == 0xDD
+
+    def test_lsd_is_reversed_msd(self):
+        g = DigitGeometry(32, 8)
+        keys = np.array([0xAABBCCDD], dtype=np.uint32)
+        assert extract_digit_lsd(keys, g, 0)[0] == 0xDD
+        assert extract_digit_lsd(keys, g, 3)[0] == 0xAA
+
+    def test_returns_int64(self, rng):
+        g = DigitGeometry(64, 8)
+        keys = rng.integers(0, 2**64, 100, dtype=np.uint64)
+        digits = extract_digit(keys, g, 0)
+        assert digits.dtype == np.int64
+        assert digits.min() >= 0
+        assert digits.max() < 256
+
+    def test_digit_concatenation_reconstructs_key(self, rng):
+        g = DigitGeometry(32, 8)
+        keys = rng.integers(0, 2**32, 50, dtype=np.uint64).astype(np.uint32)
+        rebuilt = np.zeros_like(keys, dtype=np.uint64)
+        for i in range(g.num_digits):
+            rebuilt = (rebuilt << np.uint64(8)) | extract_digit(
+                keys, g, i
+            ).astype(np.uint64)
+        assert np.array_equal(rebuilt.astype(np.uint32), keys)
+
+    def test_narrow_trailing_digit_mask(self):
+        g = DigitGeometry(32, 5)
+        keys = np.array([0xFFFFFFFF], dtype=np.uint32)
+        assert extract_digit(keys, g, 6)[0] == 0b11
+        assert extract_digit(keys, g, 0)[0] == 0b11111
+
+    def test_sorting_by_all_digits_sorts_keys(self, rng):
+        # MSD-lexicographic digit order must equal numeric order.
+        g = DigitGeometry(32, 8)
+        keys = rng.integers(0, 2**32, 500, dtype=np.uint64).astype(np.uint32)
+        tuples = np.stack(
+            [extract_digit(keys, g, i) for i in range(g.num_digits)]
+        )
+        order = np.lexsort(tuples[::-1])
+        assert np.array_equal(keys[order], np.sort(keys))

@@ -1,0 +1,143 @@
+"""Tests for the histogram kernels and their statistics (§4.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import (
+    block_histograms,
+    bucket_histograms,
+    histogram_atomics_only,
+    histogram_thread_reduction,
+    max_digit_fraction,
+    measure_warp_conflict,
+    thread_reduction_ops_per_key,
+)
+
+
+class TestBucketHistograms:
+    def test_matches_bincount_per_bucket(self, rng):
+        digits = rng.integers(0, 16, 1000)
+        segments = np.repeat(np.arange(4), 250)
+        hist = bucket_histograms(digits, segments, 4, 16)
+        for b in range(4):
+            expected = np.bincount(digits[b * 250 : (b + 1) * 250], minlength=16)
+            assert np.array_equal(hist[b], expected)
+
+    def test_row_sums(self, rng):
+        digits = rng.integers(0, 8, 300)
+        segments = np.repeat(np.arange(3), 100)
+        hist = bucket_histograms(digits, segments, 3, 8)
+        assert hist.sum() == 300
+        assert np.all(hist.sum(axis=1) == 100)
+
+
+class TestBlockHistograms:
+    def test_blocks_partition_global_histogram(self, rng):
+        digits = rng.integers(0, 32, 1000)
+        offsets = np.array([0, 400, 800])
+        sizes = np.array([400, 400, 200])
+        per_block = block_histograms(digits, offsets, sizes, 32)
+        assert np.array_equal(
+            per_block.sum(axis=0), np.bincount(digits, minlength=32)
+        )
+
+    def test_region_offset(self, rng):
+        digits = rng.integers(0, 4, 100)
+        per_block = block_histograms(
+            digits, np.array([500]), np.array([100]), 4, region_offset=500
+        )
+        assert np.array_equal(per_block[0], np.bincount(digits, minlength=4))
+
+
+class TestKernelEquivalence:
+    """Both kernels must produce identical histograms (§4.3)."""
+
+    def test_histograms_equal(self, rng):
+        digits = rng.integers(0, 256, 5000)
+        h1, ops1 = histogram_atomics_only(digits, 256)
+        h2, ops2 = histogram_thread_reduction(digits, 256)
+        assert np.array_equal(h1, h2)
+
+    def test_atomics_only_ops_equal_keys(self, rng):
+        digits = rng.integers(0, 256, 777)
+        _, ops = histogram_atomics_only(digits, 256)
+        assert ops == 777
+
+    def test_thread_reduction_saves_ops_on_constant(self):
+        # One atomicAdd per 9-key run when all digits are equal.
+        digits = np.zeros(900, dtype=np.int64)
+        _, ops = histogram_thread_reduction(digits, 256)
+        assert ops == 100
+
+    def test_thread_reduction_no_worse_than_keys(self, rng):
+        digits = rng.integers(0, 256, 9 * 500)
+        _, ops = histogram_thread_reduction(digits, 256)
+        assert ops <= digits.size
+
+    def test_partial_tail_handled(self):
+        digits = np.array([3, 3, 3, 3, 3])  # shorter than one run
+        hist, ops = histogram_thread_reduction(digits, 8)
+        assert hist[3] == 5
+        assert ops == 1
+
+    def test_empty(self):
+        hist, ops = histogram_thread_reduction(np.empty(0, dtype=np.int64), 8)
+        assert ops == 0
+        assert hist.sum() == 0
+
+
+class TestWarpConflict:
+    def test_constant_is_full_warp(self):
+        digits = np.zeros(32 * 100, dtype=np.int64)
+        assert measure_warp_conflict(digits) == pytest.approx(32.0)
+
+    def test_uniform_is_low(self, rng):
+        digits = rng.integers(0, 256, 32 * 1000)
+        assert measure_warp_conflict(digits) < 4.0
+
+    def test_two_values_is_half_warp(self, rng):
+        digits = rng.integers(0, 2, 32 * 1000)
+        conflict = measure_warp_conflict(digits)
+        assert 16.0 <= conflict <= 22.0
+
+    def test_monotone_in_skew(self, rng):
+        conflicts = [
+            measure_warp_conflict(rng.integers(0, q, 32 * 500))
+            for q in (256, 16, 4, 2, 1)
+        ]
+        assert conflicts == sorted(conflicts)
+
+    def test_tiny_input(self):
+        assert measure_warp_conflict(np.array([1, 1, 2])) == 2.0
+
+    def test_empty(self):
+        assert measure_warp_conflict(np.empty(0, dtype=np.int64)) == 1.0
+
+
+class TestThreadReductionOps:
+    def test_constant_is_one_ninth(self):
+        digits = np.zeros(9 * 100, dtype=np.int64)
+        assert thread_reduction_ops_per_key(digits) == pytest.approx(1 / 9)
+
+    def test_uniform_is_near_one(self, rng):
+        digits = rng.integers(0, 256, 9 * 1000)
+        assert thread_reduction_ops_per_key(digits) > 0.9
+
+    def test_bounded(self, rng):
+        for q in (1, 2, 8, 64):
+            digits = rng.integers(0, q, 9 * 200)
+            ops = thread_reduction_ops_per_key(digits)
+            assert 1 / 9 <= ops <= 1.0
+
+
+class TestMaxDigitFraction:
+    def test_uniform(self):
+        assert max_digit_fraction(np.array([25, 25, 25, 25])) == 0.25
+
+    def test_constant(self):
+        assert max_digit_fraction(np.array([0, 100, 0])) == 1.0
+
+    def test_empty(self):
+        assert max_digit_fraction(np.zeros(4, dtype=np.int64)) == 0.0

@@ -1,0 +1,219 @@
+"""Tests for the hybrid radix sorter driver (§4.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SortConfig
+from repro.core.hybrid_sort import HybridRadixSorter
+from repro.errors import ConfigurationError
+from repro.gpu.device import SimulatedGPU
+from repro.workloads import constant_keys, staircase_keys, uniform_keys
+
+
+def _sorter(config):
+    return HybridRadixSorter(config=config)
+
+
+class TestCorrectness:
+    def test_uniform(self, rng, small_config):
+        keys = uniform_keys(5000, 32, rng)
+        result = _sorter(small_config).sort(keys)
+        assert np.array_equal(result.keys, np.sort(keys))
+
+    def test_constant(self, small_config):
+        keys = constant_keys(3000, 32, value=7)
+        result = _sorter(small_config).sort(keys)
+        assert np.array_equal(result.keys, keys)
+
+    def test_staircase(self, small_config):
+        keys = staircase_keys(4000, 32, steps=7)
+        result = _sorter(small_config).sort(keys)
+        assert np.array_equal(result.keys, np.sort(keys))
+
+    def test_presorted_and_reversed(self, rng, small_config):
+        keys = np.sort(uniform_keys(3000, 32, rng))
+        assert np.array_equal(_sorter(small_config).sort(keys).keys, keys)
+        rev = keys[::-1].copy()
+        assert np.array_equal(_sorter(small_config).sort(rev).keys, keys)
+
+    def test_input_not_mutated(self, rng, small_config):
+        keys = uniform_keys(2000, 32, rng)
+        copy = keys.copy()
+        _sorter(small_config).sort(keys)
+        assert np.array_equal(keys, copy)
+
+    def test_empty(self, small_config):
+        result = _sorter(small_config).sort(np.empty(0, dtype=np.uint32))
+        assert result.keys.size == 0
+        assert result.trace.finished_early
+
+    def test_single(self, small_config):
+        result = _sorter(small_config).sort(np.array([5], dtype=np.uint32))
+        assert result.keys.tolist() == [5]
+
+    def test_duplicates_heavy(self, rng, small_config):
+        keys = rng.integers(0, 4, 5000, dtype=np.uint64).astype(np.uint32)
+        result = _sorter(small_config).sort(keys)
+        assert np.array_equal(result.keys, np.sort(keys))
+
+    @pytest.mark.parametrize("n", [2, 127, 128, 129, 1000, 4097])
+    def test_boundary_sizes(self, rng, small_config, n):
+        keys = uniform_keys(n, 32, rng)
+        result = _sorter(small_config).sort(keys)
+        assert np.array_equal(result.keys, np.sort(keys))
+
+
+class TestDtypes:
+    def test_signed_int32(self, rng):
+        keys = rng.integers(-(2**31), 2**31, 50_000, dtype=np.int64).astype(np.int32)
+        result = HybridRadixSorter().sort(keys)
+        assert np.array_equal(result.keys, np.sort(keys))
+
+    def test_float32_with_negatives(self, rng):
+        keys = rng.normal(0, 1e10, 50_000).astype(np.float32)
+        result = HybridRadixSorter().sort(keys)
+        assert np.array_equal(result.keys, np.sort(keys))
+
+    def test_float64(self, rng):
+        keys = rng.normal(0, 1e100, 50_000).astype(np.float64)
+        result = HybridRadixSorter().sort(keys)
+        assert np.array_equal(result.keys, np.sort(keys))
+
+    def test_uint64(self, rng):
+        keys = rng.integers(0, 2**64, 50_000, dtype=np.uint64)
+        result = HybridRadixSorter().sort(keys)
+        assert np.array_equal(result.keys, np.sort(keys))
+
+    def test_config_layout_mismatch_rejected(self, rng, small_config):
+        keys = rng.integers(0, 2**64, 100, dtype=np.uint64)
+        with pytest.raises(ConfigurationError):
+            _sorter(small_config).sort(keys)  # 32-bit config, 64-bit keys
+
+
+class TestPairs:
+    def test_values_permuted_with_keys(self, rng, small_pair_config):
+        keys = uniform_keys(4000, 32, rng)
+        values = np.arange(4000, dtype=np.uint32)
+        result = _sorter(small_pair_config).sort(keys, values)
+        assert np.array_equal(result.keys, np.sort(keys))
+        assert np.array_equal(keys[result.values], result.keys)
+
+    def test_duplicate_keys_values_form_permutation(self, rng, small_pair_config):
+        keys = rng.integers(0, 16, 3000, dtype=np.uint64).astype(np.uint32)
+        values = np.arange(3000, dtype=np.uint32)
+        result = _sorter(small_pair_config).sort(keys, values)
+        assert np.array_equal(np.sort(result.values), values)
+        assert np.array_equal(keys[result.values], result.keys)
+
+    def test_shape_mismatch_rejected(self, rng, small_pair_config):
+        with pytest.raises(ConfigurationError):
+            _sorter(small_pair_config).sort(
+                np.zeros(10, dtype=np.uint32), np.zeros(5, dtype=np.uint32)
+            )
+
+
+class TestPassStructure:
+    def test_uniform_structure(self, rng, small_config):
+        # 5000 keys, ∂̂=128: pass 0 -> ~20-key buckets -> merged/local.
+        keys = uniform_keys(5000, 32, rng)
+        result = _sorter(small_config).sort(keys)
+        trace = result.trace
+        assert trace.num_counting_passes <= 2
+        assert trace.finished_early
+        assert trace.total_local_keys == 5000
+
+    def test_constant_runs_all_passes(self, small_config):
+        keys = constant_keys(2000, 32)
+        trace = _sorter(small_config).sort(keys).trace
+        assert trace.num_counting_passes == 4
+        assert not trace.finished_early
+        assert trace.total_local_keys == 0
+
+    def test_tiny_input_single_local_sort(self, rng, small_config):
+        keys = uniform_keys(100, 32, rng)
+        trace = _sorter(small_config).sort(keys).trace
+        assert trace.num_counting_passes == 0
+        assert trace.finished_early
+        assert trace.total_local_keys == 100
+
+    def test_keys_conserved_per_pass(self, rng, small_config):
+        keys = staircase_keys(6000, 32, steps=3)
+        trace = _sorter(small_config).sort(keys).trace
+        # Pass p processes exactly the keys still in counting buckets.
+        assert trace.counting_passes[0].n_keys == 6000
+        for prev, cur in zip(trace.counting_passes, trace.counting_passes[1:]):
+            assert cur.n_keys <= prev.n_keys
+
+    def test_final_buffer_rule(self, rng, small_config):
+        # ⌈32/8⌉ = 4 digits (even): the original input memory holds the
+        # result (§4.1's double-buffering rule).
+        keys = uniform_keys(1000, 32, rng)
+        trace = _sorter(small_config).sort(keys).trace
+        assert trace.final_buffer_index == 0
+
+    def test_merged_buckets_appear_for_tiny_subbuckets(self, rng, small_config):
+        # 3000 uniform keys over 256 first-digit values: ~12-key
+        # sub-buckets, well below ∂ = 40, so rule R3 must merge runs.
+        keys = uniform_keys(3000, 32, rng)
+        trace = _sorter(small_config).sort(keys).trace
+        assert any(p.n_merged_buckets > 0 for p in trace.counting_passes)
+
+
+class TestLaunchAccounting:
+    def test_constant_launches_per_pass(self, rng, small_config):
+        # §4.2: a constant number of kernel invocations per pass,
+        # independent of the bucket count.
+        device = SimulatedGPU()
+        sorter = HybridRadixSorter(config=small_config, device=device)
+        keys = staircase_keys(8000, 32, steps=50)
+        result = sorter.sort(keys)
+        max_configs = len(small_config.effective_configs)
+        for p in range(result.trace.num_counting_passes):
+            launches = device.launches_in_pass(p)
+            counting = [
+                l for l in launches if not l.name.startswith("local_sort")
+            ]
+            local = [l for l in launches if l.name.startswith("local_sort")]
+            assert len(counting) == 3
+            assert len(local) <= max_configs
+
+    def test_launch_names(self, rng, small_config):
+        device = SimulatedGPU()
+        sorter = HybridRadixSorter(config=small_config, device=device)
+        sorter.sort(uniform_keys(2000, 32, rng))
+        names = set(device.counters.launches_by_name)
+        assert "histogram" in names
+        assert "scatter" in names
+        assert "prefix_assign" in names
+
+
+class TestSimulatedTiming:
+    def test_positive_time(self, rng):
+        keys = uniform_keys(100_000, 32, rng)
+        result = HybridRadixSorter().sort(keys)
+        assert result.simulated_seconds > 0
+        assert result.breakdown.total == pytest.approx(
+            result.simulated_seconds
+        )
+
+    def test_breakdown_components_nonnegative(self, rng):
+        result = HybridRadixSorter().sort(uniform_keys(50_000, 32, rng))
+        b = result.breakdown
+        for part in (
+            b.histogram, b.scatter, b.local_sort,
+            b.bucket_management, b.launch_overhead,
+        ):
+            assert part >= 0.0
+
+    def test_more_keys_take_longer(self, rng):
+        small = HybridRadixSorter().sort(uniform_keys(100_000, 32, rng))
+        large = HybridRadixSorter().sort(uniform_keys(400_000, 32, rng))
+        assert large.simulated_seconds > small.simulated_seconds
+
+    def test_sorting_rate_reported(self, rng):
+        result = HybridRadixSorter().sort(uniform_keys(100_000, 32, rng))
+        assert result.sorting_rate() == pytest.approx(
+            result.keys.nbytes / result.simulated_seconds
+        )

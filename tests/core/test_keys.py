@@ -1,0 +1,105 @@
+"""Tests for the order-preserving key bijections (§4.6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.keys import (
+    SUPPORTED_DTYPES,
+    bits_dtype_for,
+    from_sortable_bits,
+    to_sortable_bits,
+)
+from repro.errors import UnsupportedDtypeError
+
+
+def _samples(dtype, rng):
+    dtype = np.dtype(dtype)
+    if dtype.kind == "f":
+        finite = rng.uniform(-1e30, 1e30, 500).astype(dtype)
+        special = np.array(
+            [0.0, -0.0, np.inf, -np.inf, 1e-45, -1e-45], dtype=dtype
+        )
+        return np.concatenate((finite, special))
+    info = np.iinfo(dtype)
+    bits = dtype.itemsize * 8
+    body = rng.integers(0, 2**bits, 500, dtype=np.uint64).astype(
+        np.dtype(f"u{dtype.itemsize}")
+    ).view(dtype)
+    edges = np.array([info.min, info.max, 0], dtype=dtype)
+    return np.concatenate((body, edges))
+
+
+@pytest.mark.parametrize("dtype", SUPPORTED_DTYPES, ids=str)
+class TestRoundTrip:
+    def test_roundtrip_identity(self, dtype, rng):
+        values = _samples(dtype, rng)
+        bits = to_sortable_bits(values)
+        back = from_sortable_bits(bits, dtype)
+        assert np.array_equal(back, values)
+
+    def test_order_preserved(self, dtype, rng):
+        values = _samples(dtype, rng)
+        bits = to_sortable_bits(values)
+        order = np.argsort(bits, kind="stable")
+        reference = np.argsort(values, kind="stable")
+        assert np.array_equal(values[order], values[reference])
+
+    def test_bits_dtype_unsigned(self, dtype, rng):
+        assert bits_dtype_for(dtype).kind == "u"
+
+
+class TestFloatEdgeCases:
+    def test_negative_sorts_before_positive(self):
+        values = np.array([1.0, -1.0, 0.5, -0.5], dtype=np.float32)
+        bits = to_sortable_bits(values)
+        assert np.array_equal(
+            values[np.argsort(bits)], np.sort(values)
+        )
+
+    def test_negative_zero_vs_positive_zero(self):
+        # -0.0 and 0.0 map to adjacent, ordered bit patterns.
+        bits = to_sortable_bits(np.array([-0.0, 0.0], dtype=np.float64))
+        assert bits[0] < bits[1]
+
+    def test_infinities_at_extremes(self):
+        values = np.array(
+            [np.inf, -np.inf, 0.0, 1e300, -1e300], dtype=np.float64
+        )
+        bits = to_sortable_bits(values)
+        assert bits.argmax() == 0
+        assert bits.argmin() == 1
+
+    def test_nan_sorts_last(self):
+        values = np.array([np.nan, np.inf, 0.0], dtype=np.float64)
+        bits = to_sortable_bits(values)
+        assert bits.argmax() == 0
+
+
+class TestSignedIntegers:
+    def test_min_maps_to_zero(self):
+        bits = to_sortable_bits(np.array([np.iinfo(np.int32).min], dtype=np.int32))
+        assert bits[0] == 0
+
+    def test_max_maps_to_all_ones(self):
+        bits = to_sortable_bits(np.array([np.iinfo(np.int64).max], dtype=np.int64))
+        assert bits[0] == np.uint64(0xFFFFFFFFFFFFFFFF)
+
+    def test_negative_below_positive(self):
+        bits = to_sortable_bits(np.array([-1, 1], dtype=np.int32))
+        assert bits[0] < bits[1]
+
+
+class TestRejections:
+    def test_unsupported_dtype(self):
+        with pytest.raises(UnsupportedDtypeError):
+            to_sortable_bits(np.array([1 + 2j]))
+
+    def test_unsupported_inverse(self):
+        with pytest.raises(UnsupportedDtypeError):
+            from_sortable_bits(np.array([1], dtype=np.uint32), np.complex64)
+
+    def test_unsupported_bits_dtype(self):
+        with pytest.raises(UnsupportedDtypeError):
+            bits_dtype_for(np.float16)

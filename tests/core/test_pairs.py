@@ -1,0 +1,59 @@
+"""Tests for coherent key-value layouts (§4.6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.pairs import decompose, make_records, record_dtype, recompose
+from repro.errors import ConfigurationError
+
+
+class TestRecords:
+    def test_roundtrip(self, rng):
+        keys = rng.integers(0, 2**32, 100, dtype=np.uint64).astype(np.uint32)
+        values = rng.integers(0, 2**32, 100, dtype=np.uint64).astype(np.uint32)
+        records = make_records(keys, values)
+        k, v = decompose(records)
+        assert np.array_equal(k, keys)
+        assert np.array_equal(v, values)
+        assert np.array_equal(recompose(k, v), records)
+
+    def test_record_dtype_fields(self):
+        dt = record_dtype(np.uint64, np.uint32)
+        assert dt.names == ("key", "value")
+        assert dt["key"] == np.uint64
+
+    def test_decompose_copies(self, rng):
+        keys = rng.integers(0, 100, 10, dtype=np.uint64).astype(np.uint32)
+        records = make_records(keys, keys.copy())
+        k, _ = decompose(records)
+        k[0] = 999
+        assert records["key"][0] != 999
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(ConfigurationError):
+            make_records(np.zeros(3, dtype=np.uint32), np.zeros(4, dtype=np.uint32))
+
+    def test_decompose_requires_fields(self):
+        with pytest.raises(ConfigurationError):
+            decompose(np.zeros(4, dtype=np.uint32))
+
+
+class TestSortRecords:
+    def test_end_to_end(self, rng):
+        keys = rng.integers(0, 2**32, 30_000, dtype=np.uint64).astype(np.uint32)
+        values = np.arange(30_000, dtype=np.uint32)
+        records = make_records(keys, values)
+        result = repro.sort_records(records)
+        sorted_records = result.meta["records"]
+        assert np.array_equal(sorted_records["key"], np.sort(keys))
+        assert np.array_equal(keys[sorted_records["value"]], sorted_records["key"])
+
+    def test_mixed_widths(self, rng):
+        keys = rng.integers(0, 2**64, 20_000, dtype=np.uint64)
+        values = rng.integers(0, 2**64, 20_000, dtype=np.uint64)
+        records = make_records(keys, values)
+        result = repro.sort_records(records)
+        assert np.array_equal(result.keys, np.sort(keys))

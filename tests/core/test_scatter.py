@@ -1,0 +1,165 @@
+"""Tests for the key-scattering engine (§4.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.scatter import (
+    BlockScatterEngine,
+    lookahead_ops_per_key,
+)
+from repro.errors import ConfigurationError
+
+
+def _scatter(keys, radix=4, kpb=16, seed=0xB10C, values=None, **kwargs):
+    keys = np.asarray(keys, dtype=np.uint32)
+    digits = (keys % radix).astype(np.int64)
+    hist = np.bincount(digits, minlength=radix)
+    sub_offsets = np.zeros(radix, dtype=np.int64)
+    np.cumsum(hist[:-1], out=sub_offsets[1:])
+    out = np.empty_like(keys)
+    out_values = np.empty_like(values) if values is not None else None
+    engine = BlockScatterEngine(radix=radix, completion_seed=seed, **kwargs)
+    engine.scatter_bucket(
+        keys, digits, sub_offsets, out, kpb, values=values, out_values=out_values
+    )
+    return out, out_values, sub_offsets, hist, engine
+
+
+class TestPartitionValidity:
+    def test_subbuckets_hold_right_digits(self, rng):
+        keys = rng.integers(0, 1000, 500, dtype=np.uint64).astype(np.uint32)
+        out, _, offsets, hist, _ = _scatter(keys, radix=4, kpb=32)
+        for d in range(4):
+            lo, hi = int(offsets[d]), int(offsets[d] + hist[d])
+            assert np.all(out[lo:hi] % 4 == d)
+
+    def test_output_is_permutation(self, rng):
+        keys = rng.integers(0, 1000, 333, dtype=np.uint64).astype(np.uint32)
+        out, _, _, _, _ = _scatter(keys, radix=8, kpb=50)
+        assert np.array_equal(np.sort(out), np.sort(keys))
+
+    def test_values_follow_keys(self, rng):
+        keys = rng.integers(0, 256, 200, dtype=np.uint64).astype(np.uint32)
+        values = np.arange(200, dtype=np.uint32)
+        out, out_values, _, _, _ = _scatter(
+            keys, radix=4, kpb=16, values=values
+        )
+        # Each carried value must point back at its original key.
+        assert np.array_equal(keys[out_values], out)
+
+
+class TestNonStability:
+    """The hybrid sort deliberately drops stability (§4.1, §4.3)."""
+
+    def test_different_completion_orders_permute_within_subbuckets(self, rng):
+        keys = rng.integers(0, 10_000, 400, dtype=np.uint64).astype(np.uint32)
+        out_a, _, offsets, hist, _ = _scatter(keys, radix=4, kpb=16, seed=1)
+        out_b, _, _, _, _ = _scatter(keys, radix=4, kpb=16, seed=2)
+        # Same multiset inside every sub-bucket...
+        for d in range(4):
+            lo, hi = int(offsets[d]), int(offsets[d] + hist[d])
+            assert np.array_equal(
+                np.sort(out_a[lo:hi]), np.sort(out_b[lo:hi])
+            )
+        # ... but not the same order overall (out-of-order completion).
+        assert not np.array_equal(out_a, out_b)
+
+    def test_single_block_is_stable(self, rng):
+        # With one block there is no completion race: stable result.
+        keys = rng.integers(0, 100, 50, dtype=np.uint64).astype(np.uint32)
+        out, _, _, _, _ = _scatter(keys, radix=4, kpb=64)
+        digits = keys % 4
+        expected = keys[np.argsort(digits, kind="stable")]
+        assert np.array_equal(out, expected)
+
+
+class TestOperationCounts:
+    def test_one_reservation_per_nonempty_subbucket_per_block(self, rng):
+        keys = rng.integers(0, 2**32, 320, dtype=np.uint64).astype(np.uint32)
+        _, _, _, _, engine = _scatter(keys, radix=4, kpb=32)
+        # 10 blocks x <=4 non-empty sub-buckets.
+        assert engine.stats.blocks_processed == 10
+        assert engine.stats.device_reservations <= 40
+
+    def test_uniform_blocks_do_not_use_lookahead(self, rng):
+        keys = rng.integers(0, 2**32, 320, dtype=np.uint64).astype(np.uint32)
+        _, _, _, _, engine = _scatter(keys, radix=4, kpb=32)
+        # Uniform over 4 digits: max fraction ~0.25 < 0.5 threshold.
+        assert engine.stats.lookahead_blocks == 0
+        assert engine.stats.shared_atomic_ops == 320
+
+    def test_constant_blocks_use_lookahead(self):
+        keys = np.zeros(300, dtype=np.uint32)
+        _, _, _, _, engine = _scatter(keys, radix=4, kpb=100)
+        assert engine.stats.lookahead_blocks == 3
+        # Look-ahead of two: one op per run of three keys, so each
+        # 100-key block needs ceil(100/3) = 34 reservations.
+        assert engine.stats.shared_atomic_ops == 3 * 34
+
+    def test_lookahead_disabled(self):
+        keys = np.zeros(300, dtype=np.uint32)
+        _, _, _, _, engine = _scatter(
+            keys, radix=4, kpb=100, use_lookahead=False
+        )
+        assert engine.stats.lookahead_blocks == 0
+        assert engine.stats.shared_atomic_ops == 300
+
+
+class TestLookaheadOps:
+    def test_constant_stream(self):
+        digits = np.zeros(3000, dtype=np.int64)
+        assert lookahead_ops_per_key(digits, depth=2) == pytest.approx(1 / 3)
+
+    def test_alternating_stream_no_combining(self):
+        digits = np.tile([0, 1], 1500).astype(np.int64)
+        assert lookahead_ops_per_key(digits, depth=2) == pytest.approx(1.0)
+
+    def test_depth_zero_is_one_op_per_key(self, rng):
+        digits = rng.integers(0, 4, 1000)
+        assert lookahead_ops_per_key(digits, depth=0) == pytest.approx(1.0)
+
+    def test_deeper_lookahead_combines_more(self):
+        digits = np.zeros(1200, dtype=np.int64)
+        d2 = lookahead_ops_per_key(digits, depth=2)
+        d5 = lookahead_ops_per_key(digits, depth=5)
+        assert d5 < d2
+
+    def test_invalid_depth(self):
+        with pytest.raises(ConfigurationError):
+            lookahead_ops_per_key(np.zeros(10, dtype=np.int64), depth=-1)
+
+    def test_empty(self):
+        assert lookahead_ops_per_key(np.empty(0, dtype=np.int64)) == 1.0
+
+
+class TestValidation:
+    def test_radix_too_small(self):
+        with pytest.raises(ConfigurationError):
+            BlockScatterEngine(radix=1)
+
+    def test_mismatched_digits(self):
+        engine = BlockScatterEngine(radix=4)
+        keys = np.zeros(10, dtype=np.uint32)
+        with pytest.raises(ConfigurationError):
+            engine.scatter_bucket(
+                keys,
+                np.zeros(5, dtype=np.int64),
+                np.zeros(4, dtype=np.int64),
+                np.empty_like(keys),
+                kpb=8,
+            )
+
+    def test_values_require_output(self):
+        engine = BlockScatterEngine(radix=4)
+        keys = np.zeros(10, dtype=np.uint32)
+        with pytest.raises(ConfigurationError):
+            engine.scatter_bucket(
+                keys,
+                np.zeros(10, dtype=np.int64),
+                np.zeros(4, dtype=np.int64),
+                np.empty_like(keys),
+                kpb=8,
+                values=np.zeros(10, dtype=np.uint32),
+            )

@@ -1,0 +1,81 @@
+"""Tests for the 9-input sorting network (§4.3)."""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+import pytest
+
+from repro.core.sorting_network import (
+    NETWORK_9,
+    batch_sort_network,
+    comparator_count,
+    sort9,
+)
+from repro.errors import ConfigurationError
+
+
+class TestNetworkStructure:
+    def test_25_comparators(self):
+        # §4.3: "a sorting network that involves 25 comparisons".
+        assert len(NETWORK_9) == 25
+        assert comparator_count() == 25
+
+    def test_indices_in_range(self):
+        for lo, hi in NETWORK_9:
+            assert 0 <= lo < 9
+            assert 0 <= hi < 9
+            assert lo != hi
+
+    def test_comparators_ordered(self):
+        # Compare-exchange pairs must be (low, high) oriented.
+        for lo, hi in NETWORK_9:
+            assert lo < hi
+
+    def test_unknown_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            comparator_count(8)
+
+
+class TestZeroOnePrinciple:
+    def test_all_512_binary_patterns(self):
+        # A comparator network sorts all inputs iff it sorts every 0/1
+        # sequence (Knuth's 0/1 principle) — exhaustive proof.
+        for bits in product([0, 1], repeat=9):
+            assert sort9(list(bits)) == sorted(bits)
+
+
+class TestScalarSort:
+    def test_random_values(self, rng):
+        for _ in range(50):
+            values = rng.integers(0, 256, 9).tolist()
+            assert sort9(values) == sorted(values)
+
+    def test_requires_nine(self):
+        with pytest.raises(ConfigurationError):
+            sort9([1, 2, 3])
+
+
+class TestBatchSort:
+    def test_matches_numpy(self, rng):
+        rows = rng.integers(0, 256, size=(500, 9))
+        assert np.array_equal(
+            batch_sort_network(rows), np.sort(rows, axis=1)
+        )
+
+    def test_input_not_mutated(self, rng):
+        rows = rng.integers(0, 256, size=(10, 9))
+        copy = rows.copy()
+        batch_sort_network(rows)
+        assert np.array_equal(rows, copy)
+
+    def test_duplicates_heavy(self, rng):
+        rows = rng.integers(0, 2, size=(200, 9))
+        assert np.array_equal(
+            batch_sort_network(rows), np.sort(rows, axis=1)
+        )
+
+    def test_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            batch_sort_network(np.zeros((4, 8)))

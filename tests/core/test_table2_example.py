@@ -1,0 +1,95 @@
+"""Table 2's worked example, reproduced end to end.
+
+The paper sorts 16 four-bit keys (base-4 notation) with d = 2 bits,
+r = 4, and ∂̂ = 3.  We embed the 4-bit keys in the top nibble of a byte
+so the first two MSD digits are exactly the example's two radix-4 digits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SortConfig
+from repro.core.hybrid_sort import HybridRadixSorter
+
+#: The example's keys in base-4: 31 12 01 23 12 22 12 00 11 10 10 31 03
+#: 13 12 03.
+TABLE2_BASE4 = [
+    (3, 1), (1, 2), (0, 1), (2, 3), (1, 2), (2, 2), (1, 2), (0, 0),
+    (1, 1), (1, 0), (1, 0), (3, 1), (0, 3), (1, 3), (1, 2), (0, 3),
+]
+
+#: Sorted output from the table's last row.
+TABLE2_SORTED_BASE4 = [
+    (0, 0), (0, 1), (0, 3), (0, 3), (1, 0), (1, 0), (1, 1), (1, 2),
+    (1, 2), (1, 2), (1, 2), (1, 3), (2, 2), (2, 3), (3, 1), (3, 1),
+]
+
+
+def _keys() -> np.ndarray:
+    # Digit values (a, b) become the top two 2-bit digits of a byte.
+    return np.array(
+        [(a << 6) | (b << 4) for a, b in TABLE2_BASE4], dtype=np.uint8
+    )
+
+
+def _config() -> SortConfig:
+    return SortConfig(
+        key_bits=8,
+        value_bits=0,
+        digit_bits=2,
+        kpb=16,
+        threads=4,
+        kpt=4,
+        local_threshold=3,
+        merge_threshold=3,
+        local_sort_configs=(2, 3),
+    )
+
+
+class TestTable2:
+    def test_sorted_output_matches_table(self):
+        result = HybridRadixSorter(config=_config()).sort(_keys())
+        expected = np.array(
+            [(a << 6) | (b << 4) for a, b in TABLE2_SORTED_BASE4],
+            dtype=np.uint8,
+        )
+        assert np.array_equal(result.keys, expected)
+
+    def test_first_pass_histogram(self):
+        # Table 2 row "histogram": 4 8 2 2.
+        result = HybridRadixSorter(config=_config()).sort(_keys())
+        trace = result.trace
+        first = trace.counting_passes[0]
+        assert first.n_keys == 16
+        assert first.n_buckets_in == 1
+
+    def test_first_pass_bucket_sizes(self):
+        # Buckets 0 and 1 (4 and 8 keys > ∂̂ = 3) continue; buckets 2
+        # and 3 (2 keys each <= 3) go to the local sort.
+        result = HybridRadixSorter(config=_config()).sort(_keys())
+        first = result.trace.counting_passes[0]
+        assert first.n_next_buckets == 2
+        assert first.n_local_buckets == 2
+
+    def test_second_pass_covers_remaining_12_keys(self):
+        result = HybridRadixSorter(config=_config()).sort(_keys())
+        second = result.trace.counting_passes[1]
+        assert second.n_keys == 12
+        assert second.n_buckets_in == 2
+
+    def test_prefix_sums_match_table(self):
+        # Table 2: prefix-sum over the first histogram is 0 4 12 14 —
+        # i.e. bucket 1 spans offsets [4, 12) and must contain the eight
+        # keys whose first digit is 1.
+        result = HybridRadixSorter(config=_config()).sort(_keys())
+        firsts = result.keys >> np.uint8(6)
+        assert np.array_equal(
+            np.flatnonzero(firsts == 1), np.arange(4, 12)
+        )
+
+    def test_example_uses_radix_4(self):
+        config = _config()
+        assert config.radix == 4
+        assert config.geometry.num_digits == 4

@@ -1,0 +1,79 @@
+"""Tests that the calibration constants stay consistent with the paper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost.calibration import Calibration, DEFAULT_CALIBRATION
+
+
+class TestAtomicsAnchors:
+    def test_full_serialisation_gives_1_7g(self):
+        c = DEFAULT_CALIBRATION
+        assert c.hist_atomic_conflict_free / 32 == pytest.approx(
+            1.7e9, rel=0.01
+        )
+
+    def test_saturated_rate_covers_32bit_requirement(self):
+        # Must exceed 8*BW/(k*|SMs|) ≈ 3.30 G keys/SM/s so a uniform
+        # distribution can reach peak bandwidth (§4.3).
+        assert DEFAULT_CALIBRATION.hist_atomic_saturated >= 3.3e9
+
+    def test_scatter_compute_coefficients_positive(self):
+        c = DEFAULT_CALIBRATION
+        assert c.scatter_base_seconds_per_key > 0
+        assert c.scatter_conflict_seconds_per_key > 0
+
+    def test_scatter_serialisation_stays_secondary_for_64bit(self):
+        # Figures 12/14: even full serialisation must not push the
+        # 64-bit scatter past its memory time (which is what makes the
+        # look-ahead column all-zero for 64-bit keys).
+        c = DEFAULT_CALIBRATION
+        full = (
+            c.scatter_base_seconds_per_key
+            + c.scatter_conflict_seconds_per_key * 32
+        )
+        mem_per_key_per_sm = 28 * (8 + 8 / 0.9) / 369.17e9
+        assert full < mem_per_key_per_sm
+
+
+class TestLocalSortRates:
+    def test_all_table3_layouts_covered(self):
+        for layout in [(32, 0), (64, 0), (32, 32), (64, 64)]:
+            assert layout in DEFAULT_CALIBRATION.local_digit_rates
+
+    def test_rates_positive(self):
+        for rate in DEFAULT_CALIBRATION.local_digit_rates.values():
+            assert rate > 0
+
+
+class TestCpuMergeAnchors:
+    def test_merge_width_is_four(self):
+        # §6.2: the six-core host cannot efficiently merge more than
+        # four chunks at a time.
+        assert DEFAULT_CALIBRATION.cpu_merge_width == 4
+
+    def test_64gb_merge_near_9_3_seconds(self):
+        # Figure 9 discussion: merging 64 GB (16 runs, two passes) takes
+        # ~9.3 s on the six-core host.
+        c = DEFAULT_CALIBRATION
+        passes = 2
+        stream = 64e9 / c.cpu_merge_bandwidth
+        compare = (64e9 / 16) * c.cpu_merge_per_record
+        total = passes * (stream + compare)
+        assert total == pytest.approx(9.3, rel=0.1)
+
+
+class TestOverrides:
+    def test_custom_calibration_is_frozen_dataclass(self):
+        c = Calibration(cpu_merge_width=8)
+        assert c.cpu_merge_width == 8
+        with pytest.raises(AttributeError):
+            c.cpu_merge_width = 2
+
+    def test_pass_overheads_ordered(self):
+        # CUB's per-pass fixed cost is lower than the hybrid's (§6.1:
+        # "incurring a slightly lower constant overhead, CUB has an
+        # edge" for small inputs).
+        c = DEFAULT_CALIBRATION
+        assert c.lsd_pass_fixed_overhead < c.hybrid_pass_fixed_overhead

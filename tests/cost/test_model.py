@@ -1,0 +1,213 @@
+"""Tests for the cost model and its calibration anchors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SortConfig
+from repro.core.hybrid_sort import HybridRadixSorter
+from repro.cost.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.cost.model import CostModel, LSDCostPreset, MergeSortCostPreset
+from repro.types import BlockStats, CountingPassTrace, SortTrace
+from repro.workloads import constant_keys, uniform_keys
+
+
+def _pass_trace(n=10**6, conflict=2.0, hist_ops=1.0, scatter_ops=1.0,
+                skew=0.0, key_bytes=4, value_bytes=0, blocks=None,
+                nonempty=200.0):
+    blocks = blocks if blocks is not None else max(1, n // 6912)
+    return CountingPassTrace(
+        pass_index=0,
+        n_keys=n,
+        n_buckets_in=1,
+        n_blocks=blocks,
+        n_subbuckets_nonempty=256,
+        n_merged_buckets=0,
+        n_local_buckets=0,
+        n_next_buckets=256,
+        block_stats=BlockStats(
+            warp_conflict=conflict,
+            hist_ops_per_key=hist_ops,
+            scatter_ops_per_key=scatter_ops,
+            lookahead_active_fraction=1.0 if skew > 0.5 else 0.0,
+            max_digit_fraction=skew,
+        ),
+        key_bytes=key_bytes,
+        value_bytes=value_bytes,
+        avg_nonempty_per_block=nonempty,
+    )
+
+
+def _trace(passes, n=10**6, key_bits=32):
+    return SortTrace(
+        n=n,
+        key_bits=key_bits,
+        value_bits=0,
+        counting_passes=tuple(passes),
+        local_sorts=(),
+        finished_early=False,
+        final_buffer_index=0,
+    )
+
+
+class TestHybridPricing:
+    def test_uniform_pass_is_bandwidth_bound(self):
+        model = CostModel()
+        config = SortConfig.for_keys(32)
+        n = 10**8
+        t = model.price_hybrid(_trace([_pass_trace(n=n)], n=n), config)
+        bw_floor = (3 * n * 4) / model.spec.effective_bandwidth
+        assert t.total >= bw_floor
+        # At scale, overheads stay a small fraction of the memory time.
+        assert t.total <= 1.5 * bw_floor
+
+    def test_serialised_histogram_slower(self):
+        model = CostModel()
+        config = SortConfig.for_keys(32)
+        fast = model.price_hybrid(
+            _trace([_pass_trace(conflict=1.5)]), config
+        )
+        slow = model.price_hybrid(
+            _trace([_pass_trace(conflict=32.0, skew=1.0, nonempty=1.0)]),
+            config,
+        )
+        assert slow.histogram > fast.histogram
+
+    def test_thread_reduction_mitigates_serialisation(self):
+        model = CostModel()
+        config = SortConfig.for_keys(32)
+        plain = model.price_hybrid(
+            _trace([_pass_trace(conflict=32.0, hist_ops=1.0)]), config
+        )
+        reduced = model.price_hybrid(
+            _trace([_pass_trace(conflict=32.0, hist_ops=1 / 9)]), config
+        )
+        assert reduced.histogram < plain.histogram
+
+    def test_lookahead_mitigates_scatter(self):
+        model = CostModel()
+        config = SortConfig.for_keys(32)
+        plain = model.price_hybrid(
+            _trace([_pass_trace(conflict=32.0, scatter_ops=1.0)]), config
+        )
+        combined = model.price_hybrid(
+            _trace([_pass_trace(conflict=32.0, scatter_ops=1 / 3)]), config
+        )
+        assert combined.scatter < plain.scatter
+
+    def test_64bit_keys_tolerate_serialisation(self):
+        # Figures 12/14: thread reduction has no effect for 64-bit keys —
+        # the per-SM requirement is halved (§4.3).
+        model = CostModel()
+        config = SortConfig.for_keys(64)
+        plain = model.price_hybrid(
+            _trace(
+                [_pass_trace(conflict=32.0, hist_ops=1.0, key_bytes=8)],
+                key_bits=64,
+            ),
+            config,
+        )
+        reduced = model.price_hybrid(
+            _trace(
+                [_pass_trace(conflict=32.0, hist_ops=1 / 9, key_bytes=8)],
+                key_bits=64,
+            ),
+            config,
+        )
+        assert plain.histogram == pytest.approx(reduced.histogram, rel=0.02)
+
+    def test_launch_overhead_per_pass(self):
+        model = CostModel()
+        config = SortConfig.for_keys(32)
+        one = model.price_hybrid(_trace([_pass_trace()]), config)
+        two = model.price_hybrid(
+            _trace([_pass_trace(), _pass_trace()]), config
+        )
+        assert two.launch_overhead == pytest.approx(
+            2 * one.launch_overhead
+        )
+
+
+class TestLSDPricing:
+    def test_passes_scale_time(self):
+        model = CostModel()
+        five = model.price_lsd(10**8, 4, 0, LSDCostPreset("a", 5))
+        eight = model.price_lsd(10**8, 4, 0, LSDCostPreset("a", 8))
+        assert five / eight == pytest.approx(7 / 4, rel=0.02)
+
+    def test_efficiency_scales_time(self):
+        model = CostModel()
+        full = model.price_lsd(10**8, 4, 0, LSDCostPreset("a", 5, 1.0))
+        half = model.price_lsd(10**8, 4, 0, LSDCostPreset("a", 5, 0.5))
+        assert half == pytest.approx(2 * full, rel=0.05)
+
+    def test_compute_bound_cap(self):
+        model = CostModel()
+        capped = model.price_lsd(
+            10**8, 4, 0, LSDCostPreset("a", 5, compute_rate=0.1e9)
+        )
+        free = model.price_lsd(10**8, 4, 0, LSDCostPreset("a", 5))
+        assert capped > free
+
+
+class TestMergeSortPricing:
+    def test_log_passes(self):
+        preset = MergeSortCostPreset("m", block_size=1024)
+        assert preset.merge_passes_for(1024) == 0
+        assert preset.merge_passes_for(2048) == 1
+        assert preset.merge_passes_for(1 << 20) == 10
+
+    def test_larger_inputs_lower_rate(self):
+        model = CostModel()
+        preset = MergeSortCostPreset("m")
+        r1 = (10**7 * 4) / model.price_mergesort(10**7, 4, 0, preset)
+        r2 = (10**9 * 4) / model.price_mergesort(10**9, 4, 0, preset)
+        assert r2 < r1
+
+
+class TestEndToEndCalibration:
+    """The headline Figure 6 anchors, via the real sorter at small n."""
+
+    def test_hybrid_beats_cub_at_calibrated_scale(self, rng):
+        from repro.baselines import CubRadixSort
+        from repro.bench.scaling import simulate_sort_at_scale
+
+        keys = uniform_keys(1 << 20, 32, rng)
+        hybrid = simulate_sort_at_scale(keys, 500_000_000)
+        cub = CubRadixSort("1.5.1").simulated_seconds(500_000_000, 4)
+        speedup = cub / hybrid.simulated_seconds
+        # §6.1: "more than a two-fold speed-up over CUB" for uniform.
+        assert speedup > 1.9
+
+    def test_constant_distribution_ratio(self):
+        from repro.baselines import CubRadixSort
+        from repro.bench.scaling import simulate_sort_at_scale
+
+        keys = constant_keys(1 << 20, 32)
+        hybrid = simulate_sort_at_scale(keys, 500_000_000)
+        cub = CubRadixSort("1.5.1").simulated_seconds(500_000_000, 4)
+        speedup = cub / hybrid.simulated_seconds
+        # §6.1: ~1.7x at zero entropy, ≥1.58 everywhere (±tolerance).
+        assert 1.5 <= speedup <= 2.0
+
+
+class TestHistogramUtilisation:
+    def test_figure2_shape(self):
+        model = CostModel()
+        atomics = model._hist_atomics
+        utils_plain = [
+            model.histogram_utilisation(atomics.uniform_conflict(q), 4)
+            for q in (1, 2, 3, 4, 8, 64, 256)
+        ]
+        # Rises from ~50% to saturation by q=3 (§4.3, Figure 2).
+        assert utils_plain[0] < 0.6
+        assert all(u >= 0.9 for u in utils_plain[2:])
+        utils_reduced = [
+            model.histogram_utilisation(
+                atomics.uniform_conflict(q), 4,
+                ops_per_key=1 / 9, thread_reduction=True,
+            )
+            for q in (1, 2, 3, 4, 8, 64, 256)
+        ]
+        assert all(u >= 0.9 for u in utils_reduced)

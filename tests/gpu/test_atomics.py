@@ -1,0 +1,108 @@
+"""Tests for the shared-memory atomic throughput model (§4.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.atomics import AtomicThroughputModel
+from repro.gpu.spec import TITAN_X_PASCAL
+
+
+@pytest.fixture
+def model() -> AtomicThroughputModel:
+    return AtomicThroughputModel(TITAN_X_PASCAL)
+
+
+class TestSerialization:
+    def test_full_conflict_hits_paper_rate(self, model):
+        # §4.3: "an average throughput of only 1.7 billion 32-bit keys
+        # per SM per second" for a constant distribution.
+        rate = model.update_rate(warp_conflict=32.0)
+        assert rate == pytest.approx(1.7e9, rel=0.01)
+
+    def test_no_conflict_is_saturated(self, model):
+        # §4.3: "as much as 3.3 billion updates per SM per second".
+        rate = model.update_rate(warp_conflict=1.0)
+        assert rate == pytest.approx(model.saturated_rate)
+        assert rate >= 3.3e9
+
+    def test_conflict_below_one_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.update_rate(0.5)
+
+    def test_monotone_in_conflict(self, model):
+        rates = [model.update_rate(c) for c in (1, 2, 4, 8, 16, 32)]
+        assert rates == sorted(rates, reverse=True)
+
+
+class TestUniformConflict:
+    def test_q1_is_full_warp(self, model):
+        assert model.uniform_conflict(1) == pytest.approx(32.0)
+
+    def test_large_q_low_conflict(self, model):
+        assert model.uniform_conflict(256) < 3.0
+
+    def test_invalid_q(self, model):
+        with pytest.raises(ConfigurationError):
+            model.uniform_conflict(0)
+
+
+class TestKeyRate:
+    def test_ops_per_key_scales_rate(self, model):
+        # Thread reduction: one op per 9-key run of equal values.
+        combined = model.key_rate(32.0, ops_per_key=1 / 9)
+        single = model.key_rate(32.0, ops_per_key=1.0)
+        assert combined == pytest.approx(9 * single)
+
+    def test_invalid_ops(self, model):
+        with pytest.raises(ConfigurationError):
+            model.key_rate(1.0, ops_per_key=0.0)
+
+
+class TestBandwidthUtilisation:
+    """The shape of Figure 2."""
+
+    def test_constant_distribution_is_half(self, model):
+        # atomics only at q=1: ~1.7 / ~3.3 required ≈ 52 %.
+        util = model.bandwidth_utilisation(
+            model.uniform_conflict(1), key_bytes=4
+        )
+        assert 0.40 <= util <= 0.60
+
+    def test_q3_saturates(self, model):
+        # §4.3: "for a uniform distribution over q distinct digit
+        # values, with q >= 3 ... almost achieving peak memory bandwidth".
+        util = model.bandwidth_utilisation(
+            model.uniform_conflict(3), key_bytes=4
+        )
+        assert util >= 0.90
+
+    def test_monotone_in_q(self, model):
+        utils = [
+            model.bandwidth_utilisation(model.uniform_conflict(q), 4)
+            for q in (1, 2, 3, 4, 8, 64, 256)
+        ]
+        assert utils == sorted(utils)
+
+    def test_never_exceeds_one(self, model):
+        for q in (1, 2, 3, 16, 256):
+            assert (
+                model.bandwidth_utilisation(model.uniform_conflict(q), 4)
+                <= 1.0
+            )
+
+    def test_64bit_keys_tolerate_full_serialization(self, model):
+        # §4.3's requirement 8*BW/(k*|SMs|) halves for 64-bit keys —
+        # the reason Figures 12/14 show no thread-reduction effect.
+        util = model.bandwidth_utilisation(
+            model.uniform_conflict(1), key_bytes=8
+        )
+        assert util >= 0.95
+
+    def test_compute_cap_applies(self, model):
+        capped = model.bandwidth_utilisation(
+            1.0, 4, compute_rate=1.0e9
+        )
+        uncapped = model.bandwidth_utilisation(1.0, 4)
+        assert capped < uncapped

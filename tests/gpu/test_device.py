@@ -1,0 +1,154 @@
+"""Tests for the simulated device facade and the PCIe link."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, DeviceStateError, ResourceExhaustedError
+from repro.gpu.device import SimulatedGPU, Timeline
+from repro.gpu.kernel import KernelLaunch, LaunchConfig
+from repro.gpu.pcie import PCIeLink
+from repro.gpu.spec import TITAN_X_PASCAL
+
+
+class TestTimeline:
+    def test_accumulates(self):
+        t = Timeline()
+        t.add("pass0/histogram", 1.0)
+        t.add("pass0/histogram", 0.5)
+        assert t.get("pass0/histogram") == pytest.approx(1.5)
+
+    def test_total_and_prefix(self):
+        t = Timeline()
+        t.add("pass0/histogram", 1.0)
+        t.add("pass0/scatter", 2.0)
+        t.add("pass1/histogram", 3.0)
+        assert t.total() == pytest.approx(6.0)
+        assert t.by_prefix("pass0/") == pytest.approx(3.0)
+
+    def test_negative_rejected(self):
+        t = Timeline()
+        with pytest.raises(DeviceStateError):
+            t.add("x", -1.0)
+
+    def test_phase_order_preserved(self):
+        t = Timeline()
+        t.add("b", 1.0)
+        t.add("a", 1.0)
+        assert [name for name, _ in t.phases()] == ["b", "a"]
+
+
+class TestAllocations:
+    def test_allocate_and_free(self):
+        gpu = SimulatedGPU()
+        gpu.allocate("input", 1 << 30)
+        assert gpu.allocated_bytes == 1 << 30
+        gpu.free("input")
+        assert gpu.allocated_bytes == 0
+
+    def test_overcommit_rejected(self):
+        gpu = SimulatedGPU()
+        with pytest.raises(ResourceExhaustedError):
+            gpu.allocate("huge", TITAN_X_PASCAL.device_memory_bytes + 1)
+
+    def test_duplicate_tag_rejected(self):
+        gpu = SimulatedGPU()
+        gpu.allocate("a", 100)
+        with pytest.raises(DeviceStateError):
+            gpu.allocate("a", 100)
+
+    def test_double_free_rejected(self):
+        gpu = SimulatedGPU()
+        gpu.allocate("a", 100)
+        gpu.free("a")
+        with pytest.raises(DeviceStateError):
+            gpu.free("a")
+
+    def test_three_chunk_layout_fits_4gb_chunks(self):
+        # §5: "larger chunks that may take up almost one third of the
+        # available device memory".
+        gpu = SimulatedGPU()
+        chunk = TITAN_X_PASCAL.device_memory_bytes // 3
+        for tag in ("sorting", "auxiliary", "staging"):
+            gpu.allocate(tag, chunk)
+        assert gpu.free_bytes < chunk
+
+
+class TestLaunchAccounting:
+    def test_counters_accumulate(self):
+        gpu = SimulatedGPU()
+        gpu.record_launch(
+            KernelLaunch(
+                name="histogram",
+                config=LaunchConfig(10, 384),
+                bytes_read=100.0,
+                bytes_written=50.0,
+                pass_index=0,
+            )
+        )
+        assert gpu.counters.kernel_launches == 1
+        assert gpu.counters.bytes_total == pytest.approx(150.0)
+        assert gpu.counters.launches_by_name["histogram"] == 1
+
+    def test_launches_in_pass(self):
+        gpu = SimulatedGPU()
+        for p in (0, 0, 1):
+            gpu.record_launch(
+                KernelLaunch(
+                    name="k", config=LaunchConfig(1, 32), pass_index=p
+                )
+            )
+        assert len(gpu.launches_in_pass(0)) == 2
+        assert len(gpu.launches_in_pass(1)) == 1
+
+    def test_reset_keeps_allocations(self):
+        gpu = SimulatedGPU()
+        gpu.allocate("a", 64)
+        gpu.record_launch(
+            KernelLaunch(name="k", config=LaunchConfig(1, 32))
+        )
+        gpu.reset()
+        assert gpu.counters.kernel_launches == 0
+        assert gpu.allocated_bytes == 64
+
+
+class TestLaunchConfig:
+    def test_total_threads(self):
+        assert LaunchConfig(4, 256).total_threads == 1024
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            LaunchConfig(-1, 32)
+        with pytest.raises(ConfigurationError):
+            LaunchConfig(1, 0)
+
+
+class TestPCIeLink:
+    def test_fig8_anchor(self):
+        # 6 GB in ~540 ms.
+        link = PCIeLink.for_spec(TITAN_X_PASCAL)
+        assert link.transfer_time(6e9) == pytest.approx(0.540, rel=0.001)
+
+    def test_full_duplex(self):
+        link = PCIeLink(bandwidth=10e9)
+        # Concurrent transfers cost the max, not the sum.
+        assert link.duplex_time(10e9, 10e9) == pytest.approx(
+            link.transfer_time(10e9)
+        )
+
+    def test_zero_bytes_free(self):
+        link = PCIeLink(bandwidth=10e9)
+        assert link.transfer_time(0) == 0.0
+
+    def test_latency_added(self):
+        link = PCIeLink(bandwidth=10e9, latency=1e-3)
+        assert link.transfer_time(10e9) == pytest.approx(1.001)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            PCIeLink(bandwidth=0.0)
+
+    def test_negative_bytes(self):
+        link = PCIeLink(bandwidth=10e9)
+        with pytest.raises(ConfigurationError):
+            link.transfer_time(-1.0)

@@ -1,0 +1,39 @@
+"""Tests for kernel-launch records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.kernel import KernelLaunch, LaunchConfig
+
+
+class TestKernelLaunch:
+    def test_bytes_total(self):
+        launch = KernelLaunch(
+            name="scatter",
+            config=LaunchConfig(8, 384),
+            bytes_read=100.0,
+            bytes_written=50.0,
+        )
+        assert launch.bytes_total == pytest.approx(150.0)
+
+    def test_defaults(self):
+        launch = KernelLaunch(name="k", config=LaunchConfig(1, 32))
+        assert launch.bytes_total == 0.0
+        assert launch.pass_index == -1
+        assert launch.metadata == {}
+
+    def test_metadata_carried(self):
+        launch = KernelLaunch(
+            name="k", config=LaunchConfig(1, 32), metadata={"digit": 3}
+        )
+        assert launch.metadata["digit"] == 3
+
+    def test_zero_grid_allowed(self):
+        # Empty launches are representable (a pass with no work).
+        assert LaunchConfig(0, 32).total_threads == 0
+
+    def test_invalid_threads(self):
+        with pytest.raises(ConfigurationError):
+            LaunchConfig(1, -5)

@@ -1,0 +1,93 @@
+"""Tests for the memory-transaction model, anchored to §4.4's arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.memory import MemoryTransactionModel, TransferDirection
+from repro.gpu.spec import TITAN_X_PASCAL
+
+
+@pytest.fixture
+def model() -> MemoryTransactionModel:
+    return MemoryTransactionModel(TITAN_X_PASCAL)
+
+
+class TestTransactionCounts:
+    def test_exact_multiple(self, model):
+        assert model.transactions_for(64) == 2
+
+    def test_rounds_up(self, model):
+        assert model.transactions_for(33) == 2
+
+    def test_zero(self, model):
+        assert model.transactions_for(0) == 0
+
+    def test_negative_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.transactions_for(-1)
+
+
+class TestScatterEfficiency:
+    """§4.4: the digit-width trade-off that selects d = 8."""
+
+    def test_paper_worst_case_8_bits(self, model):
+        # "yields 80% for using eight-bit digits with a radix of 256"
+        # for a 32 768-byte block with T = 32.
+        eff = model.worst_case_scatter_efficiency(32768, 8)
+        assert eff == pytest.approx(0.80, abs=0.005)
+
+    def test_paper_worst_case_9_bits(self, model):
+        eff = model.worst_case_scatter_efficiency(32768, 9)
+        assert eff == pytest.approx(2 / 3, abs=0.005)
+
+    def test_paper_worst_case_10_bits(self, model):
+        eff = model.worst_case_scatter_efficiency(32768, 10)
+        assert eff == pytest.approx(0.50, abs=0.005)
+
+    def test_paper_worst_case_11_bits(self, model):
+        eff = model.worst_case_scatter_efficiency(32768, 11)
+        assert eff == pytest.approx(1 / 3, abs=0.005)
+
+    def test_lower_bound_1024_transactions(self, model):
+        # §4.4: a 32 768-byte block requires "a minimum of 1 024
+        # transactions for T = 32 bytes".
+        est = model.scatter_estimate(32768, 256)
+        assert est.lower == 1024
+
+    def test_expected_between_bounds(self, model):
+        est = model.scatter_estimate(32768, 256)
+        assert est.lower <= est.expected <= est.upper
+
+    def test_known_nonempty_tightens_expected(self, model):
+        dense = model.scatter_estimate(32768, 256, non_empty_buckets=256)
+        sparse = model.scatter_estimate(32768, 256, non_empty_buckets=1)
+        assert sparse.expected < dense.expected
+
+    def test_invalid_radix(self, model):
+        with pytest.raises(ConfigurationError):
+            model.scatter_estimate(1024, 0)
+
+
+class TestTimeForBytes:
+    def test_bandwidth_division(self, model):
+        t = model.time_for_bytes(TITAN_X_PASCAL.effective_bandwidth)
+        assert t == pytest.approx(1.0)
+
+    def test_efficiency_scales_time(self, model):
+        base = model.time_for_bytes(1e9)
+        half = model.time_for_bytes(1e9, efficiency=0.5)
+        assert half == pytest.approx(2 * base)
+
+    def test_invalid_efficiency(self, model):
+        with pytest.raises(ConfigurationError):
+            model.time_for_bytes(1.0, efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            model.time_for_bytes(1.0, efficiency=1.5)
+
+
+class TestTransferDirection:
+    def test_enum_values(self):
+        assert TransferDirection.READ.value == "read"
+        assert TransferDirection.WRITE.value == "write"

@@ -1,0 +1,112 @@
+"""Tests for the SM occupancy model, including §2.2's worked example."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, ResourceExhaustedError
+from repro.gpu.occupancy import BlockResources, occupancy
+from repro.gpu.spec import GPUSpec, TITAN_X_PASCAL
+
+
+def _spec_96kb() -> GPUSpec:
+    """The §2.2 example SM: 96 KB shared memory, 65 536 registers."""
+    return GPUSpec(
+        name="example",
+        sm_count=1,
+        cores_per_sm=128,
+        clock_hz=1e9,
+        device_memory_bytes=1 << 30,
+        peak_bandwidth=100e9,
+        effective_bandwidth=90e9,
+        shared_memory_per_sm=96 * 1024,
+        shared_memory_per_block=48 * 1024,
+        registers_per_sm=65536,
+        max_threads_per_sm=2048,
+    )
+
+
+class TestPaperExample:
+    def test_eight_blocks_of_256_threads(self):
+        # §2.2: 96 KB shared / 65 536 registers hosts "up to eight thread
+        # blocks of 256 threads, if each block requires eight KB of
+        # shared memory and 16 registers per thread".
+        block = BlockResources(
+            threads=256,
+            shared_memory_bytes=8 * 1024,
+            registers_per_thread=16,
+        )
+        result = occupancy(_spec_96kb(), block)
+        assert result.blocks_per_sm == 8
+        assert result.resident_threads == 2048
+        assert result.occupancy_fraction == pytest.approx(1.0)
+
+
+class TestLimitingResources:
+    def test_shared_memory_limits(self):
+        block = BlockResources(
+            threads=64, shared_memory_bytes=40 * 1024, registers_per_thread=16
+        )
+        result = occupancy(_spec_96kb(), block)
+        assert result.blocks_per_sm == 2
+        assert result.limiting_resource == "shared_memory"
+
+    def test_registers_limit(self):
+        block = BlockResources(
+            threads=256, shared_memory_bytes=1024, registers_per_thread=128
+        )
+        result = occupancy(_spec_96kb(), block)
+        assert result.limiting_resource == "registers"
+        assert result.blocks_per_sm == 2
+
+    def test_threads_limit(self):
+        block = BlockResources(
+            threads=1024, shared_memory_bytes=0, registers_per_thread=16
+        )
+        result = occupancy(_spec_96kb(), block)
+        assert result.limiting_resource == "threads"
+        assert result.blocks_per_sm == 2
+
+
+class TestRejections:
+    def test_oversized_block_shared_memory(self):
+        block = BlockResources(
+            threads=64,
+            shared_memory_bytes=49 * 1024,
+            registers_per_thread=16,
+        )
+        with pytest.raises(ResourceExhaustedError):
+            occupancy(_spec_96kb(), block)
+
+    def test_too_many_threads_per_block(self):
+        block = BlockResources(
+            threads=2048, shared_memory_bytes=0, registers_per_thread=16
+        )
+        with pytest.raises(ResourceExhaustedError):
+            occupancy(_spec_96kb(), block)
+
+    def test_register_overflow(self):
+        block = BlockResources(
+            threads=1024, shared_memory_bytes=0, registers_per_thread=255
+        )
+        with pytest.raises(ResourceExhaustedError):
+            occupancy(_spec_96kb(), block)
+
+    def test_invalid_block(self):
+        with pytest.raises(ConfigurationError):
+            BlockResources(
+                threads=0, shared_memory_bytes=0, registers_per_thread=16
+            )
+
+
+class TestTitanXScatterKernels:
+    def test_table3_scatter_blocks_fit(self):
+        from repro.core.config import TABLE3_PRESETS
+
+        for config in TABLE3_PRESETS.values():
+            result = occupancy(
+                TITAN_X_PASCAL, config.scatter_block_resources()
+            )
+            # §6: parameters chosen "in order to improve the occupancy" —
+            # at least two scatter blocks stay resident per SM.
+            assert result.blocks_per_sm >= 2

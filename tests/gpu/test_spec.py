@@ -1,0 +1,101 @@
+"""Tests for the GPU hardware specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.spec import GPUSpec, GTX_980, TESLA_P100, TITAN_X_PASCAL
+
+
+class TestTitanXPascal:
+    """The paper's §6 evaluation platform."""
+
+    def test_core_count(self):
+        # §6: "3 584 cores"
+        assert TITAN_X_PASCAL.total_cores == 3584
+
+    def test_base_clock(self):
+        # §6: "a base clock of 1 417 MHz"
+        assert TITAN_X_PASCAL.clock_hz == pytest.approx(1.417e9)
+
+    def test_device_memory(self):
+        # §6: "12 GB device memory"
+        assert TITAN_X_PASCAL.device_memory_bytes == 12 * 1024**3
+
+    def test_effective_bandwidth_matches_microbenchmark(self):
+        # Figure 2 caption: "peak throughput of 369.17 GB/s"
+        assert TITAN_X_PASCAL.effective_bandwidth == pytest.approx(369.17e9)
+
+    def test_required_histogram_throughput_32bit(self):
+        # §4.3: "3-4.5 billion 32-bit keys per SM per second"
+        rate = TITAN_X_PASCAL.required_histogram_throughput(4)
+        assert 3.0e9 <= rate <= 4.5e9
+
+    def test_required_histogram_throughput_64bit_is_half(self):
+        rate32 = TITAN_X_PASCAL.required_histogram_throughput(4)
+        rate64 = TITAN_X_PASCAL.required_histogram_throughput(8)
+        assert rate64 == pytest.approx(rate32 / 2)
+
+    def test_pcie_bandwidth_matches_figure8(self):
+        # Figure 8: 6 GB host-to-device in 540 ms.
+        seconds = 6e9 / TITAN_X_PASCAL.pcie_bandwidth
+        assert seconds == pytest.approx(0.540, rel=1e-6)
+
+
+class TestOtherSpecs:
+    def test_p100_bandwidth_exceeds_titan(self):
+        # §2.2: "device memory that provides transfer rates of up to
+        # 750 GB/s" (P100 whitepaper).
+        assert TESLA_P100.peak_bandwidth > TITAN_X_PASCAL.peak_bandwidth
+
+    def test_gtx980_is_maxwell_scale(self):
+        assert GTX_980.sm_count == 16
+        assert GTX_980.total_cores == 2048
+
+
+class TestValidation:
+    def test_effective_cannot_exceed_peak(self):
+        with pytest.raises(ConfigurationError):
+            GPUSpec(
+                name="bad",
+                sm_count=1,
+                cores_per_sm=64,
+                clock_hz=1e9,
+                device_memory_bytes=1 << 30,
+                peak_bandwidth=100e9,
+                effective_bandwidth=200e9,
+                shared_memory_per_sm=64 << 10,
+                shared_memory_per_block=48 << 10,
+                registers_per_sm=65536,
+            )
+
+    def test_block_shared_memory_within_sm(self):
+        with pytest.raises(ConfigurationError):
+            GPUSpec(
+                name="bad",
+                sm_count=1,
+                cores_per_sm=64,
+                clock_hz=1e9,
+                device_memory_bytes=1 << 30,
+                peak_bandwidth=100e9,
+                effective_bandwidth=90e9,
+                shared_memory_per_sm=32 << 10,
+                shared_memory_per_block=48 << 10,
+                registers_per_sm=65536,
+            )
+
+    def test_positive_sm_count(self):
+        with pytest.raises(ConfigurationError):
+            GPUSpec(
+                name="bad",
+                sm_count=0,
+                cores_per_sm=64,
+                clock_hz=1e9,
+                device_memory_bytes=1 << 30,
+                peak_bandwidth=100e9,
+                effective_bandwidth=90e9,
+                shared_memory_per_sm=64 << 10,
+                shared_memory_per_block=48 << 10,
+                registers_per_sm=65536,
+            )

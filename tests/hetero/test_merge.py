@@ -1,0 +1,90 @@
+"""Tests for the CPU multiway merge (functional + cost model)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cost.calibration import Calibration
+from repro.errors import ConfigurationError
+from repro.hetero.merge import CpuMergeModel, kway_merge, kway_merge_pairs
+
+
+class TestKwayMerge:
+    def test_two_runs(self, rng):
+        a = np.sort(rng.integers(0, 1000, 100, dtype=np.uint64))
+        b = np.sort(rng.integers(0, 1000, 150, dtype=np.uint64))
+        merged = kway_merge([a, b])
+        assert np.array_equal(merged, np.sort(np.concatenate((a, b))))
+
+    def test_sixteen_runs(self, rng):
+        runs = [
+            np.sort(rng.integers(0, 10_000, rng.integers(1, 200), dtype=np.uint64))
+            for _ in range(16)
+        ]
+        merged = kway_merge(runs)
+        assert np.array_equal(merged, np.sort(np.concatenate(runs)))
+
+    def test_empty_runs_skipped(self, rng):
+        a = np.sort(rng.integers(0, 100, 50, dtype=np.uint64))
+        merged = kway_merge([np.empty(0, dtype=np.uint64), a])
+        assert np.array_equal(merged, a)
+
+    def test_no_runs(self):
+        assert kway_merge([]).size == 0
+
+    def test_single_run_copied(self, rng):
+        a = np.sort(rng.integers(0, 100, 10, dtype=np.uint64))
+        merged = kway_merge([a])
+        merged[0] = 999
+        assert a[0] != 999
+
+
+class TestKwayMergePairs:
+    def test_values_follow_keys(self, rng):
+        keys = rng.integers(0, 1000, 300, dtype=np.uint64)
+        values = np.arange(300, dtype=np.uint64)
+        order = np.argsort(keys[:150], kind="stable")
+        k1, v1 = keys[:150][order], values[:150][order]
+        order = np.argsort(keys[150:], kind="stable")
+        k2, v2 = keys[150:][order], values[150:][order]
+        mk, mv = kway_merge_pairs([k1, k2], [v1, v2])
+        assert np.array_equal(mk, np.sort(keys))
+        assert np.array_equal(keys[mv], mk)
+
+    def test_mismatched_lists(self):
+        with pytest.raises(ConfigurationError):
+            kway_merge_pairs([np.zeros(1, dtype=np.uint64)], [])
+
+    def test_empty(self):
+        mk, mv = kway_merge_pairs([], [])
+        assert mk.size == 0
+        assert mv.size == 0
+
+
+class TestCpuMergeModel:
+    def test_single_run_is_free(self):
+        model = CpuMergeModel()
+        assert model.merge_seconds(10**9, 1) == 0.0
+
+    def test_one_pass_up_to_width_four(self):
+        # §6.2: the six-core host merges up to four chunks in one pass.
+        model = CpuMergeModel()
+        assert model.merge_passes(2) == 1
+        assert model.merge_passes(4) == 1
+        assert model.merge_passes(5) == 2
+        assert model.merge_passes(16) == 2
+
+    def test_64gb_merge_anchor(self):
+        # Figure 9: ~9.3 s to merge 64 GB of 16 runs.
+        model = CpuMergeModel()
+        t = model.merge_seconds(64 * 10**9, 16, record_bytes=16)
+        assert t == pytest.approx(9.3, rel=0.1)
+
+    def test_wider_host_needs_fewer_passes(self):
+        wide = CpuMergeModel(Calibration(cpu_merge_width=16))
+        assert wide.merge_passes(16) == 1
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CpuMergeModel().merge_seconds(-1, 4)

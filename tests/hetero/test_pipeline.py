@@ -1,0 +1,115 @@
+"""Tests for the pipelined schedule simulator (§5, Figure 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hetero.pipeline import simulate_pipeline
+
+
+def _uniform(s, up=1.0, sort=0.3, down=1.0, **kwargs):
+    return simulate_pipeline(
+        [up] * s, [sort] * s, [down] * s, **kwargs
+    )
+
+
+class TestResourceConstraints:
+    def test_uploads_serialise(self):
+        sched = _uniform(4)
+        for a, b in zip(sched.chunks, sched.chunks[1:]):
+            assert b.upload.start >= a.upload.end
+
+    def test_gpu_serialises(self):
+        sched = _uniform(4)
+        for a, b in zip(sched.chunks, sched.chunks[1:]):
+            assert b.sort.start >= a.sort.end
+
+    def test_downloads_serialise(self):
+        sched = _uniform(4)
+        for a, b in zip(sched.chunks, sched.chunks[1:]):
+            assert b.download.start >= a.download.end
+
+    def test_stage_order_per_chunk(self):
+        sched = _uniform(5)
+        for c in sched.chunks:
+            assert c.upload.end <= c.sort.start
+            assert c.sort.end <= c.download.start
+
+    def test_full_duplex_overlap_exists(self):
+        # Uploads and downloads of different chunks run concurrently.
+        sched = _uniform(4)
+        c1_down = sched.chunks[1].download
+        c3_up = sched.chunks[3].upload
+        assert c3_up.start < c1_down.end
+
+
+class TestBufferConstraints:
+    def test_in_place_replacement_refills_behind_download(self):
+        sched = _uniform(6, in_place_replacement=True)
+        for i in range(2, 6):
+            assert (
+                sched.chunks[i].upload.start
+                >= sched.chunks[i - 2].download.start
+            )
+
+    def test_four_buffer_waits_for_drain(self):
+        sched = _uniform(6, in_place_replacement=False)
+        for i in range(3, 6):
+            assert (
+                sched.chunks[i].upload.start
+                >= sched.chunks[i - 3].download.end
+            )
+
+    def test_four_buffers_never_slower_at_equal_chunk_count(self):
+        # Downloads serialise, so the four-buffer wait (chunk i-3 fully
+        # drained) is always at most the three-buffer wait (chunk i-2's
+        # download started): relaxing memory never delays the schedule.
+        three = _uniform(8, in_place_replacement=True)
+        four = _uniform(8, in_place_replacement=False)
+        assert four.makespan <= three.makespan
+
+
+class TestMakespanShape:
+    def test_approaches_one_way_transfer_time(self):
+        # §5: for large s the chunked sort time approaches the one-way
+        # PCIe time (here total upload = 16).
+        total = 16.0
+        sched = simulate_pipeline(
+            [total / 16] * 16, [0.05] * 16, [total / 16] * 16
+        )
+        assert sched.makespan <= total * 1.2
+
+    def test_analytic_bound_formula(self):
+        sched = _uniform(4, up=1.0, sort=0.3, down=1.0)
+        # T_HtD/s + max(T_HtD, T_S, T_DtH) + T_DtH/s.
+        assert sched.analytic_bound() == pytest.approx(1.0 + 4.0 + 1.0)
+
+    def test_makespan_at_most_serial_time(self):
+        sched = _uniform(4)
+        serial = 4 * (1.0 + 0.3 + 1.0)
+        assert sched.makespan <= serial
+
+    def test_gpu_bound_pipeline(self):
+        # When sorting dominates, makespan ≈ total sort time.
+        sched = _uniform(8, up=0.1, sort=2.0, down=0.1)
+        assert sched.makespan == pytest.approx(0.1 + 16.0 + 0.1, rel=0.01)
+
+    def test_more_chunks_reduce_makespan(self):
+        few = _uniform(2, up=2.0, sort=0.5, down=2.0)
+        many = simulate_pipeline([0.5] * 8, [0.125] * 8, [0.5] * 8)
+        assert many.makespan < few.makespan
+
+
+class TestEdgeCases:
+    def test_empty(self):
+        sched = simulate_pipeline([], [], [])
+        assert sched.makespan == 0.0
+
+    def test_single_chunk_is_serial(self):
+        sched = _uniform(1)
+        assert sched.makespan == pytest.approx(2.3)
+
+    def test_mismatched_lists(self):
+        with pytest.raises(ConfigurationError):
+            simulate_pipeline([1.0], [1.0, 2.0], [1.0])

@@ -1,0 +1,67 @@
+"""§6.2's outlook: a stronger host moves the optimum chunk count.
+
+"A more powerful host system will see a lower minimum for a higher
+number of s, given that it efficiently merges eight, 16, or even more
+chunks at a time."  The merge-width parameter of the CPU model makes
+this directly testable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost.calibration import Calibration
+from repro.hetero.merge import CpuMergeModel
+from repro.hetero.sorter import HeterogeneousSorter
+from repro.workloads import generate_pairs, uniform_keys
+
+GB = 10**9
+
+
+def _best_chunk_count(sorter, keys, values, candidates=(2, 3, 4, 8, 16)):
+    totals = {
+        s: sorter.simulate(6 * GB, keys, values, n_chunks=s).total_seconds
+        for s in candidates
+    }
+    return min(totals, key=totals.get), totals
+
+
+@pytest.fixture(scope="module")
+def sample():
+    import numpy as np
+
+    rng = np.random.default_rng(0xAB)
+    keys = uniform_keys(1 << 18, 64, rng)
+    return generate_pairs(keys, 64)
+
+
+class TestWideHost:
+    def test_six_core_optimum_is_four(self, sample):
+        keys, values = sample
+        best, _ = _best_chunk_count(HeterogeneousSorter(), keys, values)
+        assert best == 4
+
+    def test_sixteen_wide_host_prefers_more_chunks(self, sample):
+        keys, values = sample
+        wide_merge = CpuMergeModel(
+            Calibration(cpu_merge_width=16, cpu_merge_bandwidth=34.0e9)
+        )
+        sorter = HeterogeneousSorter(merge_model=wide_merge)
+        best, totals = _best_chunk_count(sorter, keys, values)
+        assert best >= 8
+        # And the wide host is strictly faster end to end.
+        six_core_best = _best_chunk_count(
+            HeterogeneousSorter(), keys, values
+        )[1]
+        assert totals[best] < min(six_core_best.values())
+
+    def test_width_only_changes_merge_component(self, sample):
+        keys, values = sample
+        narrow = HeterogeneousSorter().simulate(6 * GB, keys, values, n_chunks=8)
+        wide = HeterogeneousSorter(
+            merge_model=CpuMergeModel(Calibration(cpu_merge_width=16))
+        ).simulate(6 * GB, keys, values, n_chunks=8)
+        assert wide.chunked_sort_seconds == pytest.approx(
+            narrow.chunked_sort_seconds
+        )
+        assert wide.merge_seconds < narrow.merge_seconds

@@ -1,0 +1,61 @@
+"""Cross-device integration: the model generalises beyond the Titan X.
+
+The cost model is parameterised by :class:`~repro.gpu.spec.GPUSpec`;
+running the same workloads on the GTX 980 and Tesla P100 presets must
+preserve the paper's qualitative results while scaling with the
+hardware (§2.2 motivates exactly this bandwidth-driven reasoning).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.scaling import simulate_sort_at_scale
+from repro.cost.model import CostModel, LSDCostPreset
+from repro.gpu.spec import GTX_980, TESLA_P100, TITAN_X_PASCAL
+from repro.workloads import uniform_keys
+
+
+class TestDeviceScaling:
+    def test_p100_faster_than_titan(self, rng):
+        keys = uniform_keys(1 << 19, 32, rng)
+        titan = simulate_sort_at_scale(keys, 100_000_000, spec=TITAN_X_PASCAL)
+        p100 = simulate_sort_at_scale(keys, 100_000_000, spec=TESLA_P100)
+        assert p100.simulated_seconds < titan.simulated_seconds
+
+    def test_gtx980_slower_than_titan(self, rng):
+        keys = uniform_keys(1 << 19, 32, rng)
+        titan = simulate_sort_at_scale(keys, 100_000_000, spec=TITAN_X_PASCAL)
+        gtx = simulate_sort_at_scale(keys, 100_000_000, spec=GTX_980)
+        assert gtx.simulated_seconds > titan.simulated_seconds
+
+    def test_speedup_ratio_roughly_bandwidth_bound(self, rng):
+        # At paper scale the sort is bandwidth-bound, so device time
+        # roughly follows effective bandwidth.
+        keys = uniform_keys(1 << 19, 32, rng)
+        titan = simulate_sort_at_scale(keys, 500_000_000, spec=TITAN_X_PASCAL)
+        p100 = simulate_sort_at_scale(keys, 500_000_000, spec=TESLA_P100)
+        bw_ratio = (
+            TESLA_P100.effective_bandwidth
+            / TITAN_X_PASCAL.effective_bandwidth
+        )
+        time_ratio = titan.simulated_seconds / p100.simulated_seconds
+        assert time_ratio == pytest.approx(bw_ratio, rel=0.35)
+
+    def test_hybrid_still_beats_cub_on_other_devices(self, rng):
+        keys = uniform_keys(1 << 19, 32, rng)
+        preset = LSDCostPreset("CUB", 5, 0.88)
+        for spec in (GTX_980, TESLA_P100):
+            hybrid = simulate_sort_at_scale(keys, 100_000_000, spec=spec)
+            cub = CostModel(spec).price_lsd(100_000_000, 4, 0, preset)
+            assert cub / hybrid.simulated_seconds > 1.4
+
+    def test_titan_required_throughput_in_paper_band(self):
+        # §4.3: "a required throughput of 3-4.5 billion 32-bit keys per
+        # SM per second" across recent GPUs — the paper computes it from
+        # *theoretical* peak bandwidth; our effective-bandwidth variant
+        # sits slightly below for the many-SM P100.
+        assert 3.0e9 <= TITAN_X_PASCAL.required_histogram_throughput(4) <= 4.5e9
+        peak_based = TESLA_P100.peak_bandwidth / (4 * TESLA_P100.sm_count)
+        assert 3.0e9 <= peak_based <= 4.5e9

@@ -1,0 +1,153 @@
+"""The paper's headline quantitative claims, asserted as shape checks.
+
+These tests regenerate the evaluation's key comparisons at benchmark
+scale (2**19-2**20-key samples priced at the paper's 2 GB inputs) and
+assert the *shape*: who wins, by roughly what factor, where crossovers
+fall.  Absolute numbers live in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CubRadixSort,
+    MergeSortBaseline,
+    MultisplitSort,
+    SatishRadixSort,
+    ThrustRadixSort,
+)
+from repro.bench.scaling import simulate_sort_at_scale
+from repro.workloads import (
+    ENTROPY_LADDER_32,
+    generate_entropy_keys,
+    generate_pairs,
+)
+
+SAMPLE_N = 1 << 19
+TARGET_32 = 500_000_000  # 2 GB of 32-bit keys
+GB = 1e9
+
+
+@pytest.fixture(scope="module")
+def entropy_rates():
+    """Hybrid-vs-baseline rates across the full 32-bit entropy ladder."""
+    rng = np.random.default_rng(20170514)
+    rates = {}
+    cub = CubRadixSort("1.5.1").simulated_seconds(TARGET_32, 4)
+    for level in ENTROPY_LADDER_32:
+        keys = generate_entropy_keys(SAMPLE_N, 32, level.and_depth, rng)
+        out = simulate_sort_at_scale(keys, TARGET_32)
+        assert out.sorted_ok
+        rates[level.entropy_bits] = {
+            "hybrid": out.sorting_rate,
+            "cub": TARGET_32 * 4 / cub,
+        }
+    return rates
+
+
+class TestFigure6Claims:
+    def test_hybrid_beats_cub_at_every_entropy(self, entropy_rates):
+        # §6.1: "no less than a 1.69-fold speed-up over CUB" (32-bit).
+        for entropy, r in entropy_rates.items():
+            assert r["hybrid"] / r["cub"] >= 1.55, entropy
+
+    def test_uniform_speedup_over_two(self, entropy_rates):
+        # §6.1: "more than a two-fold speed-up over CUB" at 32 bits.
+        r = entropy_rates[32.0]
+        assert r["hybrid"] / r["cub"] >= 2.0
+
+    def test_speedup_declines_with_skew(self, entropy_rates):
+        # "the performance surplus due to the local sort declines for
+        # increasingly skewed distributions".
+        speedups = [
+            entropy_rates[e]["hybrid"] / entropy_rates[e]["cub"]
+            for e in (32.0, 17.39, 6.42, 0.0)
+        ]
+        assert speedups[0] >= speedups[-1]
+
+    def test_other_baselines_below_cub(self):
+        cub = CubRadixSort("1.5.1").simulated_seconds(TARGET_32, 4)
+        for baseline in (ThrustRadixSort(), SatishRadixSort(), MergeSortBaseline()):
+            assert baseline.simulated_seconds(TARGET_32, 4) > cub
+
+    def test_constant_speedup_matches_pass_arithmetic(self, entropy_rates):
+        # §6.1: at 0 entropy the gain "boils down to the reduced number
+        # of counting sort passes": ~1.7x for 32-bit keys, within the
+        # paper's ">= 97% of the expected theoretical speed-up" band.
+        ratio = entropy_rates[0.0]["hybrid"] / entropy_rates[0.0]["cub"]
+        assert 1.55 <= ratio <= 1.95
+
+
+class TestPairClaims:
+    def test_pairs_sort_faster_per_byte_than_keys(self):
+        # §6.1: "a 20% increase in the amount of data being sorted per
+        # second" for pairs (2.5 vs 3 input traversals per pass).
+        rng = np.random.default_rng(7)
+        keys32 = generate_entropy_keys(SAMPLE_N, 32, 0, rng)
+        keys_only = simulate_sort_at_scale(keys32, TARGET_32)
+        pk, pv = generate_pairs(
+            generate_entropy_keys(SAMPLE_N, 32, 0, rng), 32
+        )
+        pairs = simulate_sort_at_scale(pk, TARGET_32 // 2, values=pv)
+        gain = pairs.sorting_rate / keys_only.sorting_rate
+        assert gain == pytest.approx(1.2, abs=0.12)
+
+    def test_64_64_fourfold_over_cub(self):
+        # §6.1: "a 2.32-fold and a four-fold improvement for 32/32 and
+        # 64/64 pairs" over CUB at uniform.
+        rng = np.random.default_rng(11)
+        keys, values = generate_pairs(
+            generate_entropy_keys(SAMPLE_N, 64, 0, rng), 64
+        )
+        hybrid = simulate_sort_at_scale(keys, 125_000_000, values=values)
+        cub = CubRadixSort("1.5.1").simulated_seconds(125_000_000, 8, 8)
+        assert cub / hybrid.simulated_seconds == pytest.approx(3.7, abs=0.5)
+
+
+class TestFigure7Claims:
+    def test_crossover_against_cub_worst_case(self):
+        # §6.1: on the 0-entropy distribution the hybrid sort overtakes
+        # CUB "for inputs larger than 1.9 million keys" (64-bit).
+        rng = np.random.default_rng(3)
+        cub = CubRadixSort("1.5.1")
+        sample = generate_entropy_keys(1 << 17, 64, None, rng)
+
+        def hybrid_time(n):
+            return simulate_sort_at_scale(
+                sample[: min(sample.size, n)], n
+            ).simulated_seconds
+
+        small_n = 400_000
+        large_n = 16_000_000
+        assert hybrid_time(small_n) > cub.simulated_seconds(small_n, 8)
+        assert hybrid_time(large_n) < cub.simulated_seconds(large_n, 8)
+
+    def test_uniform_hybrid_wins_at_all_sizes(self):
+        rng = np.random.default_rng(5)
+        cub = CubRadixSort("1.5.1")
+        for n in (300_000, 2_000_000, 50_000_000):
+            sample = generate_entropy_keys(min(n, 1 << 18), 64, 0, rng)
+            hybrid = simulate_sort_at_scale(sample, n)
+            assert hybrid.simulated_seconds < cub.simulated_seconds(n, 8)
+
+
+class TestAppendixClaims:
+    def test_hybrid_vs_cub164(self):
+        # Appendix A: ≥1.32x over CUB 1.6.4 for any non-constant
+        # distribution, up to ~1.56x at uniform (32-bit keys).
+        rng = np.random.default_rng(13)
+        cub164 = CubRadixSort("1.6.4").simulated_seconds(TARGET_32, 4)
+        uniform = simulate_sort_at_scale(
+            generate_entropy_keys(SAMPLE_N, 32, 0, rng), TARGET_32
+        )
+        assert cub164 / uniform.simulated_seconds == pytest.approx(
+            1.56, abs=0.2
+        )
+
+    def test_multisplit_ordering(self):
+        ms = MultisplitSort().simulated_seconds(TARGET_32, 4)
+        cub151 = CubRadixSort("1.5.1").simulated_seconds(TARGET_32, 4)
+        cub164 = CubRadixSort("1.6.4").simulated_seconds(TARGET_32, 4)
+        assert cub164 < ms < cub151

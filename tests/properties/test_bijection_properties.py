@@ -1,0 +1,70 @@
+"""Property-based tests for the order-preserving bijections (§4.6)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.keys import from_sortable_bits, to_sortable_bits
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(-(2**31), 2**31 - 1), st.integers(-(2**31), 2**31 - 1))
+def test_int32_order_preserved(a, b):
+    arr = np.array([a, b], dtype=np.int32)
+    bits = to_sortable_bits(arr)
+    assert (a < b) == (bits[0] < bits[1])
+    assert (a == b) == (bits[0] == bits[1])
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(-(2**63), 2**63 - 1), st.integers(-(2**63), 2**63 - 1))
+def test_int64_order_preserved(a, b):
+    arr = np.array([a, b], dtype=np.int64)
+    bits = to_sortable_bits(arr)
+    assert (a < b) == (bits[0] < bits[1])
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.floats(allow_nan=False, width=32),
+    st.floats(allow_nan=False, width=32),
+)
+def test_float32_order_preserved(a, b):
+    arr = np.array([a, b], dtype=np.float32)
+    bits = to_sortable_bits(arr)
+    va, vb = arr[0], arr[1]
+    if va < vb:
+        assert bits[0] < bits[1]
+    elif va > vb:
+        assert bits[0] > bits[1]
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.floats(allow_nan=False, width=64))
+def test_float64_roundtrip(x):
+    arr = np.array([x], dtype=np.float64)
+    back = from_sortable_bits(to_sortable_bits(arr), np.float64)
+    assert back[0] == arr[0] or (np.isnan(back[0]) and np.isnan(arr[0]))
+    # Bit-exact roundtrip, including signed zeros.
+    assert back.tobytes() == arr.tobytes()
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, 2**64 - 1))
+def test_uint64_identity(x):
+    arr = np.array([x], dtype=np.uint64)
+    bits = to_sortable_bits(arr)
+    assert bits[0] == arr[0]
+    assert from_sortable_bits(bits, np.uint64)[0] == x
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.floats(allow_nan=False, width=64), min_size=2, max_size=100)
+)
+def test_float64_argsort_agreement(values):
+    arr = np.array(values, dtype=np.float64)
+    bits = to_sortable_bits(arr)
+    assert np.array_equal(np.sort(arr), arr[np.argsort(bits, kind="stable")])

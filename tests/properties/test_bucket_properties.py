@@ -1,0 +1,115 @@
+"""Property-based tests for bucket partitioning and the §4.5 bounds."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bucket import partition_subbuckets, subdivide_into_blocks
+
+counts_matrices = st.lists(
+    st.lists(st.integers(0, 300), min_size=8, max_size=8),
+    min_size=1,
+    max_size=12,
+).map(lambda rows: np.array(rows, dtype=np.int64))
+
+
+def _offsets_for(counts):
+    totals = counts.sum(axis=1)
+    return np.concatenate(([0], np.cumsum(totals)[:-1]))
+
+
+@settings(max_examples=80, deadline=None)
+@given(counts_matrices, st.integers(1, 128), st.integers(0, 128))
+def test_partition_conserves_keys(counts, merge_extra, local_extra):
+    merge = merge_extra
+    local = merge + local_extra
+    out = partition_subbuckets(
+        _offsets_for(counts), counts, merge, local
+    )
+    assert out.local_sizes.sum() + out.next_sizes.sum() == counts.sum()
+
+
+@settings(max_examples=80, deadline=None)
+@given(counts_matrices)
+def test_classification_thresholds(counts):
+    merge, local = 40, 128
+    out = partition_subbuckets(_offsets_for(counts), counts, merge, local)
+    # R1/R2: local buckets fit ∂̂, counting buckets exceed it.
+    assert np.all(out.local_sizes <= local)
+    assert np.all(out.local_sizes >= 1)
+    assert np.all(out.next_sizes > local)
+    # R3: merged buckets stay below ∂.
+    assert np.all(out.local_sizes[out.local_is_merged] < merge)
+
+
+@settings(max_examples=80, deadline=None)
+@given(counts_matrices)
+def test_extents_disjoint_and_within_parents(counts):
+    offsets = _offsets_for(counts)
+    out = partition_subbuckets(offsets, counts, 40, 128)
+    spans = sorted(
+        list(zip(out.local_offsets.tolist(), out.local_sizes.tolist()))
+        + list(zip(out.next_offsets.tolist(), out.next_sizes.tolist()))
+    )
+    for (o1, s1), (o2, _) in zip(spans, spans[1:]):
+        assert o1 + s1 <= o2
+    if spans:
+        assert spans[0][0] >= 0
+        assert spans[-1][0] + spans[-1][1] <= counts.sum() + offsets[0]
+
+
+@settings(max_examples=60, deadline=None)
+@given(counts_matrices)
+def test_merging_never_increases_bucket_count(counts):
+    offsets = _offsets_for(counts)
+    merged = partition_subbuckets(offsets, counts, 40, 128, True)
+    unmerged = partition_subbuckets(offsets, counts, 40, 128, False)
+    assert (
+        merged.n_local + merged.n_next
+        <= unmerged.n_local + unmerged.n_next
+    )
+    # Counting buckets are identical either way.
+    assert np.array_equal(merged.next_offsets, unmerged.next_offsets)
+
+
+@settings(max_examples=60, deadline=None)
+@given(counts_matrices)
+def test_i3_adjacent_locals_within_parent_exceed_merge_threshold(counts):
+    # The invariant behind I3: any two *adjacent* surviving local
+    # buckets of the same parent total at least ∂.
+    merge, local = 40, 128
+    offsets = _offsets_for(counts)
+    out = partition_subbuckets(offsets, counts, merge, local)
+    parent_of = np.searchsorted(offsets, out.local_offsets, side="right") - 1
+    order = np.argsort(out.local_offsets)
+    ordered_offsets = out.local_offsets[order]
+    ordered_sizes = out.local_sizes[order]
+    ordered_parents = parent_of[order]
+    for i in range(len(order) - 1):
+        if ordered_parents[i] != ordered_parents[i + 1]:
+            continue
+        # Only *adjacent* buckets (no counting bucket between them).
+        if ordered_offsets[i] + ordered_sizes[i] != ordered_offsets[i + 1]:
+            continue
+        assert ordered_sizes[i] + ordered_sizes[i + 1] >= merge
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(1, 5000), min_size=1, max_size=30),
+    st.integers(1, 512),
+)
+def test_blocks_tile_buckets_exactly(sizes, kpb):
+    sizes = np.array(sizes, dtype=np.int64)
+    offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+    b_offsets, b_sizes, b_ids = subdivide_into_blocks(offsets, sizes, kpb)
+    assert b_sizes.sum() == sizes.sum()
+    assert np.all(b_sizes >= 1)
+    assert np.all(b_sizes <= kpb)
+    # Blocks of one bucket tile it contiguously.
+    for b in range(sizes.size):
+        mask = b_ids == b
+        assert b_sizes[mask].sum() == sizes[b]
+        assert b_offsets[mask][0] == offsets[b]

@@ -1,0 +1,130 @@
+"""Property-based tests: the hybrid sort against arbitrary inputs."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SortConfig
+from repro.core.hybrid_sort import HybridRadixSorter
+
+SMALL_CONFIG = SortConfig(
+    key_bits=32,
+    kpb=96,
+    threads=32,
+    kpt=3,
+    local_threshold=128,
+    merge_threshold=40,
+    local_sort_configs=(16, 32, 64, 128),
+)
+
+uint32_arrays = st.lists(
+    st.integers(0, 2**32 - 1), min_size=0, max_size=2000
+).map(lambda xs: np.array(xs, dtype=np.uint32))
+
+int32_arrays = st.lists(
+    st.integers(-(2**31), 2**31 - 1), min_size=0, max_size=1000
+).map(lambda xs: np.array(xs, dtype=np.int32))
+
+float64_arrays = st.lists(
+    st.floats(allow_nan=False, width=64), min_size=0, max_size=1000
+).map(lambda xs: np.array(xs, dtype=np.float64))
+
+
+@settings(max_examples=40, deadline=None)
+@given(uint32_arrays)
+def test_output_sorted_and_permutation(keys):
+    result = HybridRadixSorter(config=SMALL_CONFIG).sort(keys)
+    assert np.array_equal(result.keys, np.sort(keys))
+
+
+@settings(max_examples=30, deadline=None)
+@given(int32_arrays)
+def test_signed_integers(keys):
+    result = HybridRadixSorter().sort(keys)
+    assert np.array_equal(result.keys, np.sort(keys))
+
+
+@settings(max_examples=30, deadline=None)
+@given(float64_arrays)
+def test_floats(keys):
+    result = HybridRadixSorter().sort(keys)
+    assert np.array_equal(result.keys, np.sort(keys))
+
+
+@settings(max_examples=25, deadline=None)
+@given(uint32_arrays)
+def test_idempotent(keys):
+    sorter = HybridRadixSorter(config=SMALL_CONFIG)
+    once = sorter.sort(keys).keys
+    twice = HybridRadixSorter(config=SMALL_CONFIG).sort(once).keys
+    assert np.array_equal(once, twice)
+
+
+@settings(max_examples=25, deadline=None)
+@given(uint32_arrays)
+def test_values_form_permutation(keys):
+    values = np.arange(keys.size, dtype=np.uint32)
+    config = SortConfig(
+        key_bits=32, value_bits=32, kpb=96, threads=32, kpt=3,
+        local_threshold=128, merge_threshold=40,
+        local_sort_configs=(16, 32, 64, 128),
+    )
+    result = HybridRadixSorter(config=config).sort(keys, values)
+    assert np.array_equal(np.sort(result.values), values)
+    assert np.array_equal(keys[result.values], result.keys)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    uint32_arrays,
+    st.booleans(),
+    st.booleans(),
+    st.booleans(),
+    st.booleans(),
+)
+def test_ablations_never_affect_correctness(
+    keys, merging, multi, lookahead, reduction
+):
+    # Figures 11-14 switch optimisations off; the *result* must never
+    # change, only the simulated time.
+    config = SMALL_CONFIG.with_ablations(
+        bucket_merging=merging,
+        multi_config=multi,
+        lookahead=lookahead,
+        thread_reduction=reduction,
+    )
+    result = HybridRadixSorter(config=config).sort(keys)
+    assert np.array_equal(result.keys, np.sort(keys))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(0, 3), min_size=1, max_size=1500))
+def test_tiny_alphabet(values):
+    # Extremely low-cardinality inputs stress merging and skew paths.
+    keys = np.array(values, dtype=np.uint32)
+    result = HybridRadixSorter(config=SMALL_CONFIG).sort(keys)
+    assert np.array_equal(result.keys, np.sort(keys))
+
+
+@settings(max_examples=15, deadline=None)
+@given(uint32_arrays)
+def test_trace_key_conservation(keys):
+    # Every key finishes exactly once: either a local sort claims it, or
+    # it survives the final counting pass with all digits processed.
+    result = HybridRadixSorter(config=SMALL_CONFIG).sort(keys)
+    trace = result.trace
+    if keys.size <= 1:
+        return
+    finished_by_counting = 0
+    if trace.counting_passes:
+        last = trace.counting_passes[-1]
+        if last.pass_index == SMALL_CONFIG.num_digits - 1:
+            locals_at_last = sum(
+                t.total_keys
+                for t in trace.local_sorts
+                if t.pass_index == last.pass_index
+            )
+            finished_by_counting = last.n_keys - locals_at_last
+    assert trace.total_local_keys + finished_by_counting == keys.size

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestSortCommand:
+    def test_uniform_sort(self, capsys):
+        rc = main(["sort", "--n", "50000", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "sorted          : yes" in out
+        assert "counting passes" in out
+
+    def test_zipf_pairs(self, capsys):
+        rc = main(
+            ["sort", "--n", "30000", "--distribution", "zipf", "--pairs"]
+        )
+        assert rc == 0
+        assert "GB/s" in capsys.readouterr().out
+
+    def test_and_depth_distribution(self, capsys):
+        rc = main(["sort", "--n", "20000", "--distribution", "and2"])
+        assert rc == 0
+
+    def test_baseline_engine(self, capsys):
+        rc = main(["sort", "--n", "20000", "--engine", "cub"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "engine          : cub" in out
+
+    def test_adaptive_engine(self, capsys):
+        rc = main(["sort", "--n", "20000", "--engine", "adaptive"])
+        assert rc == 0
+
+    def test_constant_64bit(self, capsys):
+        rc = main(
+            ["sort", "--n", "20000", "--key-bits", "64",
+             "--distribution", "constant"]
+        )
+        assert rc == 0
+
+
+class TestInfoCommand:
+    def test_info_output(self, capsys):
+        rc = main(["info", "--n", "1000000"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Titan X" in out
+        assert "Table 3 presets" in out
+        assert "max buckets (I3)" in out
+
+
+class TestSweepCommand:
+    def test_small_sweep(self, capsys):
+        rc = main(
+            ["sweep", "--n", "65536", "--target", "10000000", "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "speed-up" in out
+        # Twelve entropy rows plus the header lines.
+        assert len(out.strip().splitlines()) == 14
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sort", "--engine", "bogus"])

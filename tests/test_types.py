@@ -1,0 +1,112 @@
+"""Tests for the shared trace/result dataclasses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.types import (
+    BlockStats,
+    CountingPassTrace,
+    LocalConfigStats,
+    LocalSortTrace,
+    SortResult,
+    SortTrace,
+    TimeBreakdown,
+)
+
+
+def _pass(index=0, n_keys=1000, local=2, nxt=3):
+    return CountingPassTrace(
+        pass_index=index,
+        n_keys=n_keys,
+        n_buckets_in=1,
+        n_blocks=4,
+        n_subbuckets_nonempty=8,
+        n_merged_buckets=1,
+        n_local_buckets=local,
+        n_next_buckets=nxt,
+        block_stats=BlockStats(),
+        key_bytes=4,
+        value_bytes=0,
+        avg_nonempty_per_block=8.0,
+    )
+
+
+def _local(index=0, keys=500, buckets=3, capacity=256):
+    return LocalSortTrace(
+        pass_index=index,
+        per_config=(
+            LocalConfigStats(
+                capacity=capacity,
+                n_buckets=buckets,
+                total_keys=keys,
+                provisioned_keys=buckets * capacity,
+                avg_remaining_digits=2.0,
+            ),
+        ),
+        key_bytes=4,
+        value_bytes=0,
+    )
+
+
+class TestTraceProperties:
+    def test_counting_totals(self):
+        trace = SortTrace(
+            n=2000, key_bits=32, value_bits=0,
+            counting_passes=(_pass(0, 2000), _pass(1, 800)),
+            local_sorts=(_local(0, 1200), _local(1, 800)),
+            finished_early=True, final_buffer_index=0,
+        )
+        assert trace.num_counting_passes == 2
+        assert trace.total_counting_keys == 2800
+        assert trace.total_local_keys == 2000
+        assert trace.max_live_buckets == 5
+
+    def test_local_trace_aggregates(self):
+        t = _local(keys=500, buckets=3, capacity=256)
+        assert t.total_keys == 500
+        assert t.total_buckets == 3
+        assert t.provisioned_keys == 768
+        assert t.kernel_launch_count == 1
+
+    def test_counting_pass_launches_constant(self):
+        # §4.2: three launches per pass regardless of bucket counts.
+        assert _pass(local=0, nxt=0).kernel_launch_count == 3
+        assert _pass(local=500, nxt=500).kernel_launch_count == 3
+
+
+class TestTimeBreakdown:
+    def test_total_sums_components(self):
+        b = TimeBreakdown(
+            histogram=1.0, scatter=2.0, local_sort=3.0,
+            bucket_management=0.25, launch_overhead=0.75,
+        )
+        assert b.total == pytest.approx(7.0)
+
+    def test_defaults_zero(self):
+        assert TimeBreakdown().total == 0.0
+
+
+class TestSortResult:
+    def test_sorted_bytes_keys_only(self):
+        r = SortResult(keys=np.zeros(10, dtype=np.uint32))
+        assert r.sorted_bytes() == 40
+        assert r.n == 10
+
+    def test_sorted_bytes_pairs(self):
+        r = SortResult(
+            keys=np.zeros(10, dtype=np.uint64),
+            values=np.zeros(10, dtype=np.uint64),
+        )
+        assert r.sorted_bytes() == 160
+
+    def test_sorting_rate(self):
+        r = SortResult(
+            keys=np.zeros(1000, dtype=np.uint32), simulated_seconds=2.0
+        )
+        assert r.sorting_rate() == pytest.approx(2000.0)
+
+    def test_zero_time_rate_is_inf(self):
+        r = SortResult(keys=np.zeros(4, dtype=np.uint32))
+        assert r.sorting_rate() == float("inf")

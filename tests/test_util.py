@@ -1,0 +1,127 @@
+"""Tests for the internal NumPy helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util import (
+    as_uint,
+    concatenated_aranges,
+    expected_max_multinomial,
+    is_sorted,
+    run_lengths,
+    segment_ids_from_sizes,
+)
+
+
+class TestConcatenatedAranges:
+    def test_basic(self):
+        out = concatenated_aranges(np.array([2, 0, 3]))
+        assert out.tolist() == [0, 1, 0, 1, 2]
+
+    def test_empty(self):
+        assert concatenated_aranges(np.array([], dtype=np.int64)).size == 0
+
+    def test_all_zero(self):
+        assert concatenated_aranges(np.array([0, 0, 0])).size == 0
+
+    def test_single(self):
+        assert concatenated_aranges(np.array([4])).tolist() == [0, 1, 2, 3]
+
+    def test_leading_zero(self):
+        out = concatenated_aranges(np.array([0, 3]))
+        assert out.tolist() == [0, 1, 2]
+
+    def test_trailing_zero(self):
+        out = concatenated_aranges(np.array([3, 0]))
+        assert out.tolist() == [0, 1, 2]
+
+    def test_matches_reference(self):
+        rng = np.random.default_rng(1)
+        sizes = rng.integers(0, 7, size=50)
+        expected = np.concatenate(
+            [np.arange(s) for s in sizes] or [np.empty(0, dtype=np.int64)]
+        )
+        assert concatenated_aranges(sizes).tolist() == expected.tolist()
+
+
+class TestSegmentIds:
+    def test_basic(self):
+        out = segment_ids_from_sizes(np.array([2, 0, 3]))
+        assert out.tolist() == [0, 0, 2, 2, 2]
+
+    def test_empty(self):
+        assert segment_ids_from_sizes(np.array([], dtype=np.int64)).size == 0
+
+    def test_parallel_with_aranges(self):
+        sizes = np.array([3, 1, 0, 2])
+        assert (
+            segment_ids_from_sizes(sizes).size
+            == concatenated_aranges(sizes).size
+        )
+
+
+class TestRunLengths:
+    def test_basic(self):
+        values, lengths = run_lengths(np.array([5, 5, 2, 2, 2, 7]))
+        assert values.tolist() == [5, 2, 7]
+        assert lengths.tolist() == [2, 3, 1]
+
+    def test_empty(self):
+        values, lengths = run_lengths(np.array([]))
+        assert values.size == 0
+        assert lengths.size == 0
+
+    def test_single_run(self):
+        values, lengths = run_lengths(np.full(10, 3))
+        assert values.tolist() == [3]
+        assert lengths.tolist() == [10]
+
+    def test_lengths_sum_to_total(self):
+        rng = np.random.default_rng(2)
+        data = rng.integers(0, 3, 200)
+        _, lengths = run_lengths(data)
+        assert lengths.sum() == data.size
+
+
+class TestExpectedMaxMultinomial:
+    def test_one_bin_is_exact(self):
+        assert expected_max_multinomial(32, 1) == 32.0
+
+    def test_zero_balls(self):
+        assert expected_max_multinomial(0, 4) == 0.0
+
+    def test_monotone_decreasing_in_bins(self):
+        values = [expected_max_multinomial(32, q) for q in (1, 2, 4, 8, 64)]
+        assert values == sorted(values, reverse=True)
+
+    def test_never_exceeds_balls(self):
+        for bins in (1, 2, 3, 100):
+            assert expected_max_multinomial(8, bins) <= 8.0
+
+    def test_at_least_mean(self):
+        assert expected_max_multinomial(32, 4) >= 8.0
+
+
+class TestIsSorted:
+    def test_sorted(self):
+        assert is_sorted(np.array([1, 2, 2, 3]))
+
+    def test_unsorted(self):
+        assert not is_sorted(np.array([2, 1]))
+
+    def test_empty_and_single(self):
+        assert is_sorted(np.array([]))
+        assert is_sorted(np.array([7]))
+
+
+class TestAsUint:
+    def test_int32(self):
+        out = as_uint(np.array([-1], dtype=np.int32))
+        assert out.dtype == np.uint32
+        assert out[0] == 0xFFFFFFFF
+
+    def test_float64(self):
+        out = as_uint(np.array([1.0], dtype=np.float64))
+        assert out.dtype == np.uint64

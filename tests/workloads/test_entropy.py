@@ -1,0 +1,114 @@
+"""Tests for the Thearling entropy benchmark generator (§6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.entropy import (
+    ENTROPY_LADDER_32,
+    ENTROPY_LADDER_64,
+    and_depth_for_entropy,
+    entropy_bits_for_and_depth,
+    generate_entropy_keys,
+    measured_key_entropy,
+)
+
+
+class TestLadderValues:
+    """The x-axis labels of Figures 6 and 10-14."""
+
+    def test_32bit_ladder_matches_paper(self):
+        expected = [
+            32.00, 25.96, 17.39, 10.79, 6.42, 3.72,
+            2.11, 1.18, 0.65, 0.36, 0.19, 0.00,
+        ]
+        actual = [level.entropy_bits for level in ENTROPY_LADDER_32]
+        assert actual == pytest.approx(expected, abs=0.005)
+
+    def test_64bit_ladder_matches_paper(self):
+        expected = [
+            64.00, 51.92, 34.79, 21.59, 12.84, 7.43,
+            4.22, 2.36, 1.31, 0.72, 0.39, 0.00,
+        ]
+        actual = [level.entropy_bits for level in ENTROPY_LADDER_64]
+        assert actual == pytest.approx(expected, abs=0.005)
+
+    def test_twelve_levels(self):
+        # §6: "twelve different, increasingly skewed distributions".
+        assert len(ENTROPY_LADDER_32) == 12
+        assert len(ENTROPY_LADDER_64) == 12
+
+    def test_last_level_is_constant(self):
+        assert ENTROPY_LADDER_32[-1].is_constant
+        assert ENTROPY_LADDER_64[-1].is_constant
+
+    def test_strictly_decreasing(self):
+        values = [level.entropy_bits for level in ENTROPY_LADDER_32]
+        assert values == sorted(values, reverse=True)
+
+
+class TestClosedForm:
+    def test_paper_quoted_values(self):
+        # §6: ANDing "once, twice, or three times, generates
+        # distributions with entropies of 25.96, 17.39, and 10.79 bits".
+        assert entropy_bits_for_and_depth(1, 32) == pytest.approx(25.96, abs=0.005)
+        assert entropy_bits_for_and_depth(2, 32) == pytest.approx(17.39, abs=0.005)
+        assert entropy_bits_for_and_depth(3, 32) == pytest.approx(10.79, abs=0.005)
+
+    def test_depth_zero_is_uniform(self):
+        assert entropy_bits_for_and_depth(0, 32) == pytest.approx(32.0)
+        assert entropy_bits_for_and_depth(0, 64) == pytest.approx(64.0)
+
+    def test_inverse_lookup(self):
+        for depth in range(0, 8):
+            bits = entropy_bits_for_and_depth(depth, 32)
+            assert and_depth_for_entropy(bits, 32) == depth
+
+    def test_inverse_lookup_zero(self):
+        assert and_depth_for_entropy(0.0, 32) is None
+
+    def test_invalid_depth(self):
+        with pytest.raises(ConfigurationError):
+            entropy_bits_for_and_depth(-1, 32)
+
+
+class TestGenerator:
+    def test_uniform_measured_entropy(self, rng):
+        keys = generate_entropy_keys(1 << 16, 32, 0, rng)
+        assert measured_key_entropy(keys) == pytest.approx(32.0, abs=0.05)
+
+    def test_and1_measured_entropy(self, rng):
+        keys = generate_entropy_keys(1 << 16, 32, 1, rng)
+        assert measured_key_entropy(keys) == pytest.approx(25.96, abs=0.1)
+
+    def test_and2_measured_entropy_64(self, rng):
+        keys = generate_entropy_keys(1 << 16, 64, 2, rng)
+        assert measured_key_entropy(keys) == pytest.approx(34.79, abs=0.2)
+
+    def test_constant_distribution(self):
+        keys = generate_entropy_keys(1000, 32, None)
+        assert np.all(keys == 0)
+        assert measured_key_entropy(keys) == 0.0
+
+    def test_dtype(self, rng):
+        assert generate_entropy_keys(10, 32, 0, rng).dtype == np.uint32
+        assert generate_entropy_keys(10, 64, 0, rng).dtype == np.uint64
+
+    def test_skew_reduces_set_bits(self, rng):
+        shallow = generate_entropy_keys(1 << 14, 32, 0, rng)
+        deep = generate_entropy_keys(1 << 14, 32, 4, rng)
+        assert deep.astype(np.uint64).sum() < shallow.astype(np.uint64).sum()
+
+    def test_empty(self, rng):
+        assert generate_entropy_keys(0, 32, 0, rng).size == 0
+
+    def test_invalid_bits(self, rng):
+        with pytest.raises(ConfigurationError):
+            generate_entropy_keys(10, 16, 0, rng)
+
+    def test_deterministic_with_seed(self):
+        a = generate_entropy_keys(100, 32, 1, np.random.default_rng(5))
+        b = generate_entropy_keys(100, 32, 1, np.random.default_rng(5))
+        assert np.array_equal(a, b)

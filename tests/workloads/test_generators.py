@@ -1,0 +1,81 @@
+"""Tests for the plain workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.generators import (
+    constant_keys,
+    generate_pairs,
+    reverse_sorted_keys,
+    sorted_keys,
+    staircase_keys,
+    uniform_keys,
+)
+
+
+class TestUniform:
+    def test_dtype_and_size(self, rng):
+        keys = uniform_keys(1000, 32, rng)
+        assert keys.dtype == np.uint32
+        assert keys.size == 1000
+
+    def test_spans_key_space(self, rng):
+        keys = uniform_keys(100_000, 32, rng)
+        assert keys.max() > np.uint32(0xF0000000)
+        assert keys.min() < np.uint32(0x10000000)
+
+
+class TestConstant:
+    def test_all_equal(self):
+        keys = constant_keys(100, 32, value=42)
+        assert np.all(keys == 42)
+
+    def test_default_zero(self):
+        assert np.all(constant_keys(10, 64) == 0)
+
+
+class TestSortedVariants:
+    def test_sorted(self, rng):
+        keys = sorted_keys(1000, 32, rng)
+        assert np.all(keys[:-1] <= keys[1:])
+
+    def test_reverse(self, rng):
+        keys = reverse_sorted_keys(1000, 32, rng)
+        assert np.all(keys[:-1] >= keys[1:])
+
+    def test_reverse_is_contiguous_copy(self, rng):
+        keys = reverse_sorted_keys(10, 32, rng)
+        assert keys.flags["C_CONTIGUOUS"]
+
+
+class TestStaircase:
+    def test_distinct_count(self):
+        keys = staircase_keys(1600, 32, steps=16)
+        assert np.unique(keys).size == 16
+
+    def test_covers_requested_length(self):
+        assert staircase_keys(1001, 32, steps=7).size == 1001
+
+    def test_invalid_steps(self):
+        with pytest.raises(ConfigurationError):
+            staircase_keys(10, 32, steps=0)
+
+
+class TestPairs:
+    def test_index_payload(self, rng):
+        keys = uniform_keys(100, 32, rng)
+        k, v = generate_pairs(keys, 32)
+        assert np.array_equal(v, np.arange(100, dtype=np.uint32))
+        assert k is keys or np.array_equal(k, keys)
+
+    def test_random_payload(self, rng):
+        keys = uniform_keys(100, 32, rng)
+        _, v = generate_pairs(keys, 64, rng=rng, payload="random")
+        assert v.dtype == np.uint64
+
+    def test_invalid_payload(self, rng):
+        with pytest.raises(ConfigurationError):
+            generate_pairs(uniform_keys(10, 32, rng), 32, payload="bogus")

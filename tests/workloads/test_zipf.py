@@ -1,0 +1,77 @@
+"""Tests for the Gray et al. Zipfian generator (Figure 9's skewed case)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.zipf import zipf_keys, zipf_ranks
+
+
+class TestZipfRanks:
+    def test_range(self, rng):
+        ranks = zipf_ranks(10_000, universe=1000, theta=0.75, rng=rng)
+        assert ranks.min() >= 1
+        assert ranks.max() <= 1000
+
+    def test_skew_towards_low_ranks(self, rng):
+        ranks = zipf_ranks(50_000, universe=10_000, theta=0.75, rng=rng)
+        # Rank 1's share must dominate the median rank's share.
+        share_low = np.mean(ranks <= 10)
+        share_mid = np.mean((ranks >= 4995) & (ranks <= 5005))
+        assert share_low > 10 * share_mid
+
+    def test_higher_theta_is_more_skewed(self, rng):
+        mild = zipf_ranks(50_000, 10_000, 0.25, np.random.default_rng(1))
+        steep = zipf_ranks(50_000, 10_000, 0.95, np.random.default_rng(1))
+        assert np.mean(steep <= 10) > np.mean(mild <= 10)
+
+    def test_invalid_theta(self, rng):
+        with pytest.raises(ConfigurationError):
+            zipf_ranks(10, 100, 1.5, rng)
+        with pytest.raises(ConfigurationError):
+            zipf_ranks(10, 100, 0.0, rng)
+
+    def test_invalid_universe(self, rng):
+        with pytest.raises(ConfigurationError):
+            zipf_ranks(10, 0, 0.75, rng)
+
+
+class TestZipfKeys:
+    def test_dtypes(self, rng):
+        assert zipf_keys(100, 32, rng=rng).dtype == np.uint32
+        assert zipf_keys(100, 64, rng=rng).dtype == np.uint64
+
+    def test_repetition_present(self, rng):
+        # The interesting property for a radix sort: heavy hitters.
+        keys = zipf_keys(100_000, 64, theta=0.75, universe=1 << 16, rng=rng)
+        _, counts = np.unique(keys, return_counts=True)
+        assert counts.max() > 100
+
+    def test_scramble_spreads_msd(self, rng):
+        # Without scrambling, hot keys collapse onto low MSD digits.
+        plain = zipf_keys(
+            50_000, 64, universe=1 << 16, rng=np.random.default_rng(2),
+            scramble=False,
+        )
+        mixed = zipf_keys(
+            50_000, 64, universe=1 << 16, rng=np.random.default_rng(2),
+            scramble=True,
+        )
+        msd_plain = np.unique(plain >> np.uint64(56)).size
+        msd_mixed = np.unique(mixed >> np.uint64(56)).size
+        assert msd_mixed > msd_plain
+
+    def test_scramble_preserves_multiset_sizes(self):
+        # Multiplicative hashing by an odd constant is a bijection, so
+        # the repetition profile survives scrambling.
+        a = zipf_keys(20_000, 32, universe=4096, rng=np.random.default_rng(3), scramble=False)
+        b = zipf_keys(20_000, 32, universe=4096, rng=np.random.default_rng(3), scramble=True)
+        _, ca = np.unique(a, return_counts=True)
+        _, cb = np.unique(b, return_counts=True)
+        assert sorted(ca.tolist()) == sorted(cb.tolist())
+
+    def test_invalid_bits(self, rng):
+        with pytest.raises(ConfigurationError):
+            zipf_keys(10, 16, rng=rng)
