@@ -1,0 +1,22 @@
+"""Standalone entry point for the host wall-clock benchmark harness.
+
+Unlike the ``bench_fig*.py`` modules (which regenerate the paper's
+figures from the *simulated* cost model under pytest), this script
+measures real host throughput and is meant to be run directly::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py [--quick]
+
+It writes ``BENCH_wallclock.json`` (see ``--output``) so every PR can
+record its perf trajectory.  The implementation lives in
+:mod:`repro.bench.wallclock`; the CLI subcommand
+``python -m repro bench-wallclock`` runs the same harness.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.wallclock import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,8 @@ __all__ = [
     "expected_max_multinomial",
     "is_sorted",
     "as_uint",
+    "narrow_uint_dtype",
+    "coalesce_spans",
 ]
 
 
@@ -101,3 +103,51 @@ def as_uint(a: np.ndarray) -> np.ndarray:
     a = np.asarray(a)
     mapping = {1: np.uint8, 2: np.uint16, 4: np.uint32, 8: np.uint64}
     return a.view(mapping[a.dtype.itemsize])
+
+
+def narrow_uint_dtype(max_value: int) -> np.dtype:
+    """The smallest unsigned dtype that can hold ``max_value``.
+
+    NumPy's stable sort takes an O(n) radix path for 1- and 2-byte
+    integer arrays, so keeping composite sort keys as narrow as their
+    value range allows is what makes the counting-sort engine's argsort
+    approach one-read-one-write behaviour.
+    """
+    if max_value < (1 << 8):
+        return np.dtype(np.uint8)
+    if max_value < (1 << 16):
+        return np.dtype(np.uint16)
+    if max_value < (1 << 32):
+        return np.dtype(np.uint32)
+    return np.dtype(np.uint64)
+
+
+def coalesce_spans(
+    offsets: np.ndarray, sizes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Coalesce adjacent buckets into maximal contiguous memory spans.
+
+    Buckets are taken in array order; bucket ``i+1`` extends the current
+    span when it starts exactly where the previous non-empty bucket
+    ended.  Zero-size buckets never break a span (they occupy no
+    memory).  Returns four parallel arrays
+    ``(span_starts, span_stops, bucket_lo, bucket_hi)``: the memory
+    extent of each span and the inclusive range of (non-empty) bucket
+    indices it covers.  All arrays are empty when every bucket is empty.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    sizes = np.asarray(sizes, dtype=np.int64)
+    nonempty = np.flatnonzero(sizes > 0)
+    if nonempty.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy(), empty.copy()
+    ends = offsets[nonempty] + sizes[nonempty]
+    breaks = np.flatnonzero(offsets[nonempty][1:] != ends[:-1]) + 1
+    first = np.concatenate(([0], breaks))
+    last = np.concatenate((breaks - 1, [nonempty.size - 1]))
+    return (
+        offsets[nonempty[first]],
+        ends[last],
+        nonempty[first],
+        nonempty[last],
+    )

@@ -1,0 +1,226 @@
+"""Host wall-clock benchmark harness (Mkeys/s, real time).
+
+Every other benchmark in this repository reports *simulated* seconds
+from the cost model.  This module measures the one thing the cost model
+cannot vouch for: how fast the vectorized host engines actually run on
+the machine executing them.  The paper's whole argument is bandwidth
+efficiency — each counting pass should read and write every key
+(approximately) once — and this harness is how successive PRs prove the
+host implementation tracks that goal instead of drifting.
+
+``run_suite`` sweeps key widths, entropies, and pair layouts, timing
+:class:`~repro.core.hybrid_sort.HybridRadixSorter` end-to-end (including
+trace pricing, i.e. exactly what a caller pays), and
+``write_report``/``main`` persist the results as ``BENCH_wallclock.json``
+at the repository root so the perf trajectory is versioned alongside the
+code.  Entry points:
+
+* ``python -m repro bench-wallclock [--quick]`` — the CLI subcommand;
+* ``python benchmarks/bench_wallclock.py [--quick]`` — the same harness
+  as a standalone script (what CI smoke-runs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads import (
+    constant_keys,
+    generate_entropy_keys,
+    generate_pairs,
+    uniform_keys,
+)
+
+__all__ = ["WallclockCase", "DEFAULT_CASES", "run_case", "run_suite", "main"]
+
+#: Default sample size — 2**23 keys is large enough that per-call
+#: overheads vanish but a full suite still runs in well under a minute.
+DEFAULT_N = 1 << 23
+#: ``--quick`` sample size, for CI smoke runs.
+QUICK_N = 1 << 18
+
+
+@dataclass(frozen=True)
+class WallclockCase:
+    """One workload: key width, value width, and distribution."""
+
+    name: str
+    key_bits: int
+    value_bits: int
+    distribution: str  # "uniform" | "andN" | "constant"
+
+    def make_input(
+        self, n: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        if self.distribution == "uniform":
+            keys = uniform_keys(n, self.key_bits, rng)
+        elif self.distribution == "constant":
+            keys = constant_keys(n, self.key_bits)
+        elif self.distribution.startswith("and"):
+            depth = int(self.distribution.removeprefix("and"))
+            keys = generate_entropy_keys(n, self.key_bits, depth, rng)
+        else:
+            raise ValueError(f"unknown distribution {self.distribution!r}")
+        values = None
+        if self.value_bits:
+            keys, values = generate_pairs(keys, self.value_bits)
+        return keys, values
+
+
+#: Key widths × entropies × pair layouts.  The first case is the
+#: acceptance workload every PR's speed-up is quoted against.
+DEFAULT_CASES: tuple[WallclockCase, ...] = (
+    WallclockCase("keys32-uniform", 32, 0, "uniform"),
+    WallclockCase("keys32-and4", 32, 0, "and4"),
+    WallclockCase("keys32-constant", 32, 0, "constant"),
+    WallclockCase("keys64-uniform", 64, 0, "uniform"),
+    WallclockCase("keys64-and4", 64, 0, "and4"),
+    WallclockCase("pairs32-uniform", 32, 32, "uniform"),
+    WallclockCase("pairs64-uniform", 64, 64, "uniform"),
+)
+
+
+def run_case(
+    case: WallclockCase,
+    n: int,
+    seed: int = 20170514,
+    repeats: int = 2,
+) -> dict:
+    """Time one case; returns a JSON-ready result record.
+
+    Reports the best of ``repeats`` timed runs (after one warm-up at a
+    smaller size primes allocator and import costs) and verifies the
+    output is sorted — a benchmark of a wrong sort is worthless.
+    """
+    from repro.core.hybrid_sort import HybridRadixSorter
+
+    rng = np.random.default_rng(seed)
+    keys, values = case.make_input(n, rng)
+    sorter = HybridRadixSorter()
+    warm = max(1024, n // 16)
+    sorter.sort(keys[:warm], None if values is None else values[:warm])
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        result = sorter.sort(keys, values)
+        best = min(best, time.perf_counter() - t0)
+    sorted_ok = bool(np.all(result.keys[:-1] <= result.keys[1:]))
+    return {
+        "name": case.name,
+        "key_bits": case.key_bits,
+        "value_bits": case.value_bits,
+        "distribution": case.distribution,
+        "n": n,
+        "seconds": best,
+        "mkeys_per_s": round(n / best / 1e6, 3),
+        "sorted_ok": sorted_ok,
+    }
+
+
+def run_suite(
+    n: int = DEFAULT_N,
+    seed: int = 20170514,
+    repeats: int = 2,
+    cases: tuple[WallclockCase, ...] = DEFAULT_CASES,
+    echo=None,
+) -> dict:
+    """Run every case and return the full report dictionary."""
+    results = []
+    for case in cases:
+        record = run_case(case, n, seed=seed, repeats=repeats)
+        results.append(record)
+        if echo is not None:
+            echo(
+                f"{record['name']:18s} {record['mkeys_per_s']:9.2f} Mkeys/s"
+                f"  ({record['seconds'] * 1e3:.1f} ms"
+                f"{'' if record['sorted_ok'] else ', NOT SORTED'})"
+            )
+    return {
+        "schema": 1,
+        "benchmark": "host wall-clock, HybridRadixSorter.sort end-to-end",
+        "n": n,
+        "repeats": repeats,
+        "seed": seed,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "results": results,
+    }
+
+
+def check_output_writable(path: str) -> None:
+    """Fail fast (before minutes of measuring) on an unwritable path."""
+    parent = os.path.dirname(os.path.abspath(path))
+    if not os.path.isdir(parent):
+        raise SystemExit(f"error: output directory does not exist: {parent}")
+    if os.path.isdir(path):
+        raise SystemExit(f"error: output path is a directory: {path}")
+    if os.path.exists(path):
+        if not os.access(path, os.W_OK):
+            raise SystemExit(f"error: output file not writable: {path}")
+    elif not os.access(parent, os.W_OK):
+        raise SystemExit(f"error: output directory not writable: {parent}")
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+
+def execute(
+    n: int,
+    repeats: int,
+    seed: int,
+    output: str,
+    quick: bool = False,
+    echo=print,
+) -> int:
+    """Shared entry-point body for the CLI subcommand and the script.
+
+    Applies the ``--quick`` overrides, fails fast on an unwritable
+    output path, runs the suite, persists the report, and returns the
+    process exit code (non-zero if any case produced unsorted output).
+    """
+    check_output_writable(output)
+    if quick:
+        n, repeats = QUICK_N, 1
+    report = run_suite(n=n, seed=seed, repeats=repeats, echo=echo)
+    write_report(report, output)
+    echo(f"wrote {output}")
+    return 0 if all(r["sorted_ok"] for r in report["results"]) else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Host wall-clock benchmark of the hybrid radix sorter"
+    )
+    parser.add_argument("--n", type=int, default=DEFAULT_N)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=20170514)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"CI smoke mode: n={QUICK_N}, one repeat",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_wallclock.json",
+        help="report path (default: BENCH_wallclock.json in the cwd)",
+    )
+    args = parser.parse_args(argv)
+    return execute(
+        args.n, args.repeats, args.seed, args.output, quick=args.quick
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

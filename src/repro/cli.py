@@ -10,12 +10,16 @@ Commands
     analytical bounds for a given input size.
 ``sweep``
     A quick Figure 6-style entropy sweep at a chosen sample size.
+``bench-wallclock``
+    Measure real host Mkeys/s across key widths, entropies, and pair
+    layouts; writes ``BENCH_wallclock.json`` for the perf trajectory.
 
 Examples::
 
     python -m repro sort --n 1000000 --distribution zipf --pairs
     python -m repro info --n 500000000
     python -m repro sweep --key-bits 64 --target 250000000
+    python -m repro bench-wallclock --quick
 """
 
 from __future__ import annotations
@@ -150,6 +154,14 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_bench_wallclock(args) -> int:
+    from repro.bench.wallclock import execute
+
+    return execute(
+        args.n, args.repeats, args.seed, args.output, quick=args.quick
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -182,6 +194,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--target", type=int, default=500_000_000)
     p_sweep.add_argument("--seed", type=int, default=0)
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_bench = sub.add_parser(
+        "bench-wallclock", help="host wall-clock Mkeys/s benchmark"
+    )
+    p_bench.add_argument("--n", type=int, default=1 << 23)
+    p_bench.add_argument("--repeats", type=int, default=2)
+    p_bench.add_argument("--seed", type=int, default=20170514)
+    p_bench.add_argument("--quick", action="store_true")
+    p_bench.add_argument("--output", default="BENCH_wallclock.json")
+    p_bench.set_defaults(func=cmd_bench_wallclock)
     return parser
 
 

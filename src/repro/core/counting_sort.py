@@ -3,13 +3,35 @@
 The counting sort of a pass performs, per active bucket: histogram →
 exclusive prefix sum → scatter (§4.1).  Two engines implement it:
 
-* :func:`counting_sort_pass` — the fast vectorized engine.  All active
-  buckets are processed in one shot: a single stable argsort of
-  ``bucket_id * radix + digit`` over the concatenated active regions is
+* :func:`counting_sort_pass` — the fast vectorized engine.  A stable
+  argsort of ``bucket_id * radix + digit`` over the active regions is
   exactly equivalent to a per-bucket counting sort, because active
   buckets are contiguous, disjoint, and internally prefix-equal.  The
   engine also measures the statistics the cost model needs (warp
   conflicts, thread-reduction and look-ahead operation rates, skew).
+
+  To keep the pass near the paper's one-read-one-write cost model in
+  *host* memory too, the engine dispatches between three paths:
+
+  1. **sliced span path** — adjacent active buckets are coalesced into
+     maximal contiguous memory spans (:func:`repro._util.coalesce_spans`)
+     and each span is processed on a direct buffer slice, eliminating
+     the explicit ``positions`` index array, the gather it feeds, and
+     the fancy-indexed scatter.  Pass 0 (one bucket covering the whole
+     buffer) is always a single span.
+  2. **narrow sort keys** — the composite ``segment * radix + digit``
+     key is built in the smallest sufficient unsigned dtype (often
+     uint8/uint16), which moves 4–8× fewer bytes than int64 and lets
+     NumPy's stable sort take its O(n) radix path; single-bucket spans
+     skip the segment multiply and sort the raw digits.
+  3. **gathered fallback** — when the active buckets fragment into too
+     many spans for a per-span loop, the original one-shot gather path
+     runs, still with narrow sort keys and with the pairs double-gather
+     fused into a single take via precomposed indices.
+
+  All three paths produce bit-identical output (the property tests
+  assert this against a reference implementation of the plain gather
+  engine).
 
 * :func:`block_level_counting_sort` — the faithful engine for one
   bucket: per-block histograms with shared-memory-atomic emulation and
@@ -25,13 +47,21 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro._util import concatenated_aranges, segment_ids_from_sizes
+from repro._util import (
+    coalesce_spans,
+    concatenated_aranges,
+    narrow_uint_dtype,
+    segment_ids_from_sizes,
+)
 from repro.core.bucket import subdivide_into_blocks
 from repro.core.config import SortConfig
-from repro.core.digits import DigitGeometry, extract_digit
+from repro.core.digits import (
+    DigitGeometry,
+    extract_digit,
+    extract_digit_compact,
+)
 from repro.core.histogram import (
     block_histograms,
-    bucket_histograms,
     measure_warp_conflict,
     thread_reduction_ops_per_key,
 )
@@ -40,6 +70,12 @@ from repro.errors import ConfigurationError
 from repro.types import BlockStats
 
 __all__ = ["PassOutput", "counting_sort_pass", "block_level_counting_sort"]
+
+#: The per-span Python loop always runs for this few spans ...
+_SPAN_LOOP_MIN = 16
+#: ... and beyond that, for up to one span per this many active keys;
+#: otherwise the one-shot gathered fallback amortises better.
+_SPAN_KEY_RATIO = 2048
 
 
 @dataclass
@@ -88,33 +124,176 @@ def counting_sort_pass(
             n_keys=0,
         )
 
-    # Gather the active region: per-bucket contiguous spans.
+    if src_values is not None and dst_values is None:
+        raise ConfigurationError("dst_values required when moving pairs")
+
+    starts, stops, bucket_lo, bucket_hi = coalesce_spans(offsets, sizes)
+    n_spans = starts.size
+    if n_spans <= max(_SPAN_LOOP_MIN, n_keys // _SPAN_KEY_RATIO):
+        counts = np.zeros((n_buckets, radix), dtype=np.int64)
+        chunks = []
+        for i in range(n_spans):
+            lo, hi = int(bucket_lo[i]), int(bucket_hi[i])
+            chunks.append(
+                _partition_span(
+                    src,
+                    dst,
+                    int(starts[i]),
+                    int(stops[i]),
+                    sizes[lo : hi + 1],
+                    counts[lo : hi + 1],
+                    geometry,
+                    digit_index,
+                    radix,
+                    src_values,
+                    dst_values,
+                )
+            )
+        digits = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+    else:
+        digits, counts = _partition_gathered(
+            src,
+            dst,
+            offsets,
+            sizes,
+            n_buckets,
+            geometry,
+            digit_index,
+            radix,
+            src_values,
+            dst_values,
+        )
+
+    if config.use_thread_reduction or config.use_lookahead:
+        stats = _measure_pass_stats(digits, counts, config, rng)
+    else:
+        # Neither sampling optimisation is on, so no consumer needs the
+        # measurements eagerly; defer them until something (usually the
+        # cost model) actually reads the stats.
+        stats = _LazyBlockStats(
+            lambda: _measure_pass_stats(digits, counts, config, rng)
+        )
+    n_blocks = int((-(-sizes // config.kpb)).sum())
+    return PassOutput(counts=counts, stats=stats, n_blocks=n_blocks, n_keys=n_keys)
+
+
+def _partition_span(
+    src: np.ndarray,
+    dst: np.ndarray,
+    start: int,
+    stop: int,
+    bucket_sizes: np.ndarray,
+    counts_block: np.ndarray,
+    geometry: DigitGeometry,
+    digit_index: int,
+    radix: int,
+    src_values: np.ndarray | None,
+    dst_values: np.ndarray | None,
+) -> np.ndarray:
+    """Partition one contiguous span of buckets on direct buffer slices.
+
+    ``bucket_sizes`` and ``counts_block`` cover the span's bucket range;
+    returns the span's digit stream (for the pass statistics).
+    """
+    active = src[start:stop]
+    digits = extract_digit_compact(active, geometry, digit_index)
+    n_span_buckets = bucket_sizes.size
+    if n_span_buckets == 1:
+        # Single-bucket span: the digit itself is the sort key — no
+        # segment ids, no multiply.
+        counts_block[0] = np.bincount(digits, minlength=radix)
+        order = np.argsort(digits, kind="stable")
+    else:
+        key_dtype = narrow_uint_dtype(n_span_buckets * radix - 1)
+        key = np.repeat(
+            np.arange(n_span_buckets, dtype=key_dtype), bucket_sizes
+        )
+        key *= key_dtype.type(radix)
+        key += digits
+        counts_block[...] = np.bincount(
+            key, minlength=n_span_buckets * radix
+        ).reshape(n_span_buckets, radix)
+        order = np.argsort(key, kind="stable")
+    dst[start:stop] = active[order]
+    if src_values is not None:
+        dst_values[start:stop] = src_values[start:stop][order]
+    return digits
+
+
+def _partition_gathered(
+    src: np.ndarray,
+    dst: np.ndarray,
+    offsets: np.ndarray,
+    sizes: np.ndarray,
+    n_buckets: int,
+    geometry: DigitGeometry,
+    digit_index: int,
+    radix: int,
+    src_values: np.ndarray | None,
+    dst_values: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One-shot gather/scatter over all active buckets (fallback path).
+
+    Used when the active buckets fragment into too many spans for the
+    per-span loop; still builds the composite sort key in the narrowest
+    sufficient dtype and fuses the pairs double-gather.
+    """
     positions = np.repeat(offsets, sizes) + concatenated_aranges(sizes)
     active_keys = src[positions]
-    digits = extract_digit(active_keys, geometry, digit_index)
-    segments = segment_ids_from_sizes(sizes)
+    digits = extract_digit_compact(active_keys, geometry, digit_index)
+    if n_buckets == 1:
+        key = digits
+    else:
+        key_dtype = narrow_uint_dtype(n_buckets * radix - 1)
+        key = segment_ids_from_sizes(sizes).astype(key_dtype, copy=False)
+        key *= key_dtype.type(radix)
+        key += digits
 
     # Histogram step (per bucket; per-block histograms are derived the
     # same way and the cost model charges their storage, §4.3).
-    counts = bucket_histograms(digits, segments, n_buckets, radix)
+    counts = np.bincount(key, minlength=n_buckets * radix).reshape(
+        n_buckets, radix
+    )
 
     # Scatter step: one stable argsort == counting sort per bucket.
-    order = np.argsort(segments * radix + digits, kind="stable")
+    order = np.argsort(key, kind="stable")
     dst[positions] = active_keys[order]
     if src_values is not None:
-        if dst_values is None:
-            raise ConfigurationError("dst_values required when moving pairs")
-        dst_values[positions] = src_values[positions][order]
+        dst_values[positions] = src_values[positions[order]]
+    return digits, counts
 
-    stats = _measure_pass_stats(digits, counts, sizes, config, rng)
-    n_blocks = int((-(-sizes // config.kpb)).sum())
-    return PassOutput(counts=counts, stats=stats, n_blocks=n_blocks, n_keys=n_keys)
+
+class _LazyBlockStats:
+    """A :class:`~repro.types.BlockStats` computed on first access.
+
+    Built when both sampling optimisations (thread reduction,
+    look-ahead) are disabled, so no consumer needs the measurements
+    eagerly; attribute access forwards to the real stats, computing
+    them once.
+    """
+
+    __slots__ = ("_thunk", "_stats")
+
+    def __init__(self, thunk) -> None:
+        self._thunk = thunk
+        self._stats: BlockStats | None = None
+
+    def _force(self) -> BlockStats:
+        if self._stats is None:
+            self._stats = self._thunk()
+            self._thunk = None
+        return self._stats
+
+    def __getattr__(self, name: str):
+        return getattr(self._force(), name)
+
+    def __repr__(self) -> str:
+        return repr(self._force())
 
 
 def _measure_pass_stats(
     digits: np.ndarray,
     counts: np.ndarray,
-    sizes: np.ndarray,
     config: SortConfig,
     rng: np.random.Generator,
 ) -> BlockStats:

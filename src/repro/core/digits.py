@@ -14,9 +14,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro._util import as_uint, narrow_uint_dtype
 from repro.errors import ConfigurationError
 
-__all__ = ["DigitGeometry", "extract_digit", "extract_digit_lsd"]
+__all__ = [
+    "DigitGeometry",
+    "extract_digit",
+    "extract_digit_compact",
+    "extract_digit_lsd",
+]
 
 
 @dataclass(frozen=True)
@@ -90,6 +96,24 @@ def extract_digit(
     mask = geometry.mask_for(msd_index)
     work = keys.astype(np.uint64, copy=False)
     return ((work >> np.uint64(shift)) & np.uint64(mask)).astype(np.int64)
+
+
+def extract_digit_compact(
+    keys: np.ndarray, geometry: DigitGeometry, msd_index: int
+) -> np.ndarray:
+    """Extract MSD digit ``msd_index`` into the narrowest unsigned dtype.
+
+    Same digit values as :func:`extract_digit`, but the shift/mask runs
+    in the key's native width (no widening to uint64) and the result is
+    uint8/uint16 — the representation the fast counting-sort engine
+    feeds straight into NumPy's radix-path stable sort.
+    """
+    shift = geometry.shift_for(msd_index)
+    mask = geometry.mask_for(msd_index)
+    work = as_uint(keys)
+    w = work.dtype.type
+    digits = (work >> w(shift)) & w(mask)
+    return digits.astype(narrow_uint_dtype(mask), copy=False)
 
 
 def extract_digit_lsd(

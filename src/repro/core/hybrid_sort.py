@@ -170,7 +170,9 @@ class HybridRadixSorter:
             )
             return trace, bits.copy(), None if values is None else values.copy()
 
-        key_buffers = [bits.copy(), np.empty_like(bits)]
+        # to_sortable_bits returns a freshly-owned array (never a view of
+        # the caller's keys), so it can be mutated as buffer 0 directly.
+        key_buffers = [bits, np.empty_like(bits)]
         value_buffers = None
         if values is not None:
             value_buffers = [values.copy(), np.empty_like(values)]

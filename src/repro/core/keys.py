@@ -67,7 +67,9 @@ def to_sortable_bits(keys: np.ndarray) -> np.ndarray:
     """Map ``keys`` to unsigned bit patterns with the same order.
 
     The result compares with unsigned integer comparison exactly as the
-    inputs compare under their native ordering.
+    inputs compare under their native ordering.  It is always a freshly
+    allocated array that shares no memory with ``keys`` — callers (the
+    hybrid sorter's double buffering) rely on being able to mutate it.
     """
     keys = np.asarray(keys)
     dtype = keys.dtype

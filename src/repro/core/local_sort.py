@@ -13,7 +13,13 @@ Two implementations live here:
   to one configuration are padded into a matrix (pad value = dtype max,
   so padding sorts to the back) and sorted along rows in one NumPy call;
   the padding *is* the thread over-provisioning of a real kernel and is
-  reported as such to the cost model.
+  reported as such to the cost model.  Two host fast paths keep the
+  trick allocation-light: batches whose buckets all share one size skip
+  the pad matrix entirely (the rows are gathered dense, no fill), and
+  padded batches draw their key/value matrices from a per-engine
+  scratch-buffer pool instead of allocating afresh — the value matrix is
+  never even initialised, because padding cells sort behind the real
+  keys and are never read back.
 * :func:`block_radix_sort_shared` — the faithful in-"shared-memory" LSD
   block radix sort (the CUB ``BlockRadixSort`` analogue of §4.6) which
   sorts only the digits preceding passes have not fixed yet.
@@ -64,6 +70,23 @@ class LocalSortEngine:
             raise ConfigurationError("at least one configuration required")
         self.configs = tuple(int(c) for c in configs)
         self.geometry = geometry
+        # Scratch-buffer pool, keyed by (role, dtype): flat arrays the
+        # padded batches reshape into their row matrices, reused across
+        # batches instead of allocating per call.
+        self._scratch: dict[tuple[str, str], np.ndarray] = {}
+
+    def _scratch_matrix(
+        self, role: str, dtype: np.dtype, n_rows: int, capacity: int
+    ) -> np.ndarray:
+        """An uninitialised ``(n_rows, capacity)`` view of pooled scratch."""
+        n = n_rows * capacity
+        key = (role, np.dtype(dtype).str)
+        buf = self._scratch.get(key)
+        if buf is None or buf.size < n:
+            grow = 0 if buf is None else 2 * buf.size
+            buf = np.empty(max(n, grow), dtype=dtype)
+            self._scratch[key] = buf
+        return buf[:n].reshape(n_rows, capacity)
 
     def execute(
         self,
@@ -177,8 +200,32 @@ class LocalSortEngine:
         dst_values: np.ndarray | None,
     ) -> None:
         n_rows = offsets.size
+        if int(sizes.min()) == int(sizes.max()):
+            # Uniform batch: every bucket has the same width, so the rows
+            # gather dense — no pad matrix, no fill, no per-key indices.
+            width = int(sizes[0])
+            flat_src = (
+                offsets[:, None] + np.arange(width, dtype=np.int64)
+            ).reshape(-1)
+            matrix = src_keys[flat_src].reshape(n_rows, width)
+            if src_values is None:
+                matrix.sort(axis=1)
+                dst_keys[flat_src] = matrix.reshape(-1)
+                return
+            order = np.argsort(matrix, axis=1, kind="stable")
+            dst_keys[flat_src] = np.take_along_axis(
+                matrix, order, axis=1
+            ).reshape(-1)
+            vmatrix = src_values[flat_src].reshape(n_rows, width)
+            dst_values[flat_src] = np.take_along_axis(
+                vmatrix, order, axis=1
+            ).reshape(-1)
+            return
         pad_value = np.iinfo(src_keys.dtype).max
-        matrix = np.full((n_rows, capacity), pad_value, dtype=src_keys.dtype)
+        matrix = self._scratch_matrix(
+            "keys", src_keys.dtype, n_rows, capacity
+        )
+        matrix[...] = pad_value
         row_ids = np.repeat(np.arange(n_rows, dtype=np.int64), sizes)
         col_ids = concatenated_aranges(sizes)
         flat_src = offsets[row_ids] + col_ids
@@ -191,7 +238,12 @@ class LocalSortEngine:
         sorted_keys = np.take_along_axis(matrix, order, axis=1)
         dst_keys[flat_src] = sorted_keys[row_ids, col_ids]
         # Values ride along: build the value matrix, permute identically.
-        vmatrix = np.zeros((n_rows, capacity), dtype=src_values.dtype)
+        # Padding cells stay uninitialised — a stable sort keeps real
+        # keys (even ones equal to the pad value) ahead of the padding
+        # columns, so garbage never lands in the first `size` columns.
+        vmatrix = self._scratch_matrix(
+            "values", src_values.dtype, n_rows, capacity
+        )
         vmatrix[row_ids, col_ids] = src_values[flat_src]
         sorted_values = np.take_along_axis(vmatrix, order, axis=1)
         dst_values[flat_src] = sorted_values[row_ids, col_ids]

@@ -1,0 +1,66 @@
+"""Tests for the host wall-clock benchmark harness."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.wallclock import (
+    DEFAULT_CASES,
+    WallclockCase,
+    run_case,
+    run_suite,
+    write_report,
+)
+
+
+class TestCases:
+    def test_default_cases_cover_widths_and_layouts(self):
+        key_bits = {c.key_bits for c in DEFAULT_CASES}
+        assert key_bits == {32, 64}
+        assert any(c.value_bits for c in DEFAULT_CASES)
+        assert any(not c.value_bits for c in DEFAULT_CASES)
+        distributions = {c.distribution for c in DEFAULT_CASES}
+        assert "uniform" in distributions
+        assert "constant" in distributions
+
+    def test_make_input_shapes(self):
+        rng = np.random.default_rng(0)
+        case = WallclockCase("pairs", 32, 32, "uniform")
+        keys, values = case.make_input(1000, rng)
+        assert keys.size == values.size == 1000
+        keys_only, none = WallclockCase("k", 64, 0, "and4").make_input(
+            500, rng
+        )
+        assert keys_only.size == 500 and none is None
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            WallclockCase("x", 32, 0, "bogus").make_input(
+                10, np.random.default_rng(0)
+            )
+
+
+class TestHarness:
+    def test_run_case_reports_sorted_throughput(self):
+        record = run_case(
+            WallclockCase("keys32-uniform", 32, 0, "uniform"),
+            n=4096,
+            repeats=1,
+        )
+        assert record["sorted_ok"]
+        assert record["mkeys_per_s"] > 0
+        assert record["n"] == 4096
+
+    def test_suite_writes_valid_json(self, tmp_path):
+        cases = (WallclockCase("keys32-uniform", 32, 0, "uniform"),)
+        report = run_suite(n=2048, repeats=1, cases=cases)
+        path = tmp_path / "BENCH_wallclock.json"
+        write_report(report, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == 1
+        assert loaded["n"] == 2048
+        assert len(loaded["results"]) == 1
+        assert loaded["results"][0]["sorted_ok"]

@@ -144,6 +144,29 @@ class TestPassStatistics:
         assert out.stats.scatter_ops_per_key == 1.0
         assert out.stats.lookahead_active_fraction == 0.0
 
+    def test_stats_lazy_when_both_sampling_switches_off(self, rng, small_config):
+        from repro.core.counting_sort import _LazyBlockStats
+
+        keys = rng.integers(0, 2**32, 1000, dtype=np.uint64).astype(np.uint32)
+        both_off = small_config.with_ablations(
+            lookahead=False, thread_reduction=False
+        )
+        _, _, lazy_out = _run_pass(keys, both_off)
+        assert isinstance(lazy_out.stats, _LazyBlockStats)
+        # First access forces the measurement; values match an eager run
+        # with the same switches (only sampling *scheduling* changed).
+        _, _, eager_like = _run_pass(keys, both_off)
+        assert lazy_out.stats.hist_ops_per_key == 1.0
+        assert lazy_out.stats.scatter_ops_per_key == 1.0
+        assert (
+            lazy_out.stats.warp_conflict
+            == eager_like.stats.warp_conflict
+        )
+        assert (
+            lazy_out.stats.max_digit_fraction
+            == eager_like.stats.max_digit_fraction
+        )
+
 
 class TestEngineEquivalence:
     """Fast and faithful engines agree on bucket structure (DESIGN §5)."""

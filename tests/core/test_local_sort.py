@@ -115,6 +115,48 @@ class TestFastEngine:
         assert trace.total_keys == 0
         assert trace.per_config == ()
 
+    def test_padded_pairs_with_max_valued_keys(self):
+        # Non-uniform sizes force the padded scratch path; keys equal to
+        # the pad value must keep their values attached (the value
+        # matrix is uninitialised, so any leak of a padding cell into
+        # the first `size` columns would surface here).
+        keys = np.array(
+            [0xFFFFFFFF, 5, 0xFFFFFFFF, 7, 3, 1, 2], dtype=np.uint32
+        )
+        values = np.arange(7, dtype=np.uint32)
+        out, out_v, _ = _run_engine(
+            keys, [0, 3], [3, 4], values=values, configs=(16,)
+        )
+        assert out.tolist() == [5, 0xFFFFFFFF, 0xFFFFFFFF, 1, 2, 3, 7]
+        assert out_v.tolist() == [1, 0, 2, 5, 6, 4, 3]
+
+    def test_uniform_batch_skips_padding(self, rng):
+        # All buckets share one size below the configuration capacity:
+        # the dense path must still sort values along with keys.
+        keys = rng.integers(0, 2**32, 30, dtype=np.uint64).astype(np.uint32)
+        values = np.arange(30, dtype=np.uint32)
+        out, out_v, _ = _run_engine(
+            keys, [0, 10, 20], [10, 10, 10], values=values, configs=(16,)
+        )
+        for lo in (0, 10, 20):
+            assert np.array_equal(out[lo : lo + 10], np.sort(keys[lo : lo + 10]))
+            assert np.array_equal(keys[out_v[lo : lo + 10]], out[lo : lo + 10])
+
+    def test_scratch_pool_reused_across_batches(self, rng):
+        engine = LocalSortEngine((16, 128), GEOMETRY)
+        keys = rng.integers(0, 2**32, 200, dtype=np.uint64).astype(np.uint32)
+        offsets = np.array([0, 7, 100], dtype=np.int64)
+        sizes = np.array([7, 90, 100], dtype=np.int64)  # non-uniform
+        sort_from = np.zeros(3, dtype=np.int64)
+        dst = keys.copy()
+        engine.execute(0, keys, dst, offsets, sizes, sort_from)
+        buffers = {k: id(v) for k, v in engine._scratch.items()}
+        assert buffers  # padded path drew from the pool
+        dst2 = keys.copy()
+        engine.execute(1, keys, dst2, offsets, sizes, sort_from)
+        assert {k: id(v) for k, v in engine._scratch.items()} == buffers
+        assert np.array_equal(dst, dst2)
+
     def test_large_batch_chunking(self, rng):
         # Many buckets in one class exercise the row-batching path.
         n_buckets = 3000

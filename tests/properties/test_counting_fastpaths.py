@@ -1,0 +1,268 @@
+"""Property tests: the counting-sort fast paths vs the gather reference.
+
+The fast engine dispatches between a sliced single-span path, a
+span-coalesced loop, and a gathered fallback with narrow composite sort
+keys.  Every path must be *bit-identical* to the seed implementation —
+explicit ``positions`` gather, int64 composite key, stable argsort —
+across dtypes, pair layouts, zero-size buckets, gaps between buckets,
+and single-element inputs.  These tests implement that seed engine as an
+independent reference and drive all paths against it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.counting_sort as cs
+from repro._util import (
+    coalesce_spans,
+    concatenated_aranges,
+    segment_ids_from_sizes,
+)
+from repro.core.config import SortConfig
+from repro.core.counting_sort import counting_sort_pass
+from repro.core.digits import extract_digit
+from repro.core.histogram import bucket_histograms
+
+KEY_DTYPES = {
+    8: np.uint8,
+    16: np.uint16,
+    32: np.uint32,
+    64: np.uint64,
+}
+
+
+def _config(key_bits: int, digit_bits: int) -> SortConfig:
+    return SortConfig(
+        key_bits=key_bits,
+        digit_bits=digit_bits,
+        kpb=37,
+        threads=32,
+        kpt=2,
+        local_threshold=64,
+        merge_threshold=16,
+        local_sort_configs=(64,),
+    )
+
+
+def reference_pass(src, offsets, sizes, config, digit_index, src_values=None):
+    """The seed gather engine: positions gather, int64 key, argsort."""
+    dst = np.zeros_like(src)
+    dst_values = None if src_values is None else np.zeros_like(src_values)
+    positions = np.repeat(offsets, sizes) + concatenated_aranges(sizes)
+    active = src[positions]
+    digits = extract_digit(active, config.geometry, digit_index)
+    segments = segment_ids_from_sizes(sizes)
+    counts = bucket_histograms(digits, segments, offsets.size, config.radix)
+    order = np.argsort(segments * config.radix + digits, kind="stable")
+    dst[positions] = active[order]
+    if src_values is not None:
+        dst_values[positions] = src_values[positions][order]
+    return dst, dst_values, counts
+
+
+def run_fast(src, offsets, sizes, config, digit_index, src_values=None,
+             force_gather=False):
+    """Run the fast engine, optionally forcing the gathered fallback."""
+    dst = np.zeros_like(src)
+    dst_values = None if src_values is None else np.zeros_like(src_values)
+    saved = (cs._SPAN_LOOP_MIN, cs._SPAN_KEY_RATIO)
+    if force_gather:
+        cs._SPAN_LOOP_MIN, cs._SPAN_KEY_RATIO = -1, 1 << 62
+    try:
+        out = counting_sort_pass(
+            src, dst, offsets, sizes, config, digit_index,
+            src_values=src_values, dst_values=dst_values,
+        )
+    finally:
+        cs._SPAN_LOOP_MIN, cs._SPAN_KEY_RATIO = saved
+    return dst, dst_values, out
+
+
+@st.composite
+def bucket_layouts(draw):
+    """Random bucket layouts: gaps, zero sizes, adjacency mixes."""
+    pieces = draw(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 25)),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    offsets, sizes = [], []
+    cursor = 0
+    for gap, size in pieces:
+        cursor += gap
+        offsets.append(cursor)
+        sizes.append(size)
+        cursor += size
+    tail_gap = draw(st.integers(0, 3))
+    return (
+        np.array(offsets, dtype=np.int64),
+        np.array(sizes, dtype=np.int64),
+        cursor + tail_gap,
+    )
+
+
+@st.composite
+def pass_inputs(draw):
+    key_bits = draw(st.sampled_from(sorted(KEY_DTYPES)))
+    digit_bits = draw(st.integers(2, min(8, key_bits)))
+    config = _config(key_bits, digit_bits)
+    digit_index = draw(st.integers(0, config.num_digits - 1))
+    offsets, sizes, total = draw(bucket_layouts())
+    dtype = KEY_DTYPES[key_bits]
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, 2**key_bits, size=total, dtype=np.uint64).astype(
+        dtype
+    )
+    pairs = draw(st.booleans())
+    values = (
+        np.arange(total, dtype=np.uint32) if pairs else None
+    )
+    return src, offsets, sizes, config, digit_index, values
+
+
+@settings(max_examples=120, deadline=None)
+@given(pass_inputs())
+def test_span_paths_bit_identical_to_reference(inputs):
+    src, offsets, sizes, config, digit_index, values = inputs
+    ref_dst, ref_vals, ref_counts = reference_pass(
+        src, offsets, sizes, config, digit_index, src_values=values
+    )
+    dst, dst_vals, out = run_fast(
+        src, offsets, sizes, config, digit_index, src_values=values
+    )
+    assert np.array_equal(dst, ref_dst)
+    assert np.array_equal(out.counts, ref_counts)
+    if values is not None:
+        assert np.array_equal(dst_vals, ref_vals)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pass_inputs())
+def test_gathered_fallback_bit_identical_to_reference(inputs):
+    src, offsets, sizes, config, digit_index, values = inputs
+    ref_dst, ref_vals, ref_counts = reference_pass(
+        src, offsets, sizes, config, digit_index, src_values=values
+    )
+    dst, dst_vals, out = run_fast(
+        src, offsets, sizes, config, digit_index,
+        src_values=values, force_gather=True,
+    )
+    assert np.array_equal(dst, ref_dst)
+    assert np.array_equal(out.counts, ref_counts)
+    if values is not None:
+        assert np.array_equal(dst_vals, ref_vals)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pass_inputs())
+def test_span_and_gather_paths_agree(inputs):
+    src, offsets, sizes, config, digit_index, values = inputs
+    a_dst, a_vals, a_out = run_fast(
+        src, offsets, sizes, config, digit_index, src_values=values
+    )
+    b_dst, b_vals, b_out = run_fast(
+        src, offsets, sizes, config, digit_index,
+        src_values=values, force_gather=True,
+    )
+    assert np.array_equal(a_dst, b_dst)
+    assert np.array_equal(a_out.counts, b_out.counts)
+    if values is not None:
+        assert np.array_equal(a_vals, b_vals)
+
+
+class TestPathDispatch:
+    """Deterministic probes of each dispatch branch."""
+
+    def test_single_bucket_is_one_span(self):
+        offsets = np.array([0], dtype=np.int64)
+        sizes = np.array([500], dtype=np.int64)
+        starts, stops, lo, hi = coalesce_spans(offsets, sizes)
+        assert starts.tolist() == [0] and stops.tolist() == [500]
+
+    def test_adjacent_buckets_coalesce(self):
+        offsets = np.array([0, 100, 350], dtype=np.int64)
+        sizes = np.array([100, 250, 50], dtype=np.int64)
+        starts, stops, lo, hi = coalesce_spans(offsets, sizes)
+        assert starts.tolist() == [0] and stops.tolist() == [400]
+        assert lo.tolist() == [0] and hi.tolist() == [2]
+
+    def test_zero_size_buckets_do_not_break_spans(self):
+        offsets = np.array([0, 40, 40, 90], dtype=np.int64)
+        sizes = np.array([40, 0, 50, 10], dtype=np.int64)
+        starts, stops, lo, hi = coalesce_spans(offsets, sizes)
+        assert starts.tolist() == [0] and stops.tolist() == [100]
+
+    def test_gap_starts_new_span(self):
+        offsets = np.array([0, 60], dtype=np.int64)
+        sizes = np.array([50, 20], dtype=np.int64)
+        starts, stops, _, _ = coalesce_spans(offsets, sizes)
+        assert starts.tolist() == [0, 60]
+        assert stops.tolist() == [50, 80]
+
+    def test_many_tiny_buckets_take_gather_path(self, rng):
+        # 100 one-key buckets with gaps → more spans than the loop cap,
+        # so the gathered fallback runs; output still matches reference.
+        config = _config(32, 8)
+        n_buckets = 100
+        offsets = np.arange(n_buckets, dtype=np.int64) * 2
+        sizes = np.ones(n_buckets, dtype=np.int64)
+        src = rng.integers(0, 2**32, n_buckets * 2, dtype=np.uint64).astype(
+            np.uint32
+        )
+        ref_dst, _, ref_counts = reference_pass(src, offsets, sizes, config, 0)
+        dst, _, out = run_fast(src, offsets, sizes, config, 0)
+        assert np.array_equal(dst, ref_dst)
+        assert np.array_equal(out.counts, ref_counts)
+
+    def test_narrow_dtype_overflow_boundary(self, rng):
+        # 300 buckets × radix 256 pushes the composite key past uint16;
+        # the engine must widen to uint32 and still match the reference.
+        config = _config(32, 8)
+        n_buckets = 300
+        offsets = np.arange(n_buckets, dtype=np.int64) * 3
+        sizes = np.full(n_buckets, 3, dtype=np.int64)
+        src = rng.integers(
+            0, 2**32, n_buckets * 3, dtype=np.uint64
+        ).astype(np.uint32)
+        values = np.arange(src.size, dtype=np.uint32)
+        ref_dst, ref_vals, ref_counts = reference_pass(
+            src, offsets, sizes, config, 1, src_values=values
+        )
+        dst, dst_vals, out = run_fast(
+            src, offsets, sizes, config, 1,
+            src_values=values, force_gather=True,
+        )
+        assert np.array_equal(dst, ref_dst)
+        assert np.array_equal(dst_vals, ref_vals)
+        assert np.array_equal(out.counts, ref_counts)
+
+    def test_narrow_dtype_overflow_boundary_span_path(self, rng):
+        # Same 300-bucket layout, but adjacent buckets: one span whose
+        # local composite key also exceeds uint16.  The span loop must
+        # widen identically.
+        config = _config(32, 8)
+        n_buckets = 300
+        sizes = np.full(n_buckets, 3, dtype=np.int64)
+        offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+        src = rng.integers(
+            0, 2**32, n_buckets * 3, dtype=np.uint64
+        ).astype(np.uint32)
+        ref_dst, _, ref_counts = reference_pass(src, offsets, sizes, config, 1)
+        dst, _, out = run_fast(src, offsets, sizes, config, 1)
+        assert np.array_equal(dst, ref_dst)
+        assert np.array_equal(out.counts, ref_counts)
+
+    def test_single_element_input(self):
+        config = _config(32, 8)
+        src = np.array([42], dtype=np.uint32)
+        offsets = np.array([0], dtype=np.int64)
+        sizes = np.array([1], dtype=np.int64)
+        dst, _, out = run_fast(src, offsets, sizes, config, 0)
+        assert dst.tolist() == [42]
+        assert out.counts.sum() == 1

@@ -125,3 +125,35 @@ class TestAsUint:
     def test_float64(self):
         out = as_uint(np.array([1.0], dtype=np.float64))
         assert out.dtype == np.uint64
+
+
+class TestNarrowUintDtype:
+    def test_boundaries(self):
+        from repro._util import narrow_uint_dtype
+
+        assert narrow_uint_dtype(255) == np.uint8
+        assert narrow_uint_dtype(256) == np.uint16
+        assert narrow_uint_dtype(2**16 - 1) == np.uint16
+        assert narrow_uint_dtype(2**16) == np.uint32
+        assert narrow_uint_dtype(2**32) == np.uint64
+
+
+class TestCoalesceSpans:
+    def test_all_empty_buckets(self):
+        from repro._util import coalesce_spans
+
+        starts, stops, lo, hi = coalesce_spans(
+            np.array([5, 9]), np.array([0, 0])
+        )
+        assert starts.size == stops.size == lo.size == hi.size == 0
+
+    def test_mixed_layout(self):
+        from repro._util import coalesce_spans
+
+        offsets = np.array([0, 30, 30, 100, 130])
+        sizes = np.array([30, 0, 40, 30, 10])
+        starts, stops, lo, hi = coalesce_spans(offsets, sizes)
+        assert starts.tolist() == [0, 100]
+        assert stops.tolist() == [70, 140]
+        assert lo.tolist() == [0, 3]
+        assert hi.tolist() == [2, 4]
