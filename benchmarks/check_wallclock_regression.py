@@ -1,0 +1,74 @@
+"""CI guard: fail when a benchmark case regresses below the baseline.
+
+Compares a freshly measured wall-clock report against the committed
+``BENCH_wallclock.json`` baseline and exits non-zero when any requested
+case's Mkeys/s falls more than ``--max-regression`` (default 20%) below
+the baseline's.  Used by CI with the quick-mode smoke report::
+
+    python benchmarks/check_wallclock_regression.py \
+        --baseline BENCH_wallclock.json \
+        --current /tmp/BENCH_wallclock.json \
+        --case pairs32-uniform
+
+Quick-mode runs use a smaller n than the committed baseline (and CI
+machines differ from the machine that produced the baseline), so the
+threshold is a coarse bit-rot tripwire — catching "the fast path
+stopped dispatching" (integer-factor slowdowns), not single-digit
+percentage noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_rates(path: str) -> dict[str, float]:
+    with open(path) as fh:
+        report = json.load(fh)
+    return {r["name"]: float(r["mkeys_per_s"]) for r in report["results"]}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument(
+        "--case",
+        action="append",
+        default=None,
+        help="case name to check (repeatable; default: pairs32-uniform)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.2,
+        help="tolerated fractional drop below baseline (default 0.2)",
+    )
+    args = parser.parse_args(argv)
+    cases = args.case or ["pairs32-uniform"]
+
+    baseline = load_rates(args.baseline)
+    current = load_rates(args.current)
+    failed = False
+    for name in cases:
+        if name not in baseline:
+            print(f"SKIP {name}: not in baseline")
+            continue
+        if name not in current:
+            print(f"FAIL {name}: missing from current report")
+            failed = True
+            continue
+        floor = baseline[name] * (1.0 - args.max_regression)
+        verdict = "FAIL" if current[name] < floor else "ok"
+        failed = failed or current[name] < floor
+        print(
+            f"{verdict:4s} {name}: {current[name]:.2f} Mkeys/s "
+            f"(baseline {baseline[name]:.2f}, floor {floor:.2f})"
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,20 @@ __all__ = [
     "as_uint",
     "narrow_uint_dtype",
     "coalesce_spans",
+    "even_bounds",
 ]
+
+
+def even_bounds(total: int, parts: int) -> np.ndarray:
+    """``parts + 1`` integer boundaries splitting ``[0, total)`` evenly.
+
+    Exact integer arithmetic (no float rounding): part ``i`` spans
+    ``[bounds[i], bounds[i+1])`` and part sizes differ by at most one.
+    The engines decompose work into tasks with this single helper so
+    the "byte-identical output for any worker count" guarantee rests on
+    one definition of the split.
+    """
+    return (total * np.arange(parts + 1, dtype=np.int64)) // parts
 
 
 def concatenated_aranges(sizes: np.ndarray) -> np.ndarray:

@@ -8,16 +8,21 @@ efficiency — each counting pass should read and write every key
 (approximately) once — and this harness is how successive PRs prove the
 host implementation tracks that goal instead of drifting.
 
-``run_suite`` sweeps key widths, entropies, and pair layouts, timing
-:class:`~repro.core.hybrid_sort.HybridRadixSorter` end-to-end (including
-trace pricing, i.e. exactly what a caller pays), and
-``write_report``/``main`` persist the results as ``BENCH_wallclock.json``
-at the repository root so the perf trajectory is versioned alongside the
-code.  Entry points:
+``run_suite`` sweeps key widths, entropies/distributions (uniform,
+AND-depth, constant, Zipf, pre-sorted, reverse-sorted), and pair
+layouts, timing :class:`~repro.core.hybrid_sort.HybridRadixSorter`
+end-to-end (including trace pricing, i.e. exactly what a caller pays),
+and ``write_report``/``main`` persist the results as
+``BENCH_wallclock.json`` at the repository root so the perf trajectory
+is versioned alongside the code.  Every case verifies its output (keys
+sorted; values a key-preserving permutation) and ``write_report``
+refuses to persist a report containing a failed case — a benchmark of
+a wrong sort is worthless.  Entry points:
 
-* ``python -m repro bench-wallclock [--quick]`` — the CLI subcommand;
-* ``python benchmarks/bench_wallclock.py [--quick]`` — the same harness
-  as a standalone script (what CI smoke-runs).
+* ``python -m repro bench-wallclock [--quick] [--workers N]
+  [--cases a,b]`` — the CLI subcommand;
+* ``python benchmarks/bench_wallclock.py ...`` — the same harness as a
+  standalone script (what CI smoke-runs, with ``--workers 2``).
 """
 
 from __future__ import annotations
@@ -28,7 +33,7 @@ import os
 import platform
 import sys
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -36,10 +41,20 @@ from repro.workloads import (
     constant_keys,
     generate_entropy_keys,
     generate_pairs,
+    reverse_sorted_keys,
+    sorted_keys,
     uniform_keys,
+    zipf_keys,
 )
 
-__all__ = ["WallclockCase", "DEFAULT_CASES", "run_case", "run_suite", "main"]
+__all__ = [
+    "WallclockCase",
+    "DEFAULT_CASES",
+    "run_case",
+    "run_suite",
+    "add_bench_args",
+    "main",
+]
 
 #: Default sample size — 2**23 keys is large enough that per-call
 #: overheads vanish but a full suite still runs in well under a minute.
@@ -55,7 +70,7 @@ class WallclockCase:
     name: str
     key_bits: int
     value_bits: int
-    distribution: str  # "uniform" | "andN" | "constant"
+    distribution: str  # "uniform" | "andN" | "constant" | "zipf" | ...
 
     def make_input(
         self, n: int, rng: np.random.Generator
@@ -64,6 +79,12 @@ class WallclockCase:
             keys = uniform_keys(n, self.key_bits, rng)
         elif self.distribution == "constant":
             keys = constant_keys(n, self.key_bits)
+        elif self.distribution == "zipf":
+            keys = zipf_keys(n, self.key_bits, rng=rng)
+        elif self.distribution == "presorted":
+            keys = sorted_keys(n, self.key_bits, rng)
+        elif self.distribution == "reverse":
+            keys = reverse_sorted_keys(n, self.key_bits, rng)
         elif self.distribution.startswith("and"):
             depth = int(self.distribution.removeprefix("and"))
             keys = generate_entropy_keys(n, self.key_bits, depth, rng)
@@ -75,17 +96,51 @@ class WallclockCase:
         return keys, values
 
 
-#: Key widths × entropies × pair layouts.  The first case is the
+#: Key widths × distributions × pair layouts.  The first case is the
 #: acceptance workload every PR's speed-up is quoted against.
 DEFAULT_CASES: tuple[WallclockCase, ...] = (
     WallclockCase("keys32-uniform", 32, 0, "uniform"),
     WallclockCase("keys32-and4", 32, 0, "and4"),
     WallclockCase("keys32-constant", 32, 0, "constant"),
+    WallclockCase("keys32-zipf", 32, 0, "zipf"),
+    WallclockCase("keys32-presorted", 32, 0, "presorted"),
+    WallclockCase("keys32-reverse", 32, 0, "reverse"),
     WallclockCase("keys64-uniform", 64, 0, "uniform"),
     WallclockCase("keys64-and4", 64, 0, "and4"),
     WallclockCase("pairs32-uniform", 32, 32, "uniform"),
+    WallclockCase("pairs32-zipf", 32, 32, "zipf"),
     WallclockCase("pairs64-uniform", 64, 64, "uniform"),
 )
+
+
+def select_cases(names: str | None) -> tuple[WallclockCase, ...]:
+    """Resolve a ``--cases`` comma-separated name list (None = all)."""
+    if not names:
+        return DEFAULT_CASES
+    by_name = {case.name: case for case in DEFAULT_CASES}
+    wanted = [name.strip() for name in names.split(",") if name.strip()]
+    unknown = [name for name in wanted if name not in by_name]
+    if unknown:
+        raise SystemExit(
+            f"error: unknown case(s) {', '.join(unknown)}; "
+            f"known: {', '.join(by_name)}"
+        )
+    return tuple(by_name[name] for name in wanted)
+
+
+def _verified(result, keys: np.ndarray, values: np.ndarray | None) -> bool:
+    """Keys non-decreasing; values still paired with their keys."""
+    out = result.keys
+    if out.size > 1 and not bool(np.all(out[:-1] <= out[1:])):
+        return False
+    if values is not None:
+        # The benchmark payload is the row index, so the values column
+        # must be a permutation that maps input keys onto the output.
+        if not np.array_equal(np.sort(result.values), values):
+            return False
+        if not np.array_equal(keys[result.values.astype(np.int64)], out):
+            return False
+    return True
 
 
 def run_case(
@@ -93,18 +148,24 @@ def run_case(
     n: int,
     seed: int = 20170514,
     repeats: int = 2,
+    workers: int = 1,
 ) -> dict:
     """Time one case; returns a JSON-ready result record.
 
     Reports the best of ``repeats`` timed runs (after one warm-up at a
-    smaller size primes allocator and import costs) and verifies the
-    output is sorted — a benchmark of a wrong sort is worthless.
+    smaller size primes allocator, thread-pool, and import costs) and
+    verifies the output — a benchmark of a wrong sort is worthless.
     """
+    from repro.core.config import SortConfig
     from repro.core.hybrid_sort import HybridRadixSorter
 
     rng = np.random.default_rng(seed)
     keys, values = case.make_input(n, rng)
-    sorter = HybridRadixSorter()
+    config = replace(
+        SortConfig.for_layout(case.key_bits, case.value_bits),
+        workers=workers,
+    )
+    sorter = HybridRadixSorter(config=config)
     warm = max(1024, n // 16)
     sorter.sort(keys[:warm], None if values is None else values[:warm])
     best = float("inf")
@@ -113,16 +174,16 @@ def run_case(
         t0 = time.perf_counter()
         result = sorter.sort(keys, values)
         best = min(best, time.perf_counter() - t0)
-    sorted_ok = bool(np.all(result.keys[:-1] <= result.keys[1:]))
     return {
         "name": case.name,
         "key_bits": case.key_bits,
         "value_bits": case.value_bits,
         "distribution": case.distribution,
         "n": n,
+        "workers": workers,
         "seconds": best,
         "mkeys_per_s": round(n / best / 1e6, 3),
-        "sorted_ok": sorted_ok,
+        "sorted_ok": _verified(result, keys, values),
     }
 
 
@@ -131,12 +192,13 @@ def run_suite(
     seed: int = 20170514,
     repeats: int = 2,
     cases: tuple[WallclockCase, ...] = DEFAULT_CASES,
+    workers: int = 1,
     echo=None,
 ) -> dict:
     """Run every case and return the full report dictionary."""
     results = []
     for case in cases:
-        record = run_case(case, n, seed=seed, repeats=repeats)
+        record = run_case(case, n, seed=seed, repeats=repeats, workers=workers)
         results.append(record)
         if echo is not None:
             echo(
@@ -145,11 +207,13 @@ def run_suite(
                 f"{'' if record['sorted_ok'] else ', NOT SORTED'})"
             )
     return {
-        "schema": 1,
+        "schema": 2,
         "benchmark": "host wall-clock, HybridRadixSorter.sort end-to-end",
         "n": n,
         "repeats": repeats,
         "seed": seed,
+        "workers": workers,
+        "cases": [case.name for case in cases],
         "python": platform.python_version(),
         "numpy": np.__version__,
         "results": results,
@@ -171,6 +235,20 @@ def check_output_writable(path: str) -> None:
 
 
 def write_report(report: dict, path: str) -> None:
+    """Persist a report — refusing one that contains a failed case.
+
+    A results file is the baseline future PRs regress against; a file
+    recording a wrong sort would poison that trajectory, so it is never
+    written.
+    """
+    broken = [
+        r["name"] for r in report.get("results", ()) if not r["sorted_ok"]
+    ]
+    if broken:
+        raise ValueError(
+            "refusing to write a report with failed verification: "
+            + ", ".join(broken)
+        )
     with open(path, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
@@ -182,30 +260,56 @@ def execute(
     seed: int,
     output: str,
     quick: bool = False,
+    workers: int = 1,
+    cases: str | None = None,
     echo=print,
 ) -> int:
     """Shared entry-point body for the CLI subcommand and the script.
 
     Applies the ``--quick`` overrides, fails fast on an unwritable
-    output path, runs the suite, persists the report, and returns the
-    process exit code (non-zero if any case produced unsorted output).
+    output path, runs the suite, persists the report (unless a case
+    failed verification — then nothing is written), and returns the
+    process exit code.
     """
     check_output_writable(output)
     if quick:
         n, repeats = QUICK_N, 1
-    report = run_suite(n=n, seed=seed, repeats=repeats, echo=echo)
+    report = run_suite(
+        n=n,
+        seed=seed,
+        repeats=repeats,
+        cases=select_cases(cases),
+        workers=workers,
+        echo=echo,
+    )
+    if not all(r["sorted_ok"] for r in report["results"]):
+        echo("error: a case failed verification; no report written")
+        return 1
     write_report(report, output)
     echo(f"wrote {output}")
-    return 0 if all(r["sorted_ok"] for r in report["results"]) else 1
+    return 0
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        description="Host wall-clock benchmark of the hybrid radix sorter"
-    )
+def add_bench_args(parser: argparse.ArgumentParser) -> None:
+    """The harness's options — shared by every entry point.
+
+    One definition keeps ``python -m repro bench-wallclock`` and
+    ``python benchmarks/bench_wallclock.py`` from drifting apart.
+    """
     parser.add_argument("--n", type=int, default=DEFAULT_N)
     parser.add_argument("--repeats", type=int, default=2)
     parser.add_argument("--seed", type=int, default=20170514)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="host threads per sort (default 1)",
+    )
+    parser.add_argument(
+        "--cases",
+        default=None,
+        help="comma-separated case names (default: all)",
+    )
     parser.add_argument(
         "--quick",
         action="store_true",
@@ -216,9 +320,22 @@ def main(argv: list[str] | None = None) -> int:
         default="BENCH_wallclock.json",
         help="report path (default: BENCH_wallclock.json in the cwd)",
     )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Host wall-clock benchmark of the hybrid radix sorter"
+    )
+    add_bench_args(parser)
     args = parser.parse_args(argv)
     return execute(
-        args.n, args.repeats, args.seed, args.output, quick=args.quick
+        args.n,
+        args.repeats,
+        args.seed,
+        args.output,
+        quick=args.quick,
+        workers=args.workers,
+        cases=args.cases,
     )
 
 

@@ -76,12 +76,35 @@ def _make_keys(args) -> np.ndarray:
 
 
 def cmd_sort(args) -> int:
+    from dataclasses import replace
+
+    from repro.errors import ConfigurationError
+
     keys = _make_keys(args)
     values = None
     if args.pairs:
         keys, values = generate_pairs(keys, args.key_bits)
+    tuned = args.workers != 1 or args.packing != "auto"
+    if tuned and args.engine != "hybrid":
+        print(
+            f"warning: --workers/--packing only apply to the hybrid "
+            f"engine; ignored for {args.engine!r}",
+            file=sys.stderr,
+        )
     sorter = ENGINES[args.engine]()
-    result = sorter.sort(keys, values) if args.pairs else sorter.sort(keys)
+    if args.engine == "hybrid" and tuned:
+        config = replace(
+            SortConfig.for_layout(
+                args.key_bits, args.key_bits if args.pairs else 0
+            ),
+            workers=args.workers,
+            pair_packing=args.packing,
+        )
+        sorter = HybridRadixSorter(config=config)
+    try:
+        result = sorter.sort(keys, values) if args.pairs else sorter.sort(keys)
+    except ConfigurationError as exc:
+        raise SystemExit(f"error: {exc}")
     ok = bool(np.all(result.keys[:-1] <= result.keys[1:]))
     print(f"engine          : {args.engine}")
     print(f"records         : {keys.size:,} ({args.distribution})")
@@ -158,7 +181,13 @@ def cmd_bench_wallclock(args) -> int:
     from repro.bench.wallclock import execute
 
     return execute(
-        args.n, args.repeats, args.seed, args.output, quick=args.quick
+        args.n,
+        args.repeats,
+        args.seed,
+        args.output,
+        quick=args.quick,
+        workers=args.workers,
+        cases=args.cases,
     )
 
 
@@ -181,6 +210,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_sort.add_argument("--engine", choices=sorted(ENGINES), default="hybrid")
     p_sort.add_argument("--pairs", action="store_true")
     p_sort.add_argument("--seed", type=int, default=0)
+    p_sort.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="host threads for the hybrid engine (default 1)",
+    )
+    p_sort.add_argument(
+        "--packing",
+        choices=("auto", "index", "fused", "off"),
+        default="auto",
+        help="key-value packing policy of the hybrid engine",
+    )
     p_sort.set_defaults(func=cmd_sort)
 
     p_info = sub.add_parser("info", help="device, presets, and bounds")
@@ -198,11 +239,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser(
         "bench-wallclock", help="host wall-clock Mkeys/s benchmark"
     )
-    p_bench.add_argument("--n", type=int, default=1 << 23)
-    p_bench.add_argument("--repeats", type=int, default=2)
-    p_bench.add_argument("--seed", type=int, default=20170514)
-    p_bench.add_argument("--quick", action="store_true")
-    p_bench.add_argument("--output", default="BENCH_wallclock.json")
+    from repro.bench.wallclock import add_bench_args
+
+    add_bench_args(p_bench)
     p_bench.set_defaults(func=cmd_bench_wallclock)
     return parser
 

@@ -84,6 +84,22 @@ class SortConfig:
     lookahead_depth:
         How many following keys each thread inspects (the paper uses 2,
         i.e. writes of up to three keys combine).
+    sort_bits:
+        Restrict the digit sequence to the top ``sort_bits`` bits of the
+        key word (default: all of them).  Internal lever of the packed
+        pair fast paths, where a payload occupies the low bits of the
+        word and must not be partitioned on.
+    workers:
+        Host threads the execution engines fan disjoint spans, chunks,
+        and local-sort batches across.  ``1`` (default) is the exact
+        serial behaviour; any value produces byte-identical output.
+    pair_packing:
+        Key-value fast-path policy (§4.6 in host terms): ``"auto"``
+        packs whenever a bit-identical packed layout exists, ``"index"``
+        forces the key+row-index packing, ``"fused"`` additionally fuses
+        narrow values into the key word (ties between equal keys then
+        order by value bits instead of input order), ``"off"`` keeps the
+        decomposed argsort pipeline (the oracle path).
     """
 
     key_bits: int = 32
@@ -101,6 +117,9 @@ class SortConfig:
     use_thread_reduction: bool = True
     lookahead_skew_threshold: float = 0.3
     lookahead_depth: int = 2
+    sort_bits: int | None = None
+    workers: int = 1
+    pair_packing: str = "auto"
 
     def __post_init__(self) -> None:
         if self.key_bits not in (8, 16, 32, 64):
@@ -139,13 +158,27 @@ class SortConfig:
             raise ConfigurationError(
                 "lookahead_skew_threshold must be in [0, 1]"
             )
+        if self.sort_bits is not None and not (
+            1 <= self.sort_bits <= self.key_bits
+        ):
+            raise ConfigurationError("sort_bits must be in [1, key_bits]")
+        if self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if self.pair_packing not in ("auto", "index", "fused", "off"):
+            raise ConfigurationError(
+                "pair_packing must be 'auto', 'index', 'fused', or 'off'"
+            )
 
     # ------------------------------------------------------------------
     # Derived geometry
     # ------------------------------------------------------------------
     @property
     def geometry(self) -> DigitGeometry:
-        return DigitGeometry(key_bits=self.key_bits, digit_bits=self.digit_bits)
+        return DigitGeometry(
+            key_bits=self.key_bits,
+            digit_bits=self.digit_bits,
+            sort_bits=self.sort_bits,
+        )
 
     @property
     def radix(self) -> int:

@@ -11,27 +11,39 @@ exclusive prefix sum → scatter (§4.1).  Two engines implement it:
   conflicts, thread-reduction and look-ahead operation rates, skew).
 
   To keep the pass near the paper's one-read-one-write cost model in
-  *host* memory too, the engine dispatches between three paths:
+  *host* memory too, the engine dispatches between four paths:
 
-  1. **sliced span path** — adjacent active buckets are coalesced into
-     maximal contiguous memory spans (:func:`repro._util.coalesce_spans`)
-     and each span is processed on a direct buffer slice, eliminating
-     the explicit ``positions`` index array, the gather it feeds, and
-     the fancy-indexed scatter.  Pass 0 (one bucket covering the whole
-     buffer) is always a single span.
-  2. **narrow sort keys** — the composite ``segment * radix + digit``
-     key is built in the smallest sufficient unsigned dtype (often
-     uint8/uint16), which moves 4–8× fewer bytes than int64 and lets
-     NumPy's stable sort take its O(n) radix path; single-bucket spans
-     skip the segment multiply and sort the raw digits.
-  3. **gathered fallback** — when the active buckets fragment into too
+  1. **chunked counting scatter** — a keys-only bucket large enough to
+     spill the cache is split into fixed-size chunks and processed like
+     the paper's thread blocks: per-chunk histogram, an exclusive scan
+     across chunks per digit value, then a per-chunk scatter to the
+     globally computed sub-bucket positions.  Chunk-major order with a
+     stable in-chunk sort *is* the global stable order, so the output
+     is bit-identical for any chunk count — which also makes the chunks
+     safe to fan across :class:`~repro.parallel.ExecutionContext`
+     workers (disjoint reads, disjoint writes).
+  2. **per-bucket slices** — a span of large adjacent buckets is
+     partitioned bucket by bucket on direct sub-slices.  Each bucket's
+     working set fits the cache, which beats one span-wide composite
+     sort by a wide margin; buckets are disjoint, so they fan across
+     workers too.
+  3. **sliced span path** — adjacent small active buckets are coalesced
+     into maximal contiguous memory spans
+     (:func:`repro._util.coalesce_spans`) and each span is processed on
+     a direct buffer slice with a composite ``segment * radix + digit``
+     sort key built in the smallest sufficient unsigned dtype (often
+     uint8/uint16), which lets NumPy's stable sort take its O(n) radix
+     path.
+  4. **gathered fallback** — when the active buckets fragment into too
      many spans for a per-span loop, the original one-shot gather path
      runs, still with narrow sort keys and with the pairs double-gather
      fused into a single take via precomposed indices.
 
-  All three paths produce bit-identical output (the property tests
-  assert this against a reference implementation of the plain gather
-  engine).
+  All paths produce bit-identical output (the property tests assert
+  this against a reference implementation of the plain gather engine).
+  Pair layouts always take paths 3/4 — they are the oracle and the
+  wide-record fallback; packed pairs run the keys-only fast paths on
+  their fused words (see :mod:`repro.core.pairs`).
 
 * :func:`block_level_counting_sort` — the faithful engine for one
   bucket: per-block histograms with shared-memory-atomic emulation and
@@ -50,6 +62,7 @@ import numpy as np
 from repro._util import (
     coalesce_spans,
     concatenated_aranges,
+    even_bounds,
     narrow_uint_dtype,
     segment_ids_from_sizes,
 )
@@ -67,6 +80,7 @@ from repro.core.histogram import (
 )
 from repro.core.scatter import BlockScatterEngine, lookahead_ops_per_key
 from repro.errors import ConfigurationError
+from repro.parallel import SERIAL, ExecutionContext
 from repro.types import BlockStats
 
 __all__ = ["PassOutput", "counting_sort_pass", "block_level_counting_sort"]
@@ -76,6 +90,16 @@ _SPAN_LOOP_MIN = 16
 #: ... and beyond that, for up to one span per this many active keys;
 #: otherwise the one-shot gathered fallback amortises better.
 _SPAN_KEY_RATIO = 2048
+#: Keys-only buckets at least this large take the chunked counting
+#: scatter instead of one argsort+gather over the whole bucket.
+_CHUNKED_MIN = 1 << 20
+#: Target chunk size of the chunked scatter: small enough that a
+#: chunk's keys plus its scatter positions stay cache-resident.
+_CHUNK_TARGET = 1 << 19
+#: Keys-only spans whose buckets average at least this many keys are
+#: partitioned bucket-by-bucket (cache-sized slices) instead of through
+#: one span-wide composite sort key.
+_PER_BUCKET_MIN = 2048
 
 
 @dataclass
@@ -98,13 +122,16 @@ def counting_sort_pass(
     src_values: np.ndarray | None = None,
     dst_values: np.ndarray | None = None,
     rng: np.random.Generator | None = None,
+    ctx: ExecutionContext | None = None,
 ) -> PassOutput:
     """Partition every active bucket on MSD digit ``digit_index``.
 
     Reads bucket extents from ``src``, writes the partitioned sequence of
     sub-buckets to the same extents in ``dst`` ("the sub-bucket holding
     the keys with the smallest digit value starts at the same offset as
-    the input bucket", §4.1).
+    the input bucket", §4.1).  ``ctx`` fans the disjoint spans, buckets,
+    and chunks across worker threads; the output is byte-identical for
+    any worker count.
     """
     offsets = np.asarray(offsets, dtype=np.int64)
     sizes = np.asarray(sizes, dtype=np.int64)
@@ -112,7 +139,7 @@ def counting_sort_pass(
         raise ConfigurationError("offsets and sizes must be parallel")
     geometry = config.geometry
     radix = config.radix
-    rng = rng or np.random.default_rng(0xC0DE + digit_index)
+    ctx = ctx or SERIAL
 
     n_buckets = offsets.size
     n_keys = int(sizes.sum())
@@ -131,25 +158,31 @@ def counting_sort_pass(
     n_spans = starts.size
     if n_spans <= max(_SPAN_LOOP_MIN, n_keys // _SPAN_KEY_RATIO):
         counts = np.zeros((n_buckets, radix), dtype=np.int64)
-        chunks = []
-        for i in range(n_spans):
+
+        def run_span(i: int, span_ctx: ExecutionContext) -> np.ndarray:
             lo, hi = int(bucket_lo[i]), int(bucket_hi[i])
-            chunks.append(
-                _partition_span(
-                    src,
-                    dst,
-                    int(starts[i]),
-                    int(stops[i]),
-                    sizes[lo : hi + 1],
-                    counts[lo : hi + 1],
-                    geometry,
-                    digit_index,
-                    radix,
-                    src_values,
-                    dst_values,
-                )
+            return _partition_span(
+                src,
+                dst,
+                int(starts[i]),
+                int(stops[i]),
+                sizes[lo : hi + 1],
+                counts[lo : hi + 1],
+                geometry,
+                digit_index,
+                radix,
+                src_values,
+                dst_values,
+                span_ctx,
             )
-        digits = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+
+        if n_spans > 1 and ctx.parallel:
+            # Many spans: parallelism across them, serial inside each.
+            chunks = ctx.map(lambda i: run_span(i, SERIAL), range(n_spans))
+        else:
+            # One (or few) spans: let each span parallelise internally.
+            chunks = [run_span(i, ctx) for i in range(n_spans)]
+        digit_chunks = [c for span in chunks for c in span]
     else:
         digits, counts = _partition_gathered(
             src,
@@ -163,18 +196,37 @@ def counting_sort_pass(
             src_values,
             dst_values,
         )
+        digit_chunks = [digits]
 
     if config.use_thread_reduction or config.use_lookahead:
-        stats = _measure_pass_stats(digits, counts, config, rng)
+        stats = _measure_pass_stats(
+            _as_stream(digit_chunks),
+            counts,
+            config,
+            rng or np.random.default_rng(0xC0DE + digit_index),
+        )
     else:
         # Neither sampling optimisation is on, so no consumer needs the
-        # measurements eagerly; defer them until something (usually the
-        # cost model) actually reads the stats.
+        # measurements eagerly; defer them — including the RNG
+        # construction — until something (usually the cost model)
+        # actually reads the stats.
         stats = _LazyBlockStats(
-            lambda: _measure_pass_stats(digits, counts, config, rng)
+            lambda: _measure_pass_stats(
+                _as_stream(digit_chunks),
+                counts,
+                config,
+                rng or np.random.default_rng(0xC0DE + digit_index),
+            )
         )
     n_blocks = int((-(-sizes // config.kpb)).sum())
     return PassOutput(counts=counts, stats=stats, n_blocks=n_blocks, n_keys=n_keys)
+
+
+def _as_stream(digit_chunks: list[np.ndarray]) -> np.ndarray:
+    """Concatenate per-span/per-bucket digit chunks into one stream."""
+    if len(digit_chunks) == 1:
+        return digit_chunks[0]
+    return np.concatenate(digit_chunks)
 
 
 def _partition_span(
@@ -189,21 +241,45 @@ def _partition_span(
     radix: int,
     src_values: np.ndarray | None,
     dst_values: np.ndarray | None,
-) -> np.ndarray:
+    ctx: ExecutionContext = SERIAL,
+) -> list[np.ndarray]:
     """Partition one contiguous span of buckets on direct buffer slices.
 
     ``bucket_sizes`` and ``counts_block`` cover the span's bucket range;
-    returns the span's digit stream (for the pass statistics).
+    returns the span's digit stream (for the pass statistics) as a list
+    of chunks in stream order.
     """
-    active = src[start:stop]
-    digits = extract_digit_compact(active, geometry, digit_index)
     n_span_buckets = bucket_sizes.size
+    if src_values is None and n_span_buckets > 1:
+        span_size = stop - start
+        if span_size // n_span_buckets >= _PER_BUCKET_MIN:
+            return _partition_span_per_bucket(
+                src,
+                dst,
+                start,
+                bucket_sizes,
+                counts_block,
+                geometry,
+                digit_index,
+                radix,
+                ctx,
+            )
     if n_span_buckets == 1:
         # Single-bucket span: the digit itself is the sort key — no
         # segment ids, no multiply.
+        if src_values is None and stop - start >= _CHUNKED_MIN:
+            digits = _partition_bucket_chunked(
+                src, dst, start, stop, counts_block[0], geometry,
+                digit_index, radix, ctx,
+            )
+            return [digits]
+        active = src[start:stop]
+        digits = extract_digit_compact(active, geometry, digit_index)
         counts_block[0] = np.bincount(digits, minlength=radix)
         order = np.argsort(digits, kind="stable")
     else:
+        active = src[start:stop]
+        digits = extract_digit_compact(active, geometry, digit_index)
         key_dtype = narrow_uint_dtype(n_span_buckets * radix - 1)
         key = np.repeat(
             np.arange(n_span_buckets, dtype=key_dtype), bucket_sizes
@@ -217,6 +293,110 @@ def _partition_span(
     dst[start:stop] = active[order]
     if src_values is not None:
         dst_values[start:stop] = src_values[start:stop][order]
+    return [digits]
+
+
+def _partition_span_per_bucket(
+    src: np.ndarray,
+    dst: np.ndarray,
+    start: int,
+    bucket_sizes: np.ndarray,
+    counts_block: np.ndarray,
+    geometry: DigitGeometry,
+    digit_index: int,
+    radix: int,
+    ctx: ExecutionContext,
+) -> list[np.ndarray]:
+    """Partition a span of large buckets one cache-sized slice at a time.
+
+    Equivalent to the composite-key sort (the composite key orders
+    bucket-major, and buckets are adjacent), but every argsort and
+    gather touches only one bucket's working set.  Buckets are disjoint
+    regions, so they fan across workers; bucket order in the returned
+    digit stream is preserved either way.
+    """
+    bounds = start + np.concatenate(
+        ([0], np.cumsum(bucket_sizes))
+    )
+
+    def run_bucket(b: int) -> np.ndarray:
+        lo, hi = int(bounds[b]), int(bounds[b + 1])
+        if hi - lo >= _CHUNKED_MIN:
+            return _partition_bucket_chunked(
+                src, dst, lo, hi, counts_block[b], geometry, digit_index,
+                radix, SERIAL,
+            )
+        active = src[lo:hi]
+        digits = extract_digit_compact(active, geometry, digit_index)
+        counts_block[b] = np.bincount(digits, minlength=radix)
+        dst[lo:hi] = active[np.argsort(digits, kind="stable")]
+        return digits
+
+    return ctx.map(run_bucket, range(bucket_sizes.size))
+
+
+def _partition_bucket_chunked(
+    src: np.ndarray,
+    dst: np.ndarray,
+    start: int,
+    stop: int,
+    counts_row: np.ndarray,
+    geometry: DigitGeometry,
+    digit_index: int,
+    radix: int,
+    ctx: ExecutionContext,
+) -> np.ndarray:
+    """Counting-scatter one large keys-only bucket in fixed-size chunks.
+
+    The host mirror of the paper's kernel pipeline: per-chunk histogram,
+    exclusive scan across chunks per digit value, per-chunk scatter to
+    globally computed positions.  Chunk-major traversal with a stable
+    in-chunk sort reproduces the global stable order exactly, so the
+    output does not depend on the chunk count — chunks exist purely to
+    keep working sets cache-sized and to give worker threads disjoint
+    tasks.
+    """
+    size = stop - start
+    active = src[start:stop]
+    digits = extract_digit_compact(active, geometry, digit_index)
+    n_chunks = max(
+        -(-size // _CHUNK_TARGET),
+        min(ctx.workers, size // max(1, _CHUNK_TARGET // 8)),
+    )
+    bounds = even_bounds(size, n_chunks)
+
+    per_chunk = np.empty((n_chunks, radix), dtype=np.int64)
+
+    def histogram(c: int) -> None:
+        per_chunk[c] = np.bincount(
+            digits[bounds[c] : bounds[c + 1]], minlength=radix
+        )
+
+    ctx.map(histogram, range(n_chunks))
+    counts_row[...] = per_chunk.sum(axis=0)
+    digit_base = np.zeros(radix, dtype=np.int64)
+    np.cumsum(counts_row[:-1], out=digit_base[1:])
+    # Destination base of (chunk, digit): the digit's sub-bucket start
+    # plus everything earlier chunks put there.
+    chunk_base = (
+        start + digit_base[None, :] + np.cumsum(per_chunk, axis=0) - per_chunk
+    )
+
+    def scatter(c: int) -> None:
+        lo, hi = int(bounds[c]), int(bounds[c + 1])
+        chunk_digits = digits[lo:hi]
+        order = np.argsort(chunk_digits, kind="stable")
+        chunk_counts = per_chunk[c]
+        in_chunk_start = np.zeros(radix, dtype=np.int64)
+        np.cumsum(chunk_counts[:-1], out=in_chunk_start[1:])
+        # Stable in-chunk order groups the chunk digit-major; each
+        # group lands as one sequential run at its global base.
+        pos = np.repeat(
+            chunk_base[c] - in_chunk_start, chunk_counts
+        ) + np.arange(hi - lo, dtype=np.int64)
+        dst[pos] = active[lo:hi][order]
+
+    ctx.map(scatter, range(n_chunks))
     return digits
 
 

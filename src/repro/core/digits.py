@@ -29,23 +29,41 @@ __all__ = [
 class DigitGeometry:
     """Digit layout of a ``key_bits``-bit key with ``digit_bits`` digits.
 
-    ``num_digits = ceil(key_bits / digit_bits)``; the last MSD digit
+    ``num_digits = ceil(sort_bits / digit_bits)``; the last MSD digit
     (the least-significant one) may be narrower than ``digit_bits`` when
     the division is not exact.
+
+    ``sort_bits`` (default: the full ``key_bits``) restricts the digit
+    sequence to the *top* ``sort_bits`` bits of the word.  The packed
+    pair fast paths rely on this: a 64-bit word carrying a 32-bit key in
+    its high half and a payload (value or row index) in its low half is
+    partitioned on the key's four digits only — the payload rides along
+    untouched, exactly like a value in the paper's decomposed layout.
     """
 
     key_bits: int
     digit_bits: int
+    sort_bits: int | None = None
 
     def __post_init__(self) -> None:
         if self.key_bits not in (8, 16, 32, 64):
             raise ConfigurationError("key_bits must be 8, 16, 32, or 64")
         if not 1 <= self.digit_bits <= 16:
             raise ConfigurationError("digit_bits must be in [1, 16]")
+        if self.sort_bits is not None and not (
+            1 <= self.sort_bits <= self.key_bits
+        ):
+            raise ConfigurationError(
+                "sort_bits must be in [1, key_bits]"
+            )
+
+    @property
+    def effective_sort_bits(self) -> int:
+        return self.key_bits if self.sort_bits is None else self.sort_bits
 
     @property
     def num_digits(self) -> int:
-        return -(-self.key_bits // self.digit_bits)
+        return -(-self.effective_sort_bits // self.digit_bits)
 
     @property
     def radix(self) -> int:
@@ -58,7 +76,10 @@ class DigitGeometry:
                 f"digit index {msd_index} out of range "
                 f"[0, {self.num_digits})"
             )
-        return max(0, self.key_bits - self.digit_bits * (msd_index + 1))
+        consumed = min(
+            self.effective_sort_bits, self.digit_bits * (msd_index + 1)
+        )
+        return self.key_bits - consumed
 
     def width_for(self, msd_index: int) -> int:
         """Bit width of MSD digit ``msd_index`` (the last may be narrow)."""
@@ -81,7 +102,7 @@ class DigitGeometry:
         """
         if from_msd_index >= self.num_digits:
             return 0
-        return self.key_bits - self.digit_bits * from_msd_index
+        return self.effective_sort_bits - self.digit_bits * from_msd_index
 
 
 def extract_digit(

@@ -13,13 +13,25 @@ Two implementations live here:
   to one configuration are padded into a matrix (pad value = dtype max,
   so padding sorts to the back) and sorted along rows in one NumPy call;
   the padding *is* the thread over-provisioning of a real kernel and is
-  reported as such to the cost model.  Two host fast paths keep the
-  trick allocation-light: batches whose buckets all share one size skip
-  the pad matrix entirely (the rows are gathered dense, no fill), and
-  padded batches draw their key/value matrices from a per-engine
-  scratch-buffer pool instead of allocating afresh — the value matrix is
-  never even initialised, because padding cells sort behind the real
-  keys and are never read back.
+  reported as such to the cost model.  Host fast paths keep the trick
+  allocation-light:
+
+  - classes whose (keys-only) buckets are large are sorted as direct
+    contiguous destination slices — copy in, sort in place, zero pad
+    cells and zero index arrays — which is also the natural unit to fan
+    across :class:`~repro.parallel.ExecutionContext` workers, since the
+    slices are disjoint;
+  - batches whose buckets all share one size skip the pad matrix
+    entirely (the rows are gathered dense, no fill);
+  - padded batches draw their key/value matrices from a per-thread
+    scratch-buffer pool instead of allocating afresh — the value matrix
+    is never even initialised, because padding cells sort behind the
+    real keys and are never read back.
+
+  The pairs (``src_values``) branches keep the stable argsort + aligned
+  gather exactly as seeded: they are the oracle the packed pair engine
+  is property-tested against, and the fallback for records too wide to
+  pack.
 * :func:`block_radix_sort_shared` — the faithful in-"shared-memory" LSD
   block radix sort (the CUB ``BlockRadixSort`` analogue of §4.6) which
   sorts only the digits preceding passes have not fixed yet.
@@ -27,11 +39,14 @@ Two implementations live here:
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
-from repro._util import concatenated_aranges
+from repro._util import concatenated_aranges, even_bounds
 from repro.core.digits import DigitGeometry, extract_digit_lsd
 from repro.errors import ConfigurationError
+from repro.parallel import SERIAL, ExecutionContext
 from repro.types import LocalConfigStats, LocalSortTrace
 
 __all__ = [
@@ -43,6 +58,10 @@ __all__ = [
 #: Upper bound on padded elements materialised per batch; keeps the
 #: padded-matrix trick memory-bounded for huge bucket populations.
 _BATCH_ELEMENT_LIMIT = 1 << 23
+#: Keys-only classes whose buckets average at least this many keys are
+#: sorted as direct destination slices (no matrix, no index arrays);
+#: below it, the Python per-bucket loop would cost more than padding.
+_SLICE_SORT_MIN_AVG = 1024
 
 
 def assign_configs(sizes: np.ndarray, configs: tuple[int, ...]) -> np.ndarray:
@@ -65,27 +84,33 @@ class LocalSortEngine:
         self,
         configs: tuple[int, ...],
         geometry: DigitGeometry,
+        ctx: ExecutionContext | None = None,
     ) -> None:
         if not configs:
             raise ConfigurationError("at least one configuration required")
         self.configs = tuple(int(c) for c in configs)
         self.geometry = geometry
-        # Scratch-buffer pool, keyed by (role, dtype): flat arrays the
+        self.ctx = ctx or SERIAL
+        # Scratch-buffer pools, keyed by (role, dtype): flat arrays the
         # padded batches reshape into their row matrices, reused across
-        # batches instead of allocating per call.
-        self._scratch: dict[tuple[str, str], np.ndarray] = {}
+        # batches instead of allocating per call.  Thread-local, so
+        # batches running on different workers never share a buffer.
+        self._scratch_tls = threading.local()
 
     def _scratch_matrix(
         self, role: str, dtype: np.dtype, n_rows: int, capacity: int
     ) -> np.ndarray:
         """An uninitialised ``(n_rows, capacity)`` view of pooled scratch."""
+        pools = getattr(self._scratch_tls, "pools", None)
+        if pools is None:
+            pools = self._scratch_tls.pools = {}
         n = n_rows * capacity
         key = (role, np.dtype(dtype).str)
-        buf = self._scratch.get(key)
+        buf = pools.get(key)
         if buf is None or buf.size < n:
             grow = 0 if buf is None else 2 * buf.size
             buf = np.empty(max(n, grow), dtype=dtype)
-            self._scratch[key] = buf
+            pools[key] = buf
         return buf[:n].reshape(n_rows, capacity)
 
     def execute(
@@ -117,6 +142,7 @@ class LocalSortEngine:
         if has_values and dst_values is None:
             raise ConfigurationError("dst_values required when sorting pairs")
 
+        num_digits = self.geometry.num_digits
         per_config: list[LocalConfigStats] = []
         if offsets.size == 0:
             return LocalSortTrace(
@@ -125,10 +151,9 @@ class LocalSortEngine:
                 key_bytes=src_keys.dtype.itemsize,
                 value_bytes=src_values.dtype.itemsize if has_values else 0,
                 bucket_sizes=sizes.copy(),
-                bucket_remaining=sizes.copy(),
+                bucket_remaining=(num_digits - sort_from).astype(np.int64),
             )
         config_idx = assign_configs(sizes, self.configs)
-        num_digits = self.geometry.num_digits
         for ci, capacity in enumerate(self.configs):
             mask = config_idx == ci
             n_buckets = int(np.count_nonzero(mask))
@@ -176,9 +201,23 @@ class LocalSortEngine:
         src_values: np.ndarray | None,
         dst_values: np.ndarray | None,
     ) -> None:
-        """Pad one configuration's buckets into rows and sort them."""
+        """Sort one configuration's buckets: slices, or padded rows."""
+        if (
+            src_values is None
+            and int(sizes.sum()) // offsets.size >= _SLICE_SORT_MIN_AVG
+        ):
+            self._sort_class_slices(src_keys, dst_keys, offsets, sizes)
+            return
         rows_per_batch = max(1, _BATCH_ELEMENT_LIMIT // capacity)
-        for start in range(0, offsets.size, rows_per_batch):
+        if self.ctx.parallel:
+            # Split large classes so every worker gets a batch.
+            rows_per_batch = min(
+                rows_per_batch,
+                max(1, -(-offsets.size // self.ctx.workers)),
+            )
+        batch_starts = list(range(0, offsets.size, rows_per_batch))
+
+        def run_batch(start: int) -> None:
             self._sort_batch(
                 capacity,
                 src_keys,
@@ -188,6 +227,38 @@ class LocalSortEngine:
                 src_values,
                 dst_values,
             )
+
+        self.ctx.map(run_batch, batch_starts)
+
+    def _sort_class_slices(
+        self,
+        src_keys: np.ndarray,
+        dst_keys: np.ndarray,
+        offsets: np.ndarray,
+        sizes: np.ndarray,
+    ) -> None:
+        """Sort large keys-only buckets as direct destination slices.
+
+        Copy the bucket into its (final) destination slice and sort in
+        place: no pad matrix, no row/column index arrays, no scatter.
+        An unstable slice sort emits the same bytes as the stable
+        matrix path — a keys-only bucket's sorted content is just its
+        multiset in order.  Buckets are disjoint slices, so contiguous
+        bucket ranges fan across workers unchanged.
+        """
+        n = offsets.size
+        n_groups = min(n, self.ctx.workers * 4) if self.ctx.parallel else 1
+        bounds = even_bounds(n, n_groups)
+
+        def run_group(g: int) -> None:
+            for i in range(int(bounds[g]), int(bounds[g + 1])):
+                lo = int(offsets[i])
+                hi = lo + int(sizes[i])
+                view = dst_keys[lo:hi]
+                np.copyto(view, src_keys[lo:hi])
+                view.sort()
+
+        self.ctx.map(run_group, range(n_groups))
 
     def _sort_batch(
         self,

@@ -1,4 +1,4 @@
-"""Key-value layouts (§4.6).
+"""Key-value layouts and packed-pair words (§4.6).
 
 The hybrid sort natively handles *decomposed* (structure-of-arrays)
 key-value pairs: values ride through the scatter and local-sort steps
@@ -6,9 +6,30 @@ alongside their keys.  Pairs stored *coherently* (array-of-structures)
 are decomposed first and recomposed afterwards; the paper measured the
 de/re-composition running at peak memory bandwidth, "adding only
 negligible overhead".
+
+The paper's §4.6 claim — pairs sort at (almost) the keys-only rate —
+only holds when the payload does not buy extra trips to memory.  The
+host engines achieve that with *packed words*: key bits in the high
+half of one unsigned word, payload bits in the low half, so every
+counting pass and local sort moves a single array and the payload never
+needs its own gather.  Two packings exist:
+
+* **index packing** (:func:`pack_key_index`) — the payload is the key's
+  row index.  Because indices are unique and ascending in input order,
+  sorting the packed words is *exactly* a stable sort of the keys: the
+  unpacked permutation reproduces the argsort pipeline bit for bit, for
+  any value width (values are gathered once, at the end).  64-bit keys
+  use the same packing on their high 32-bit word, with an explicit
+  low-word refinement.
+* **fused packing** (:func:`pack_key_value`) — the payload is the value
+  itself (``key_bits + value_bits <= 64``).  No final gather at all,
+  but records with equal keys order by their value bits rather than by
+  input position; opt-in via ``SortConfig(pair_packing="fused")``.
 """
 
 from __future__ import annotations
+
+import sys
 
 import numpy as np
 
@@ -19,7 +40,54 @@ __all__ = [
     "decompose",
     "recompose",
     "record_dtype",
+    "index_packable",
+    "pack_key_index",
+    "unpack_key_index",
+    "fused_packable",
+    "pack_key_value",
+    "unpack_key_value",
+    "split_words64",
+    "join_words64",
 ]
+
+_UINT_FOR_BITS = {
+    8: np.dtype(np.uint8),
+    16: np.dtype(np.uint16),
+    32: np.dtype(np.uint32),
+    64: np.dtype(np.uint64),
+}
+
+#: On little-endian hosts a uint64 array viewed as uint32 exposes each
+#: word as [low, high] halves — packing and unpacking then run as
+#: single strided copies instead of shift/mask/widen passes.
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
+
+def _halves(words: np.ndarray) -> np.ndarray:
+    """View contiguous uint64 ``words`` as an (n, 2) uint32 matrix."""
+    return words.view(np.uint32).reshape(-1, 2)
+
+
+def split_words64(words: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split uint64 words into contiguous (high, low) uint32 arrays."""
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    if _LITTLE_ENDIAN:
+        halves = _halves(words)
+        return halves[:, 1].copy(), halves[:, 0].copy()
+    high = (words >> np.uint64(32)).astype(np.uint32)
+    low = (words & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+    return high, low
+
+
+def join_words64(high: np.ndarray, low: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`split_words64`."""
+    if _LITTLE_ENDIAN:
+        words = np.empty(high.size, dtype=np.uint64)
+        halves = _halves(words)
+        halves[:, 1] = high
+        halves[:, 0] = low
+        return words
+    return (high.astype(np.uint64) << np.uint64(32)) | low.astype(np.uint64)
 
 
 def record_dtype(key_dtype, value_dtype) -> np.dtype:
@@ -55,3 +123,104 @@ def decompose(records: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
 def recompose(keys: np.ndarray, values: np.ndarray) -> np.ndarray:
     """Inverse of :func:`decompose`."""
     return make_records(keys, values)
+
+
+# ----------------------------------------------------------------------
+# Packed words
+# ----------------------------------------------------------------------
+
+
+def index_packable(key_bits: int, n: int) -> bool:
+    """True when ``key << (64-key_bits) | row_index`` fits a uint64."""
+    return key_bits <= 32 and n <= (1 << (64 - key_bits))
+
+
+def pack_key_index(bits: np.ndarray, key_bits: int) -> np.ndarray:
+    """Pack key bit patterns with their row index into uint64 words.
+
+    The key occupies the top ``key_bits`` bits (so MSD digit geometry
+    over ``sort_bits=key_bits`` sees exactly the key's digits) and the
+    row index the low ``64 - key_bits``.  Every word is unique, so the
+    sorted word sequence is unique too: *any* correct sort of the packed
+    words — span, gathered, chunked, threaded — unpacks to the same
+    stable permutation, which is what makes the packed engine provably
+    bit-identical to the stable argsort pipeline.
+    """
+    bits = np.asarray(bits)
+    if not index_packable(key_bits, bits.size):
+        raise ConfigurationError(
+            f"{key_bits}-bit keys with {bits.size} rows do not index-pack"
+        )
+    if key_bits == 32 and _LITTLE_ENDIAN:
+        packed = np.empty(bits.size, dtype=np.uint64)
+        halves = _halves(packed)
+        halves[:, 1] = bits
+        halves[:, 0] = np.arange(bits.size, dtype=np.uint32)
+        return packed
+    shift = np.uint64(64 - key_bits)
+    packed = bits.astype(np.uint64)
+    packed <<= shift
+    packed |= np.arange(bits.size, dtype=np.uint64)
+    return packed
+
+
+def unpack_key_index(
+    packed: np.ndarray, key_bits: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Invert :func:`pack_key_index`: ``(key_bits_array, permutation)``."""
+    if key_bits == 32 and _LITTLE_ENDIAN:
+        halves = _halves(packed)
+        return halves[:, 1].copy(), halves[:, 0].astype(np.int64)
+    shift = np.uint64(64 - key_bits)
+    mask = np.uint64((1 << (64 - key_bits)) - 1)
+    keys = (packed >> shift).astype(_UINT_FOR_BITS[key_bits])
+    perm = (packed & mask).astype(np.int64)
+    return keys, perm
+
+
+def fused_packable(key_bits: int, value_bits: int) -> bool:
+    """True when key and value bits fuse into one unsigned word."""
+    return 0 < value_bits and key_bits + value_bits <= 64
+
+
+def pack_key_value(
+    key_bits_arr: np.ndarray, values: np.ndarray, key_bits: int
+) -> np.ndarray:
+    """Fuse key bit patterns and raw value bits into single words.
+
+    The word is 32-bit when ``key_bits + value_bits <= 32``, else
+    64-bit; the key sits in the top ``key_bits`` bits, the value's raw
+    bit pattern in the bottom ``value_bits`` (zeros between, when the
+    widths do not fill the word).
+    """
+    values = np.asarray(values)
+    value_bits = values.dtype.itemsize * 8
+    if not fused_packable(key_bits, value_bits):
+        raise ConfigurationError(
+            f"{key_bits}/{value_bits}-bit pairs do not fuse into a word"
+        )
+    word_bits = 32 if key_bits + value_bits <= 32 else 64
+    word = _UINT_FOR_BITS[word_bits]
+    packed = np.asarray(key_bits_arr).astype(word)
+    packed <<= word.type(word_bits - key_bits)
+    packed |= values.view(_UINT_FOR_BITS[value_bits]).astype(word)
+    return packed
+
+
+def unpack_key_value(
+    packed: np.ndarray, key_bits: int, value_dtype
+) -> tuple[np.ndarray, np.ndarray]:
+    """Invert :func:`pack_key_value`: ``(key_bits_array, values)``."""
+    value_dtype = np.dtype(value_dtype)
+    value_bits = value_dtype.itemsize * 8
+    word_bits = packed.dtype.itemsize * 8
+    word = packed.dtype.type
+    keys = (packed >> word(word_bits - key_bits)).astype(
+        _UINT_FOR_BITS[key_bits]
+    )
+    values = (
+        (packed & word((1 << value_bits) - 1))
+        .astype(_UINT_FOR_BITS[value_bits])
+        .view(value_dtype)
+    )
+    return keys, values

@@ -1,0 +1,115 @@
+"""Multi-core execution context for the host engines.
+
+After an MSD counting pass, the active buckets (and the spans/chunks
+they coalesce into) are disjoint memory regions: every per-span
+partition, per-chunk scatter, and per-batch local sort reads and writes
+memory no sibling task touches.  That is exactly the property the paper
+exploits to keep thousands of GPU blocks busy without synchronisation,
+and it maps directly onto host threads: NumPy's sort, argsort, and
+fancy-indexing kernels release the GIL for large arrays, so fanning the
+disjoint tasks across a thread pool scales on multiple cores without
+any locking.
+
+:class:`ExecutionContext` is the one abstraction the engines see.  It is
+deliberately tiny: an ordered ``map`` over a task list, a serial fast
+path for ``workers=1`` (the default — bit-for-bit today's behaviour with
+zero thread overhead), and a process-wide pool cache so repeated sorts
+reuse warm threads.  Every parallel consumer is written so its output is
+*deterministic*: task decomposition never depends on the worker count,
+each task writes a disjoint region, and results are consumed in task
+order — sorting with ``workers=8`` produces byte-identical output to
+``workers=1``.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ExecutionContext", "get_context"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+class ExecutionContext:
+    """A worker pool that maps tasks over disjoint memory regions.
+
+    Parameters
+    ----------
+    workers:
+        Number of threads.  ``1`` (the default) never touches the
+        threading machinery: ``map`` degenerates to a list
+        comprehension on the calling thread.
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        workers = int(workers)
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        self.workers = workers
+        self._executor: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    @property
+    def parallel(self) -> bool:
+        return self.workers > 1
+
+    def _pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-sort",
+                )
+            return self._executor
+
+    def map(
+        self, fn: Callable[[_T], _R], tasks: Sequence[_T] | Iterable[_T]
+    ) -> list[_R]:
+        """Apply ``fn`` to every task, returning results in task order.
+
+        Serial when ``workers == 1`` or there is at most one task.
+        Exceptions raised by a task propagate to the caller either way.
+        """
+        tasks = list(tasks)
+        if not self.parallel or len(tasks) <= 1:
+            return [fn(task) for task in tasks]
+        return list(self._pool().map(fn, tasks))
+
+    def close(self) -> None:
+        """Shut the pool down; the context can be used again afterwards."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExecutionContext(workers={self.workers})"
+
+
+#: Serial context shared by every caller that does not ask for threads.
+SERIAL = ExecutionContext(1)
+
+_CONTEXTS: dict[int, ExecutionContext] = {1: SERIAL}
+_CONTEXTS_LOCK = threading.Lock()
+
+
+def get_context(workers: int = 1) -> ExecutionContext:
+    """A process-wide shared context for ``workers`` threads.
+
+    Pools are cached per worker count so back-to-back sorts (the
+    benchmark harness, a server handling many requests) reuse warm
+    threads instead of spawning new ones per call.
+    """
+    workers = int(workers)
+    if workers < 1:
+        raise ConfigurationError("workers must be >= 1")
+    with _CONTEXTS_LOCK:
+        ctx = _CONTEXTS.get(workers)
+        if ctx is None:
+            ctx = _CONTEXTS[workers] = ExecutionContext(workers)
+        return ctx

@@ -1,0 +1,68 @@
+"""Tests for the CI wall-clock regression guard script."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+_SCRIPT = (
+    Path(__file__).resolve().parents[2]
+    / "benchmarks"
+    / "check_wallclock_regression.py"
+)
+_spec = importlib.util.spec_from_file_location("check_wallclock", _SCRIPT)
+check = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check)
+
+
+def _write(path: Path, rates: dict[str, float]) -> str:
+    report = {
+        "results": [
+            {"name": name, "mkeys_per_s": rate} for name, rate in rates.items()
+        ]
+    }
+    path.write_text(json.dumps(report))
+    return str(path)
+
+
+class TestRegressionCheck:
+    def test_passes_within_tolerance(self, tmp_path):
+        base = _write(tmp_path / "base.json", {"pairs32-uniform": 10.0})
+        cur = _write(tmp_path / "cur.json", {"pairs32-uniform": 8.5})
+        assert check.main(["--baseline", base, "--current", cur]) == 0
+
+    def test_fails_beyond_tolerance(self, tmp_path):
+        base = _write(tmp_path / "base.json", {"pairs32-uniform": 10.0})
+        cur = _write(tmp_path / "cur.json", {"pairs32-uniform": 7.9})
+        assert check.main(["--baseline", base, "--current", cur]) == 1
+
+    def test_custom_threshold_and_cases(self, tmp_path):
+        base = _write(
+            tmp_path / "base.json", {"a": 10.0, "b": 10.0}
+        )
+        cur = _write(tmp_path / "cur.json", {"a": 9.6, "b": 5.0})
+        assert (
+            check.main(
+                ["--baseline", base, "--current", cur,
+                 "--case", "a", "--max-regression", "0.05"]
+            )
+            == 0
+        )
+        assert (
+            check.main(
+                ["--baseline", base, "--current", cur,
+                 "--case", "a", "--case", "b"]
+            )
+            == 1
+        )
+
+    def test_missing_current_case_fails(self, tmp_path):
+        base = _write(tmp_path / "base.json", {"pairs32-uniform": 10.0})
+        cur = _write(tmp_path / "cur.json", {"other": 10.0})
+        assert check.main(["--baseline", base, "--current", cur]) == 1
+
+    def test_case_absent_from_baseline_skips(self, tmp_path):
+        base = _write(tmp_path / "base.json", {"other": 10.0})
+        cur = _write(tmp_path / "cur.json", {"pairs32-uniform": 1.0})
+        assert check.main(["--baseline", base, "--current", cur]) == 0

@@ -12,6 +12,7 @@ from repro.bench.wallclock import (
     WallclockCase,
     run_case,
     run_suite,
+    select_cases,
     write_report,
 )
 
@@ -23,8 +24,8 @@ class TestCases:
         assert any(c.value_bits for c in DEFAULT_CASES)
         assert any(not c.value_bits for c in DEFAULT_CASES)
         distributions = {c.distribution for c in DEFAULT_CASES}
-        assert "uniform" in distributions
-        assert "constant" in distributions
+        for required in ("uniform", "constant", "zipf", "presorted", "reverse"):
+            assert required in distributions
 
     def test_make_input_shapes(self):
         rng = np.random.default_rng(0)
@@ -36,11 +37,30 @@ class TestCases:
         )
         assert keys_only.size == 500 and none is None
 
+    def test_new_distributions_generate(self):
+        rng = np.random.default_rng(0)
+        for dist in ("zipf", "presorted", "reverse"):
+            keys, _ = WallclockCase("x", 32, 0, dist).make_input(2000, rng)
+            assert keys.size == 2000
+        presorted, _ = WallclockCase("p", 32, 0, "presorted").make_input(
+            2000, rng
+        )
+        assert np.all(presorted[:-1] <= presorted[1:])
+        reverse, _ = WallclockCase("r", 32, 0, "reverse").make_input(2000, rng)
+        assert np.all(reverse[:-1] >= reverse[1:])
+
     def test_unknown_distribution_rejected(self):
         with pytest.raises(ValueError):
             WallclockCase("x", 32, 0, "bogus").make_input(
                 10, np.random.default_rng(0)
             )
+
+    def test_select_cases(self):
+        assert select_cases(None) == DEFAULT_CASES
+        subset = select_cases("pairs32-uniform,keys32-zipf")
+        assert [c.name for c in subset] == ["pairs32-uniform", "keys32-zipf"]
+        with pytest.raises(SystemExit):
+            select_cases("no-such-case")
 
 
 class TestHarness:
@@ -53,14 +73,48 @@ class TestHarness:
         assert record["sorted_ok"]
         assert record["mkeys_per_s"] > 0
         assert record["n"] == 4096
+        assert record["workers"] == 1
+
+    def test_run_case_verifies_pair_permutation(self):
+        record = run_case(
+            WallclockCase("pairs32-uniform", 32, 32, "uniform"),
+            n=4096,
+            repeats=1,
+        )
+        assert record["sorted_ok"]
+
+    def test_run_case_with_workers(self):
+        record = run_case(
+            WallclockCase("pairs32-uniform", 32, 32, "uniform"),
+            n=4096,
+            repeats=1,
+            workers=2,
+        )
+        assert record["sorted_ok"]
+        assert record["workers"] == 2
 
     def test_suite_writes_valid_json(self, tmp_path):
         cases = (WallclockCase("keys32-uniform", 32, 0, "uniform"),)
-        report = run_suite(n=2048, repeats=1, cases=cases)
+        report = run_suite(n=2048, repeats=1, cases=cases, workers=2)
         path = tmp_path / "BENCH_wallclock.json"
         write_report(report, str(path))
         loaded = json.loads(path.read_text())
-        assert loaded["schema"] == 1
+        assert loaded["schema"] == 2
         assert loaded["n"] == 2048
+        assert loaded["workers"] == 2
+        assert loaded["cases"] == ["keys32-uniform"]
         assert len(loaded["results"]) == 1
         assert loaded["results"][0]["sorted_ok"]
+
+    def test_write_report_refuses_failed_verification(self, tmp_path):
+        report = {
+            "schema": 2,
+            "results": [
+                {"name": "good", "sorted_ok": True},
+                {"name": "bad", "sorted_ok": False},
+            ],
+        }
+        path = tmp_path / "BENCH_wallclock.json"
+        with pytest.raises(ValueError, match="bad"):
+            write_report(report, str(path))
+        assert not path.exists()

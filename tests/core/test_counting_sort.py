@@ -167,6 +167,53 @@ class TestPassStatistics:
             == eager_like.stats.max_digit_fraction
         )
 
+    def test_no_rng_constructed_when_stats_stay_lazy(
+        self, rng, small_config, monkeypatch
+    ):
+        # With both sampling optimisations off, a pass whose stats are
+        # never read must not even construct its default RNG.
+        keys = rng.integers(0, 2**32, 1000, dtype=np.uint64).astype(np.uint32)
+        both_off = small_config.with_ablations(
+            lookahead=False, thread_reduction=False
+        )
+        constructed = []
+        real = np.random.default_rng
+
+        def counting(*args, **kwargs):
+            constructed.append(args)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(np.random, "default_rng", counting)
+        _, _, out = _run_pass(keys, both_off)
+        assert constructed == []
+        # Reading the stats forces exactly one construction.
+        out.stats.warp_conflict
+        assert len(constructed) == 1
+        out.stats.max_digit_fraction
+        assert len(constructed) == 1
+
+    def test_caller_rng_still_honoured_by_lazy_stats(self, rng, small_config):
+        keys = rng.integers(0, 2**32, 1000, dtype=np.uint64).astype(np.uint32)
+        both_off = small_config.with_ablations(
+            lookahead=False, thread_reduction=False
+        )
+        src = keys.copy()
+        dst = np.zeros_like(src)
+        out = counting_sort_pass(
+            src, dst,
+            np.array([0], dtype=np.int64),
+            np.array([src.size], dtype=np.int64),
+            both_off, 0, rng=np.random.default_rng(99),
+        )
+        dst2 = np.zeros_like(src)
+        out2 = counting_sort_pass(
+            src, dst2,
+            np.array([0], dtype=np.int64),
+            np.array([src.size], dtype=np.int64),
+            both_off, 0, rng=np.random.default_rng(99),
+        )
+        assert out.stats.warp_conflict == out2.stats.warp_conflict
+
 
 class TestEngineEquivalence:
     """Fast and faithful engines agree on bucket structure (DESIGN §5)."""

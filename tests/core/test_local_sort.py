@@ -150,12 +150,39 @@ class TestFastEngine:
         sort_from = np.zeros(3, dtype=np.int64)
         dst = keys.copy()
         engine.execute(0, keys, dst, offsets, sizes, sort_from)
-        buffers = {k: id(v) for k, v in engine._scratch.items()}
+        buffers = {k: id(v) for k, v in engine._scratch_tls.pools.items()}
         assert buffers  # padded path drew from the pool
         dst2 = keys.copy()
         engine.execute(1, keys, dst2, offsets, sizes, sort_from)
-        assert {k: id(v) for k, v in engine._scratch.items()} == buffers
+        assert {
+            k: id(v) for k, v in engine._scratch_tls.pools.items()
+        } == buffers
         assert np.array_equal(dst, dst2)
+
+    def test_empty_execute_remaining_uses_digit_form(self):
+        # Regression: the early return used to copy `sizes` into
+        # `bucket_remaining`; the two fields are semantically distinct
+        # (sizes are key counts, remaining are digit counts) and the
+        # remaining field must always be `num_digits - sort_from`.
+        engine = LocalSortEngine((16, 128), GEOMETRY)
+        keys = np.arange(10, dtype=np.uint32)
+        empty = np.empty(0, dtype=np.int64)
+        trace = engine.execute(
+            3, keys, keys.copy(), empty, empty.copy(), empty.copy()
+        )
+        assert trace.bucket_sizes.size == 0
+        assert trace.bucket_remaining.size == 0
+        assert trace.bucket_remaining.dtype == np.int64
+        # Same formula as the non-empty path, on the same inputs.
+        nonempty = engine.execute(
+            0, keys, keys.copy(),
+            np.array([0], dtype=np.int64),
+            np.array([10], dtype=np.int64),
+            np.array([1], dtype=np.int64),
+        )
+        assert nonempty.bucket_remaining.tolist() == [
+            GEOMETRY.num_digits - 1
+        ]
 
     def test_large_batch_chunking(self, rng):
         # Many buckets in one class exercise the row-batching path.

@@ -1,0 +1,203 @@
+"""Tests for the multi-core execution context and its engine hookups."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro.core.counting_sort as cs
+from repro.core.config import SortConfig
+from repro.core.counting_sort import counting_sort_pass
+from repro.core.local_sort import LocalSortEngine
+from repro.errors import ConfigurationError
+from repro.parallel import SERIAL, ExecutionContext, get_context
+
+
+class TestExecutionContext:
+    def test_serial_runs_on_calling_thread(self):
+        ctx = ExecutionContext(1)
+        assert not ctx.parallel
+        caller = threading.get_ident()
+        threads = ctx.map(lambda _: threading.get_ident(), range(4))
+        assert set(threads) == {caller}
+
+    def test_results_in_task_order(self):
+        ctx = ExecutionContext(4)
+        try:
+            assert ctx.map(lambda x: x * x, range(20)) == [
+                x * x for x in range(20)
+            ]
+        finally:
+            ctx.close()
+
+    def test_parallel_uses_worker_threads(self):
+        ctx = ExecutionContext(3)
+        try:
+            event = threading.Barrier(2, timeout=5)
+
+            def task(i):
+                # Two tasks rendezvous: proof they run concurrently.
+                event.wait()
+                return threading.get_ident()
+
+            ids = ctx.map(task, range(2))
+            assert len(ids) == 2
+        finally:
+            ctx.close()
+
+    def test_single_task_skips_pool(self):
+        ctx = ExecutionContext(4)
+        caller = threading.get_ident()
+        assert ctx.map(lambda _: threading.get_ident(), [0]) == [caller]
+        assert ctx._executor is None  # pool never spun up
+        ctx.close()
+
+    def test_exceptions_propagate(self):
+        ctx = ExecutionContext(2)
+        try:
+            with pytest.raises(ValueError):
+                ctx.map(lambda i: (_ for _ in ()).throw(ValueError(i)), range(3))
+        finally:
+            ctx.close()
+
+    def test_close_allows_reuse(self):
+        ctx = ExecutionContext(2)
+        assert ctx.map(lambda x: x + 1, range(4)) == [1, 2, 3, 4]
+        ctx.close()
+        assert ctx.map(lambda x: x + 1, range(4)) == [1, 2, 3, 4]
+        ctx.close()
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionContext(0)
+        with pytest.raises(ConfigurationError):
+            get_context(-1)
+
+    def test_get_context_cached_per_worker_count(self):
+        assert get_context(1) is SERIAL
+        assert get_context(3) is get_context(3)
+        assert get_context(3) is not get_context(4)
+
+
+def _pass_config() -> SortConfig:
+    return SortConfig(
+        key_bits=32,
+        digit_bits=8,
+        kpb=96,
+        threads=32,
+        kpt=3,
+        local_threshold=128,
+        merge_threshold=40,
+        local_sort_configs=(128,),
+    )
+
+
+class TestCountingPassParallel:
+    @pytest.mark.parametrize("workers", [2, 5])
+    def test_chunked_scatter_matches_serial(self, rng, workers, monkeypatch):
+        # Shrink the chunking thresholds so small inputs exercise the
+        # chunked path with several chunks per worker.
+        monkeypatch.setattr(cs, "_CHUNKED_MIN", 256)
+        monkeypatch.setattr(cs, "_CHUNK_TARGET", 128)
+        config = _pass_config()
+        src = rng.integers(0, 2**32, 5000, dtype=np.uint64).astype(np.uint32)
+        offsets = np.array([0], dtype=np.int64)
+        sizes = np.array([src.size], dtype=np.int64)
+        dst_serial = np.zeros_like(src)
+        out_serial = counting_sort_pass(
+            src, dst_serial, offsets, sizes, config, 0
+        )
+        dst_threaded = np.zeros_like(src)
+        out_threaded = counting_sort_pass(
+            src, dst_threaded, offsets, sizes, config, 0,
+            ctx=get_context(workers),
+        )
+        assert np.array_equal(dst_serial, dst_threaded)
+        assert np.array_equal(out_serial.counts, out_threaded.counts)
+
+    @pytest.mark.parametrize("workers", [2, 8])
+    def test_per_bucket_spans_match_serial(self, rng, workers, monkeypatch):
+        monkeypatch.setattr(cs, "_PER_BUCKET_MIN", 8)
+        config = _pass_config()
+        sizes = np.array([40, 120, 9, 300, 77], dtype=np.int64)
+        offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+        src = rng.integers(
+            0, 2**32, int(sizes.sum()), dtype=np.uint64
+        ).astype(np.uint32)
+        dst_serial = np.zeros_like(src)
+        counting_sort_pass(src, dst_serial, offsets, sizes, config, 1)
+        dst_threaded = np.zeros_like(src)
+        counting_sort_pass(
+            src, dst_threaded, offsets, sizes, config, 1,
+            ctx=get_context(workers),
+        )
+        assert np.array_equal(dst_serial, dst_threaded)
+
+
+class TestLocalSortParallel:
+    @pytest.mark.parametrize("workers", [2, 6])
+    def test_batches_match_serial(self, rng, workers):
+        config = _pass_config()
+        n_buckets = 40
+        sizes = rng.integers(1, 128, n_buckets).astype(np.int64)
+        offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+        total = int(sizes.sum())
+        keys = rng.integers(0, 2**32, total, dtype=np.uint64).astype(np.uint32)
+        values = np.arange(total, dtype=np.uint32)
+        results = {}
+        for w in (1, workers):
+            engine = LocalSortEngine(
+                (16, 32, 64, 128), config.geometry, ctx=get_context(w)
+            )
+            dst = np.zeros_like(keys)
+            dst_v = np.zeros_like(values)
+            engine.execute(
+                0, keys, dst, offsets, sizes,
+                np.zeros(n_buckets, dtype=np.int64),
+                src_values=values, dst_values=dst_v,
+            )
+            results[w] = (dst, dst_v)
+        assert np.array_equal(results[1][0], results[workers][0])
+        assert np.array_equal(results[1][1], results[workers][1])
+
+    def test_slice_path_matches_matrix_path(self, rng, monkeypatch):
+        import repro.core.local_sort as ls
+
+        config = _pass_config()
+        sizes = np.full(6, 100, dtype=np.int64)
+        offsets = np.arange(6, dtype=np.int64) * 100
+        keys = rng.integers(0, 2**32, 600, dtype=np.uint64).astype(np.uint32)
+        sort_from = np.zeros(6, dtype=np.int64)
+
+        def run():
+            engine = LocalSortEngine((128,), config.geometry)
+            dst = np.zeros_like(keys)
+            engine.execute(0, keys, dst, offsets, sizes, sort_from)
+            return dst
+
+        monkeypatch.setattr(ls, "_SLICE_SORT_MIN_AVG", 1)
+        sliced = run()
+        monkeypatch.setattr(ls, "_SLICE_SORT_MIN_AVG", 10**9)
+        matrixed = run()
+        assert np.array_equal(sliced, matrixed)
+
+
+class TestSorterWorkers:
+    def test_keys_only_workers_identical(self, rng):
+        from dataclasses import replace
+
+        from repro.core.hybrid_sort import HybridRadixSorter
+
+        keys = rng.integers(0, 2**32, 50_000, dtype=np.uint64).astype(
+            np.uint32
+        )
+        base = HybridRadixSorter(
+            config=replace(_pass_config(), workers=1)
+        ).sort(keys)
+        for workers in (2, 8):
+            threaded = HybridRadixSorter(
+                config=replace(_pass_config(), workers=workers)
+            ).sort(keys)
+            assert np.array_equal(base.keys, threaded.keys)

@@ -64,20 +64,39 @@ def reference_pass(src, offsets, sizes, config, digit_index, src_values=None):
 
 
 def run_fast(src, offsets, sizes, config, digit_index, src_values=None,
-             force_gather=False):
-    """Run the fast engine, optionally forcing the gathered fallback."""
+             force_gather=False, force=None):
+    """Run the fast engine, optionally forcing one dispatch path.
+
+    ``force`` selects: ``"gather"`` (the one-shot fallback),
+    ``"per_bucket"`` (cache-sized bucket slices for any bucket size), or
+    ``"chunked"`` (the chunked counting scatter with tiny chunks).
+    ``force_gather=True`` is the legacy spelling of ``force="gather"``.
+    """
+    if force_gather:
+        force = "gather"
     dst = np.zeros_like(src)
     dst_values = None if src_values is None else np.zeros_like(src_values)
-    saved = (cs._SPAN_LOOP_MIN, cs._SPAN_KEY_RATIO)
-    if force_gather:
+    saved = (
+        cs._SPAN_LOOP_MIN,
+        cs._SPAN_KEY_RATIO,
+        cs._PER_BUCKET_MIN,
+        cs._CHUNKED_MIN,
+        cs._CHUNK_TARGET,
+    )
+    if force == "gather":
         cs._SPAN_LOOP_MIN, cs._SPAN_KEY_RATIO = -1, 1 << 62
+    elif force == "per_bucket":
+        cs._PER_BUCKET_MIN = 0
+    elif force == "chunked":
+        cs._PER_BUCKET_MIN, cs._CHUNKED_MIN, cs._CHUNK_TARGET = 0, 2, 3
     try:
         out = counting_sort_pass(
             src, dst, offsets, sizes, config, digit_index,
             src_values=src_values, dst_values=dst_values,
         )
     finally:
-        cs._SPAN_LOOP_MIN, cs._SPAN_KEY_RATIO = saved
+        (cs._SPAN_LOOP_MIN, cs._SPAN_KEY_RATIO, cs._PER_BUCKET_MIN,
+         cs._CHUNKED_MIN, cs._CHUNK_TARGET) = saved
     return dst, dst_values, out
 
 
@@ -152,6 +171,40 @@ def test_gathered_fallback_bit_identical_to_reference(inputs):
     dst, dst_vals, out = run_fast(
         src, offsets, sizes, config, digit_index,
         src_values=values, force_gather=True,
+    )
+    assert np.array_equal(dst, ref_dst)
+    assert np.array_equal(out.counts, ref_counts)
+    if values is not None:
+        assert np.array_equal(dst_vals, ref_vals)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pass_inputs())
+def test_per_bucket_path_bit_identical_to_reference(inputs):
+    src, offsets, sizes, config, digit_index, values = inputs
+    ref_dst, ref_vals, ref_counts = reference_pass(
+        src, offsets, sizes, config, digit_index, src_values=values
+    )
+    dst, dst_vals, out = run_fast(
+        src, offsets, sizes, config, digit_index,
+        src_values=values, force="per_bucket",
+    )
+    assert np.array_equal(dst, ref_dst)
+    assert np.array_equal(out.counts, ref_counts)
+    if values is not None:
+        assert np.array_equal(dst_vals, ref_vals)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pass_inputs())
+def test_chunked_path_bit_identical_to_reference(inputs):
+    src, offsets, sizes, config, digit_index, values = inputs
+    ref_dst, ref_vals, ref_counts = reference_pass(
+        src, offsets, sizes, config, digit_index, src_values=values
+    )
+    dst, dst_vals, out = run_fast(
+        src, offsets, sizes, config, digit_index,
+        src_values=values, force="chunked",
     )
     assert np.array_equal(dst, ref_dst)
     assert np.array_equal(out.counts, ref_counts)

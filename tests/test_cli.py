@@ -43,6 +43,35 @@ class TestSortCommand:
         )
         assert rc == 0
 
+    def test_workers_flag(self, capsys):
+        rc = main(["sort", "--n", "30000", "--pairs", "--workers", "2"])
+        assert rc == 0
+        assert "sorted          : yes" in capsys.readouterr().out
+
+    def test_packing_flag(self, capsys):
+        for packing in ("index", "fused", "off"):
+            rc = main(
+                ["sort", "--n", "20000", "--pairs", "--packing", packing]
+            )
+            assert rc == 0
+            assert "sorted          : yes" in capsys.readouterr().out
+
+
+class TestBenchWallclockCommand:
+    def test_cases_and_workers_flags(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        rc = main(
+            ["bench-wallclock", "--quick", "--workers", "2",
+             "--cases", "pairs32-uniform", "--output", "report.json"]
+        )
+        assert rc == 0
+        report = json.loads((tmp_path / "report.json").read_text())
+        assert report["workers"] == 2
+        assert report["cases"] == ["pairs32-uniform"]
+        assert [r["name"] for r in report["results"]] == ["pairs32-uniform"]
+
 
 class TestInfoCommand:
     def test_info_output(self, capsys):

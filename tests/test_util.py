@@ -157,3 +157,26 @@ class TestCoalesceSpans:
         assert stops.tolist() == [70, 140]
         assert lo.tolist() == [0, 3]
         assert hi.tolist() == [2, 4]
+
+
+class TestEvenBounds:
+    def test_exact_division(self):
+        from repro._util import even_bounds
+
+        assert even_bounds(12, 4).tolist() == [0, 3, 6, 9, 12]
+
+    def test_remainder_spread_and_monotonic(self):
+        from repro._util import even_bounds
+
+        bounds = even_bounds(10, 3)
+        assert bounds[0] == 0 and bounds[-1] == 10
+        sizes = np.diff(bounds)
+        assert int(sizes.sum()) == 10
+        assert int(sizes.max()) - int(sizes.min()) <= 1
+
+    def test_more_parts_than_items(self):
+        from repro._util import even_bounds
+
+        bounds = even_bounds(2, 5)
+        assert bounds[0] == 0 and bounds[-1] == 2
+        assert np.all(np.diff(bounds) >= 0)
