@@ -11,8 +11,12 @@ host implementation tracks that goal instead of drifting.
 ``run_suite`` sweeps key widths, entropies/distributions (uniform,
 AND-depth, constant, Zipf, pre-sorted, reverse-sorted), and pair
 layouts, timing :class:`~repro.core.hybrid_sort.HybridRadixSorter`
-end-to-end (including trace pricing, i.e. exactly what a caller pays),
-and ``write_report``/``main`` persist the results as
+end-to-end (including trace pricing, i.e. exactly what a caller pays).
+The ``external-*`` case family instead times the spill-to-disk
+:class:`~repro.external.ExternalSorter` over a real temporary file at
+a quarter-of-file memory budget — run spills, streaming merge, and
+file I/O all on the clock.  ``write_report``/``main`` persist the
+results as
 ``BENCH_wallclock.json`` at the repository root so the perf trajectory
 is versioned alongside the code.  Every case verifies its output (keys
 sorted; values a key-preserving permutation) and ``write_report``
@@ -34,18 +38,12 @@ import platform
 import sys
 import time
 from dataclasses import dataclass, replace
+from types import SimpleNamespace
 
 import numpy as np
 
-from repro.workloads import (
-    constant_keys,
-    generate_entropy_keys,
-    generate_pairs,
-    reverse_sorted_keys,
-    sorted_keys,
-    uniform_keys,
-    zipf_keys,
-)
+from repro.errors import ConfigurationError
+from repro.workloads import generate_pairs, typed_keys
 
 __all__ = [
     "WallclockCase",
@@ -65,31 +63,31 @@ QUICK_N = 1 << 18
 
 @dataclass(frozen=True)
 class WallclockCase:
-    """One workload: key width, value width, and distribution."""
+    """One workload: key width, value width, distribution, and engine.
+
+    ``engine="hybrid"`` times an in-memory
+    :class:`~repro.core.hybrid_sort.HybridRadixSorter` call;
+    ``engine="external"`` writes the workload to a temporary flat
+    binary file and times a spill-to-disk
+    :class:`~repro.external.ExternalSorter` run whose memory budget is
+    a quarter of the file (so the out-of-core machinery — run spills,
+    streaming merge, real file I/O — is actually on the clock).
+    """
 
     name: str
     key_bits: int
     value_bits: int
     distribution: str  # "uniform" | "andN" | "constant" | "zipf" | ...
+    engine: str = "hybrid"  # "hybrid" | "external"
 
     def make_input(
         self, n: int, rng: np.random.Generator
     ) -> tuple[np.ndarray, np.ndarray | None]:
-        if self.distribution == "uniform":
-            keys = uniform_keys(n, self.key_bits, rng)
-        elif self.distribution == "constant":
-            keys = constant_keys(n, self.key_bits)
-        elif self.distribution == "zipf":
-            keys = zipf_keys(n, self.key_bits, rng=rng)
-        elif self.distribution == "presorted":
-            keys = sorted_keys(n, self.key_bits, rng)
-        elif self.distribution == "reverse":
-            keys = reverse_sorted_keys(n, self.key_bits, rng)
-        elif self.distribution.startswith("and"):
-            depth = int(self.distribution.removeprefix("and"))
-            keys = generate_entropy_keys(n, self.key_bits, depth, rng)
-        else:
-            raise ValueError(f"unknown distribution {self.distribution!r}")
+        dtype = np.uint32 if self.key_bits == 32 else np.uint64
+        try:
+            keys = typed_keys(n, dtype, self.distribution, rng)
+        except ConfigurationError as exc:
+            raise ValueError(str(exc)) from exc
         values = None
         if self.value_bits:
             keys, values = generate_pairs(keys, self.value_bits)
@@ -110,6 +108,8 @@ DEFAULT_CASES: tuple[WallclockCase, ...] = (
     WallclockCase("pairs32-uniform", 32, 32, "uniform"),
     WallclockCase("pairs32-zipf", 32, 32, "zipf"),
     WallclockCase("pairs64-uniform", 64, 64, "uniform"),
+    WallclockCase("external-keys32-uniform", 32, 0, "uniform", "external"),
+    WallclockCase("external-pairs32-uniform", 32, 32, "uniform", "external"),
 )
 
 
@@ -143,6 +143,45 @@ def _verified(result, keys: np.ndarray, values: np.ndarray | None) -> bool:
     return True
 
 
+def _run_external_case(
+    case: WallclockCase,
+    keys: np.ndarray,
+    values: np.ndarray | None,
+    repeats: int,
+    workers: int,
+) -> tuple[float, bool]:
+    """Time the spill-to-disk sorter over a real temporary file.
+
+    The clock covers the full out-of-core pipeline — run production
+    (reads + spills), the streaming merge, and the output write — with
+    the memory budget pinned to a quarter of the file so at least four
+    runs always spill.
+    """
+    import tempfile
+
+    from repro.external import ExternalSorter, FileLayout, read_records, write_records
+
+    layout = FileLayout(keys.dtype, None if values is None else values.dtype)
+    total_bytes = keys.size * layout.record_bytes
+    budget = max(layout.record_bytes * 64, total_bytes // 4)
+    best = float("inf")
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        inp = os.path.join(tmp, "input.bin")
+        out = os.path.join(tmp, "output.bin")
+        write_records(inp, layout.to_records(keys, values))
+        sorter = ExternalSorter(memory_budget=budget, workers=workers)
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            sorter.sort_file(inp, out, layout)
+            best = min(best, time.perf_counter() - t0)
+        records = read_records(out, layout)
+        out_keys, out_values = layout.to_columns(records)
+        ok = _verified(
+            SimpleNamespace(keys=out_keys, values=out_values), keys, values
+        )
+    return best, ok
+
+
 def run_case(
     case: WallclockCase,
     n: int,
@@ -161,21 +200,26 @@ def run_case(
 
     rng = np.random.default_rng(seed)
     keys, values = case.make_input(n, rng)
-    config = replace(
-        SortConfig.for_layout(case.key_bits, case.value_bits),
-        workers=workers,
-    )
-    sorter = HybridRadixSorter(config=config)
-    warm = max(1024, n // 16)
-    sorter.sort(keys[:warm], None if values is None else values[:warm])
-    best = float("inf")
-    result = None
-    for _ in range(max(1, repeats)):
-        t0 = time.perf_counter()
-        result = sorter.sort(keys, values)
-        best = min(best, time.perf_counter() - t0)
+    if case.engine == "external":
+        best, ok = _run_external_case(case, keys, values, repeats, workers)
+    else:
+        config = replace(
+            SortConfig.for_layout(case.key_bits, case.value_bits),
+            workers=workers,
+        )
+        sorter = HybridRadixSorter(config=config)
+        warm = max(1024, n // 16)
+        sorter.sort(keys[:warm], None if values is None else values[:warm])
+        best = float("inf")
+        result = None
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            result = sorter.sort(keys, values)
+            best = min(best, time.perf_counter() - t0)
+        ok = _verified(result, keys, values)
     return {
         "name": case.name,
+        "engine": case.engine,
         "key_bits": case.key_bits,
         "value_bits": case.value_bits,
         "distribution": case.distribution,
@@ -183,7 +227,7 @@ def run_case(
         "workers": workers,
         "seconds": best,
         "mkeys_per_s": round(n / best / 1e6, 3),
-        "sorted_ok": _verified(result, keys, values),
+        "sorted_ok": ok,
     }
 
 

@@ -129,9 +129,33 @@ def counting_sort_pass(
     Reads bucket extents from ``src``, writes the partitioned sequence of
     sub-buckets to the same extents in ``dst`` ("the sub-bucket holding
     the keys with the smallest digit value starts at the same offset as
-    the input bucket", §4.1).  ``ctx`` fans the disjoint spans, buckets,
-    and chunks across worker threads; the output is byte-identical for
-    any worker count.
+    the input bucket", §4.1).
+
+    Parameters
+    ----------
+    src / dst:
+        The pass's double buffers (whole arrays, not slices); only the
+        extents named by ``offsets``/``sizes`` are read and written.
+    offsets / sizes:
+        Parallel int64 arrays: start offset and length of every active
+        bucket, ascending and non-overlapping.
+    config:
+        Supplies digit geometry, KPB block accounting, and the ablation
+        switches the measured statistics honour.
+    digit_index:
+        Which digit of the geometry's sequence this pass partitions on.
+    src_values / dst_values:
+        Optional decomposed payload arrays moved alongside the keys
+        (both or neither).
+    rng:
+        Source for the sampled block statistics; deterministic default.
+    ctx:
+        Fans the disjoint spans, buckets, and chunks across worker
+        threads; the output is byte-identical for any worker count.
+
+    Returns a :class:`PassOutput` with per-bucket digit histograms (the
+    partition result the caller turns into sub-buckets) and the block
+    statistics the cost model prices.
     """
     offsets = np.asarray(offsets, dtype=np.int64)
     sizes = np.asarray(sizes, dtype=np.int64)
@@ -355,6 +379,27 @@ def _partition_bucket_chunked(
     output does not depend on the chunk count — chunks exist purely to
     keep working sets cache-sized and to give worker threads disjoint
     tasks.
+
+    Parameters
+    ----------
+    src / dst:
+        The pass's full double buffers; the bucket is ``src[start:stop]``
+        and its sub-buckets land in the same extent of ``dst``.
+    start / stop:
+        Bucket extent, chosen by the caller so ``stop - start`` is at
+        least ``_CHUNKED_MIN`` (smaller buckets use cheaper paths).
+    counts_row:
+        Output parameter: this bucket's row of the pass's
+        ``(n_buckets, radix)`` histogram, filled in place.
+    geometry / digit_index / radix:
+        Digit extraction parameters for this pass.
+    ctx:
+        Chunk histogram and scatter tasks fan across these workers;
+        both phases write disjoint regions, so any worker count gives
+        identical output.
+
+    Returns the bucket's digit stream (reused by the caller for the
+    pass statistics).
     """
     size = stop - start
     active = src[start:stop]

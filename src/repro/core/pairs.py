@@ -25,6 +25,34 @@ needs its own gather.  Two packings exist:
   itself (``key_bits + value_bits <= 64``).  No final gather at all,
   but records with equal keys order by their value bits rather than by
   input position; opt-in via ``SortConfig(pair_packing="fused")``.
+
+``SortConfig.pair_packing`` selects among them (dispatch lives in
+``HybridRadixSorter._packing_mode``):
+
+``"auto"`` (default)
+    Index-pack whenever a bit-identical packed layout exists
+    (:func:`index_packable`; 64-bit keys use the high-word split),
+    otherwise fall back to the decomposed pipeline.  Never changes
+    results, only speed.
+``"index"``
+    Same engines as ``"auto"`` — the name exists so callers can state
+    the intent explicitly and fail loudly if a future layout stops
+    being index-packable.
+``"fused"``
+    Fuse the value into the key word.  Fastest pairs path, but equal
+    keys order by value bits instead of input position — only valid
+    when the caller does not need stability (or wants the by-value
+    order), and requires ``key_bits + value_bits <= 64``.
+``"off"``
+    The decomposed stable-argsort pipeline.  Slowest; kept as the
+    oracle every packed engine is property-tested against
+    (``tests/properties/test_packed_pairs.py``) and as the wide-record
+    fallback.
+
+The same knob reaches the out-of-core path untouched:
+``ExternalSorter(pair_packing=...)`` forwards it to every in-RAM slice
+sort, and the external merge mirrors ``"fused"``'s tie-break so the
+spilled sort stays byte-identical to the in-memory one.
 """
 
 from __future__ import annotations
@@ -145,6 +173,15 @@ def pack_key_index(bits: np.ndarray, key_bits: int) -> np.ndarray:
     words — span, gathered, chunked, threaded — unpacks to the same
     stable permutation, which is what makes the packed engine provably
     bit-identical to the stable argsort pipeline.
+
+    Parameters
+    ----------
+    bits:
+        Key *bit patterns* (already through
+        :func:`repro.core.keys.to_sortable_bits`), at most 32 bits wide.
+    key_bits:
+        Width of the key field inside the word; with ``n`` rows it must
+        satisfy :func:`index_packable` (``n <= 2**(64 - key_bits)``).
     """
     bits = np.asarray(bits)
     if not index_packable(key_bits, bits.size):
@@ -192,6 +229,18 @@ def pack_key_value(
     64-bit; the key sits in the top ``key_bits`` bits, the value's raw
     bit pattern in the bottom ``value_bits`` (zeros between, when the
     widths do not fill the word).
+
+    Parameters
+    ----------
+    key_bits_arr:
+        Key bit patterns (post-bijection), ``key_bits`` wide.
+    values:
+        Payloads of any fixed-width dtype; fused by raw bit pattern
+        (floats are *not* bijected — the value half carries data, not
+        sort order beyond the tie-break).
+    key_bits:
+        Key field width; ``key_bits + values.itemsize*8`` must fit one
+        word (:func:`fused_packable`).
     """
     values = np.asarray(values)
     value_bits = values.dtype.itemsize * 8

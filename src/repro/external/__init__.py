@@ -1,0 +1,31 @@
+"""Out-of-core external sorting (spill-to-disk runs + streaming merge).
+
+The host-side realisation of the workload the paper's §5 heterogeneous
+pipeline targets: inputs larger than (budgeted) memory, sorted by
+chunked radix passes over memory-sized slices and a streaming k-way
+merge of the resulting run files.  See ``docs/architecture.md`` for the
+data flow and the invariants.
+"""
+
+from repro.external.format import FileLayout, parse_dtype, read_records, write_records
+from repro.external.merge import merge_runs
+from repro.external.runs import RunPlan, RunWriter, plan_runs
+from repro.external.sorter import (
+    DEFAULT_MEMORY_BUDGET,
+    ExternalSorter,
+    ExternalSortReport,
+)
+
+__all__ = [
+    "FileLayout",
+    "parse_dtype",
+    "read_records",
+    "write_records",
+    "merge_runs",
+    "RunPlan",
+    "RunWriter",
+    "plan_runs",
+    "ExternalSorter",
+    "ExternalSortReport",
+    "DEFAULT_MEMORY_BUDGET",
+]

@@ -1,0 +1,199 @@
+"""Flat binary file layouts for the out-of-core sorter.
+
+The external sorter deals in the simplest possible on-disk format — the
+one a database scratch file or an ``np.ndarray.tofile`` dump already
+uses: a headerless sequence of fixed-width records in native byte
+order.  Two layouts exist:
+
+* **keys-only** — a flat array of one key dtype (any member of
+  :data:`repro.core.keys.SUPPORTED_DTYPES`);
+* **pairs** — interleaved ``(key, value)`` records (array-of-structures,
+  the *coherent* layout of §4.6), described by the same structured dtype
+  :func:`repro.core.pairs.record_dtype` builds.
+
+Because there is no header, a :class:`FileLayout` must accompany every
+path; it validates that a file's byte size is an exact multiple of the
+record width and turns byte offsets into record offsets.  Sorted run
+files produced by :class:`repro.external.runs.RunWriter` use the exact
+same layout as the input and output files — every intermediate run is
+itself a valid, independently sortable/mergeable flat file.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.keys import SUPPORTED_DTYPES
+from repro.core.pairs import record_dtype
+from repro.errors import ConfigurationError, UnsupportedDtypeError
+
+__all__ = [
+    "FileLayout",
+    "parse_dtype",
+    "write_records",
+    "read_records",
+]
+
+#: Dtypes accepted for the *value* column of a pairs layout.  Any
+#: fixed-width scalar works for the ride-along payload; the names here
+#: are what the CLI accepts.
+VALUE_DTYPES = (
+    np.dtype(np.uint8),
+    np.dtype(np.uint16),
+    np.dtype(np.uint32),
+    np.dtype(np.uint64),
+    np.dtype(np.int32),
+    np.dtype(np.int64),
+    np.dtype(np.float32),
+    np.dtype(np.float64),
+)
+
+
+def parse_dtype(name: str, *, value: bool = False) -> np.dtype:
+    """Resolve a CLI dtype name (``uint32``, ``float64``, …).
+
+    ``value=True`` validates against the payload dtypes, otherwise
+    against the key dtypes with a registered §4.6 bijection.
+    """
+    try:
+        dtype = np.dtype(name)
+    except TypeError as exc:
+        raise UnsupportedDtypeError(f"unknown dtype name {name!r}") from exc
+    allowed = VALUE_DTYPES if value else SUPPORTED_DTYPES
+    if dtype not in allowed:
+        kind = "value" if value else "key"
+        raise UnsupportedDtypeError(
+            f"{name!r} is not a supported {kind} dtype; choose from "
+            + ", ".join(str(d) for d in allowed)
+        )
+    return dtype
+
+
+@dataclass(frozen=True)
+class FileLayout:
+    """Shape of one flat binary sort file.
+
+    Parameters
+    ----------
+    key_dtype:
+        Dtype of the key column; must have an order-preserving
+        bijection (:data:`~repro.core.keys.SUPPORTED_DTYPES`).
+    value_dtype:
+        Dtype of the payload column for the interleaved pairs layout,
+        or ``None`` for keys-only files.
+    """
+
+    key_dtype: np.dtype
+    value_dtype: np.dtype | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "key_dtype", np.dtype(self.key_dtype))
+        if self.key_dtype not in SUPPORTED_DTYPES:
+            raise UnsupportedDtypeError(
+                f"no order-preserving bijection for key dtype "
+                f"{self.key_dtype}"
+            )
+        if self.value_dtype is not None:
+            object.__setattr__(
+                self, "value_dtype", np.dtype(self.value_dtype)
+            )
+            if self.value_dtype not in VALUE_DTYPES:
+                raise UnsupportedDtypeError(
+                    f"unsupported value dtype {self.value_dtype}"
+                )
+
+    @property
+    def is_pairs(self) -> bool:
+        return self.value_dtype is not None
+
+    @property
+    def storage_dtype(self) -> np.dtype:
+        """The NumPy dtype of one on-disk record."""
+        if self.value_dtype is None:
+            return self.key_dtype
+        return record_dtype(self.key_dtype, self.value_dtype)
+
+    @property
+    def record_bytes(self) -> int:
+        return self.storage_dtype.itemsize
+
+    @property
+    def key_bits(self) -> int:
+        return self.key_dtype.itemsize * 8
+
+    @property
+    def value_bits(self) -> int:
+        return 0 if self.value_dtype is None else self.value_dtype.itemsize * 8
+
+    def records_in(self, path: str | os.PathLike) -> int:
+        """Number of records in ``path``; rejects torn/foreign files."""
+        size = os.path.getsize(path)
+        if size % self.record_bytes:
+            raise ConfigurationError(
+                f"{os.fspath(path)}: {size} bytes is not a multiple of the "
+                f"{self.record_bytes}-byte record ({self.describe()})"
+            )
+        return size // self.record_bytes
+
+    def describe(self) -> str:
+        if self.value_dtype is None:
+            return f"{self.key_dtype} keys"
+        return f"{self.key_dtype}/{self.value_dtype} pairs"
+
+    # ------------------------------------------------------------------
+    # Record-array conversions
+    # ------------------------------------------------------------------
+    def to_records(
+        self, keys: np.ndarray, values: np.ndarray | None
+    ) -> np.ndarray:
+        """Interleave column arrays into the on-disk record layout."""
+        keys = np.asarray(keys, dtype=self.key_dtype)
+        if self.value_dtype is None:
+            if values is not None:
+                raise ConfigurationError("keys-only layout given values")
+            return keys
+        if values is None:
+            raise ConfigurationError("pairs layout missing values")
+        values = np.asarray(values, dtype=self.value_dtype)
+        if values.shape != keys.shape:
+            raise ConfigurationError("values must parallel keys")
+        records = np.empty(keys.size, dtype=self.storage_dtype)
+        records["key"] = keys
+        records["value"] = values
+        return records
+
+    def to_columns(
+        self, records: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Split on-disk records into contiguous (keys, values) columns."""
+        if self.value_dtype is None:
+            return np.ascontiguousarray(records), None
+        return records["key"].copy(), records["value"].copy()
+
+
+def write_records(path: str | os.PathLike, records: np.ndarray) -> None:
+    """Write a record array as a flat binary file (native byte order)."""
+    with open(path, "wb") as fh:
+        records.tofile(fh)
+
+
+def read_records(
+    path: str | os.PathLike,
+    layout: FileLayout,
+    start: int = 0,
+    count: int = -1,
+) -> np.ndarray:
+    """Read ``count`` records (``-1`` = to EOF) starting at ``start``.
+
+    Each call opens its own handle, so concurrent readers — the
+    parallel run producers — never share file-position state.
+    """
+    if start < 0:
+        raise ConfigurationError("start must be non-negative")
+    with open(path, "rb") as fh:
+        if start:
+            fh.seek(start * layout.record_bytes)
+        return np.fromfile(fh, dtype=layout.storage_dtype, count=count)

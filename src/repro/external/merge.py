@@ -1,0 +1,220 @@
+"""Streaming bounded-buffer k-way merge of sorted run files.
+
+Phase 2 of an external sort.  This generalizes the in-memory multiway
+merge (:func:`repro.hetero.merge.kway_merge_pairs`) from arrays to
+file-backed runs: each run gets a :class:`_RunCursor` holding one block
+of records in RAM, and the merge drains the cursors to the output file
+without ever materialising more than ``k + 1`` blocks.
+
+The merge preserves the **stability contract** of the in-memory merge —
+equal keys are emitted in run-index order, and runs are indexed by input
+position — so (run-local stable sort) ∘ (stable merge) equals one
+global stable sort, record for record.  Comparison happens in *bits
+space* (the §4.6 order-preserving bijections), which gives floats the
+same total order the radix engines use (NaNs after +inf, ``-0.0``
+before ``+0.0``) without special-casing; records are converted back on
+write, so output bytes match the in-memory sorter exactly.
+
+The blockwise algorithm is the classic bounded-lookahead merge:
+
+1. every cursor keeps a sorted block buffered;
+2. ``bound`` = the smallest *last* buffered key among cursors that
+   still have unread file data — keys strictly below ``bound`` cannot
+   be preceded by anything still on disk, so all such keys are
+   concatenated (in run order) and emitted through one stable argsort;
+3. when nothing is strictly below ``bound`` (a run of equal keys
+   straddles a block boundary), keys equal to ``bound`` are drained
+   cursor-by-cursor in run-index order, refilling as blocks empty —
+   which is exactly the tie-break the stability contract demands and
+   keeps memory bounded even when an entire file holds one key.
+
+A loser tree would save comparisons for large ``k``; with NumPy the
+per-block stable argsort is faster than element-wise tree steps, so the
+heap/tree lives implicitly in step 2's min-reduction.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.core.keys import to_sortable_bits
+from repro.core.pairs import fused_packable, pack_key_value
+from repro.errors import ConfigurationError
+from repro.external.format import FileLayout
+
+__all__ = ["merge_runs"]
+
+
+def _comparison_keys(
+    layout: FileLayout, records: np.ndarray, fused: bool
+) -> np.ndarray:
+    """Unsigned merge keys for a block of records.
+
+    Plain merges compare key bits only (ties fall to run order — the
+    stability contract).  Fused merges compare the packed
+    ``key | value-bits`` word, reproducing the tie-by-value-bits order
+    of ``pair_packing="fused"`` across run boundaries.
+    """
+    keys, values = layout.to_columns(records)
+    bits = to_sortable_bits(keys)
+    if fused:
+        return pack_key_value(bits, values, layout.key_bits)
+    return bits
+
+
+class _RunCursor:
+    """Bounded block reader over one sorted run file."""
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        layout: FileLayout,
+        block_records: int,
+        fused: bool,
+    ) -> None:
+        self.layout = layout
+        self.block_records = max(1, int(block_records))
+        self.fused = fused
+        self._remaining = layout.records_in(path)
+        self._fh = open(path, "rb")
+        self._records = np.empty(0, dtype=layout.storage_dtype)
+        self._ckeys = np.empty(0, dtype=np.uint64)
+
+    # -- state ----------------------------------------------------------
+    @property
+    def pending(self) -> bool:
+        """True while unread records remain on disk."""
+        return self._remaining > 0
+
+    @property
+    def buffered(self) -> int:
+        return self._ckeys.size
+
+    @property
+    def head(self):
+        return self._ckeys[0]
+
+    @property
+    def last(self):
+        return self._ckeys[-1]
+
+    # -- operations -----------------------------------------------------
+    def refill(self) -> None:
+        """Read the next block when the buffer is empty."""
+        if self._ckeys.size or not self._remaining:
+            return
+        take = min(self.block_records, self._remaining)
+        records = np.fromfile(
+            self._fh, dtype=self.layout.storage_dtype, count=take
+        )
+        if records.size != take:
+            raise ConfigurationError(
+                "run file truncated while merging (concurrent writer?)"
+            )
+        self._remaining -= take
+        self._records = records
+        self._ckeys = _comparison_keys(self.layout, records, self.fused)
+
+    def split_below(self, bound) -> int:
+        """How many buffered records compare strictly below ``bound``."""
+        return int(np.searchsorted(self._ckeys, bound, side="left"))
+
+    def split_through(self, bound) -> int:
+        """How many buffered records compare at most ``bound``."""
+        return int(np.searchsorted(self._ckeys, bound, side="right"))
+
+    def take(self, count: int) -> tuple[np.ndarray, np.ndarray]:
+        """Pop the first ``count`` buffered (records, comparison keys)."""
+        records = self._records[:count]
+        ckeys = self._ckeys[:count]
+        self._records = self._records[count:]
+        self._ckeys = self._ckeys[count:]
+        return records, ckeys
+
+    def close(self) -> None:
+        self._fh.close()
+
+
+def merge_runs(
+    run_paths: list[str],
+    layout: FileLayout,
+    output_path: str | os.PathLike,
+    block_records: int,
+    pair_packing: str = "auto",
+) -> int:
+    """Stream-merge sorted ``run_paths`` into ``output_path``.
+
+    Parameters
+    ----------
+    run_paths:
+        Sorted run files in input order (the stability tie-break order).
+    layout:
+        Record layout shared by runs and output.
+    block_records:
+        Records buffered per run; total resident memory is roughly
+        ``(len(run_paths) + 1) * block_records * layout.record_bytes``.
+    pair_packing:
+        ``"fused"`` merges on the packed key|value word (matching the
+        fused engine's tie order); anything else merges on key bits
+        with run-order ties.
+
+    Returns the number of records written.
+    """
+    fused = (
+        pair_packing == "fused"
+        and layout.is_pairs
+        and fused_packable(layout.key_bits, layout.value_bits)
+    )
+    cursors = [
+        _RunCursor(path, layout, block_records, fused) for path in run_paths
+    ]
+    written = 0
+    try:
+        with open(output_path, "wb") as out:
+            while True:
+                for cursor in cursors:
+                    cursor.refill()
+                active = [c for c in cursors if c.buffered]
+                if not active:
+                    break
+                pending_lasts = [c.last for c in active if c.pending]
+                if pending_lasts:
+                    bound = min(pending_lasts)
+                    counts = [c.split_below(bound) for c in active]
+                else:
+                    bound = None
+                    counts = [c.buffered for c in active]
+                if sum(counts):
+                    # Everything below the bound is complete in memory:
+                    # concatenate in run order and stable-sort, which
+                    # breaks ties by run index exactly like the
+                    # in-memory k-way merge.
+                    taken = [
+                        c.take(n) for c, n in zip(active, counts) if n
+                    ]
+                    records = np.concatenate([r for r, _ in taken])
+                    ckeys = np.concatenate([k for _, k in taken])
+                    order = np.argsort(ckeys, kind="stable")
+                    records[order].tofile(out)
+                    written += records.size
+                    continue
+                # Every buffered key is >= bound and the bound-defining
+                # cursor's whole block equals it: a run of equal keys
+                # straddles a block boundary.  Drain the equal keys in
+                # run-index order, block by block, so memory stays
+                # bounded and the stability contract holds.
+                for cursor in cursors:
+                    cursor.refill()
+                    while cursor.buffered and cursor.head == bound:
+                        records, _ = cursor.take(
+                            cursor.split_through(bound)
+                        )
+                        records.tofile(out)
+                        written += records.size
+                        cursor.refill()
+    finally:
+        for cursor in cursors:
+            cursor.close()
+    return written

@@ -1,0 +1,168 @@
+"""Sorted-run production for the out-of-core sorter.
+
+Phase 1 of an external sort: cut the input file into memory-budgeted
+slices, sort each slice entirely in RAM with the packed key–value
+pipeline (:class:`~repro.core.hybrid_sort.HybridRadixSorter`), and
+spill every sorted slice to disk as a *run* — a flat binary file in the
+same :class:`~repro.external.format.FileLayout` as the input.
+
+Slice planning reuses the heterogeneous pipeline's chunk planner
+(:func:`repro.hetero.chunking.plan_chunks` with ``budget_bytes``): a
+slice must fit the budget *together with the sorter's double buffer*,
+which is exactly the three-buffer accounting of the §5 in-place
+replacement layout, applied to host RAM instead of device memory.
+
+Run production is embarrassingly parallel: slices are disjoint byte
+ranges of the input file and runs are disjoint output files, so
+:class:`~repro.parallel.ExecutionContext` fans the slices across
+workers.  Slice boundaries come from the plan alone — never from the
+worker count — and each slice's sort is deterministic, so the produced
+runs (and therefore the merged output) are byte-identical for any
+number of workers.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+from repro.core.config import SortConfig
+from repro.core.hybrid_sort import HybridRadixSorter
+from repro.errors import ConfigurationError
+from repro.external.format import FileLayout, read_records, write_records
+from repro.hetero.chunking import ChunkPlan, plan_chunks
+from repro.parallel import ExecutionContext, SERIAL
+
+__all__ = ["RunPlan", "plan_runs", "RunWriter"]
+
+
+@dataclass(frozen=True)
+class RunPlan:
+    """How an input file is cut into sorted runs.
+
+    ``bounds`` has ``n_runs + 1`` record offsets; run ``i`` covers input
+    records ``[bounds[i], bounds[i + 1])``.
+    """
+
+    n_records: int
+    run_records: int
+    bounds: tuple[int, ...]
+    chunk_plan: ChunkPlan
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.bounds) - 1
+
+
+def plan_runs(
+    n_records: int, record_bytes: int, memory_budget: int
+) -> RunPlan:
+    """Cut ``n_records`` into runs that sort within ``memory_budget``.
+
+    Delegates the buffer accounting to
+    :func:`repro.hetero.chunking.plan_chunks`: a run plus the hybrid
+    sorter's auxiliary buffers must fit the budget (three-buffer
+    in-place-replacement layout).  Run sizes never depend on worker
+    count.
+    """
+    if n_records < 0:
+        raise ConfigurationError("n_records must be non-negative")
+    if memory_budget <= 0:
+        raise ConfigurationError("memory_budget must be positive")
+    if n_records == 0:
+        empty_plan = plan_chunks(
+            record_bytes, n_chunks=1, budget_bytes=memory_budget
+        )
+        return RunPlan(0, 0, (0,), empty_plan)
+    chunk_plan = plan_chunks(
+        n_records * record_bytes, budget_bytes=memory_budget
+    )
+    run_records = max(1, chunk_plan.chunk_bytes // record_bytes)
+    bounds = list(range(0, n_records, run_records)) + [n_records]
+    return RunPlan(
+        n_records=n_records,
+        run_records=run_records,
+        bounds=tuple(bounds),
+        chunk_plan=chunk_plan,
+    )
+
+
+class RunWriter:
+    """Produces sorted runs from an input file.
+
+    Parameters
+    ----------
+    layout:
+        The input file's record layout; runs use the same layout.
+    pair_packing:
+        Forwarded to :class:`~repro.core.config.SortConfig` — selects
+        the packed pair engine each in-RAM slice sort runs
+        (``"auto"``/``"index"``/``"fused"``/``"off"``).
+    ctx:
+        Execution context whose workers slice sorts fan across.  Each
+        task sorts serially (``workers=1`` inside the task); the
+        parallelism is across slices.
+    """
+
+    def __init__(
+        self,
+        layout: FileLayout,
+        pair_packing: str = "auto",
+        ctx: ExecutionContext | None = None,
+    ) -> None:
+        self.layout = layout
+        self.pair_packing = pair_packing
+        self.ctx = ctx or SERIAL
+
+    def _slice_config(self) -> SortConfig:
+        """Table 3 preset for the layout, widened for narrow dtypes.
+
+        The paper tunes 32/64-bit layouts; the narrow pedagogical key
+        dtypes (uint8/uint16) borrow the 32-bit preset's geometry with
+        their true bit width, which the digit machinery handles
+        natively.
+        """
+        key_bits = self.layout.key_bits
+        value_bits = self.layout.value_bits
+        preset = SortConfig.for_layout(
+            32 if key_bits <= 32 else 64,
+            0 if value_bits == 0 else (32 if value_bits <= 32 else 64),
+        )
+        return replace(
+            preset,
+            key_bits=key_bits,
+            value_bits=value_bits,
+            pair_packing=self.pair_packing,
+            workers=1,
+        )
+
+    def run_path(self, spool_dir: str | os.PathLike, index: int) -> str:
+        return os.path.join(os.fspath(spool_dir), f"run-{index:05d}.bin")
+
+    def write_runs(
+        self,
+        input_path: str | os.PathLike,
+        plan: RunPlan,
+        spool_dir: str | os.PathLike,
+    ) -> list[str]:
+        """Sort every planned slice and spill it; returns run paths.
+
+        Runs are written in slice order under ``spool_dir``; the list is
+        ordered by input position, which is the tie-break order the
+        stable merge preserves.
+        """
+        layout = self.layout
+        config = self._slice_config()
+
+        def produce(index: int) -> str:
+            lo, hi = plan.bounds[index], plan.bounds[index + 1]
+            records = read_records(input_path, layout, lo, hi - lo)
+            keys, values = layout.to_columns(records)
+            # A fresh sorter per slice: the simulated device's launch log
+            # is per-instance state and must not be shared across threads.
+            result = HybridRadixSorter(config=config).sort(keys, values)
+            path = self.run_path(spool_dir, index)
+            write_records(path, layout.to_records(result.keys, result.values))
+            return path
+
+        return self.ctx.map(produce, range(plan.n_runs))

@@ -1,0 +1,218 @@
+"""`ExternalSorter`: spill-to-disk sorting of larger-than-memory files.
+
+The out-of-core pipeline the paper's §5 heterogeneous design targets
+(and the PARADIS comparison of Figure 9 measures), realised on the
+host: a file that does not fit the memory budget is sorted by
+
+1. **run production** — memory-budgeted slices, each sorted in RAM by
+   the packed key–value pipeline and spilled as a sorted run file
+   (:class:`~repro.external.runs.RunWriter`), fanned across
+   :class:`~repro.parallel.ExecutionContext` workers;
+2. **streaming merge** — a bounded-buffer k-way merge drains the runs
+   into the output file (:func:`~repro.external.merge.merge_runs`)
+   holding one block per run in RAM.
+
+Because each run is sorted stably and the merge breaks ties by run
+index (run index = input position), the output file is byte-identical
+to what an in-memory :class:`~repro.core.hybrid_sort.HybridRadixSorter`
+would produce for the whole file — for every supported key dtype, both
+layouts, and any worker count.  That identity is the subsystem's
+correctness oracle and is property-tested in
+``tests/properties/test_external_properties.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.external.format import FileLayout
+from repro.external.merge import merge_runs
+from repro.external.runs import RunPlan, RunWriter, plan_runs
+from repro.parallel import get_context
+
+__all__ = ["ExternalSortReport", "ExternalSorter", "DEFAULT_MEMORY_BUDGET"]
+
+#: Default host-RAM working-set budget: 256 MiB, a deliberately modest
+#: slice of a workstation so the default configuration actually
+#: exercises the out-of-core machinery on multi-GB files.
+DEFAULT_MEMORY_BUDGET = 256 << 20
+
+#: Floor on merge-phase block size, in records.  Below this the Python
+#: per-block overhead dominates; the budget maths only pushes blocks
+#: this small for pathological budget/run-count combinations.
+_MIN_BLOCK_RECORDS = 1
+
+
+@dataclass(frozen=True)
+class ExternalSortReport:
+    """What one :meth:`ExternalSorter.sort_file` call did.
+
+    ``run_seconds``/``merge_seconds`` are wall-clock phase timings
+    (real I/O + compute, not simulated device time).
+    """
+
+    n_records: int
+    record_bytes: int
+    n_runs: int
+    run_records: int
+    block_records: int
+    workers: int
+    run_seconds: float
+    merge_seconds: float
+
+    @property
+    def total_bytes(self) -> int:
+        return self.n_records * self.record_bytes
+
+    @property
+    def total_seconds(self) -> float:
+        return self.run_seconds + self.merge_seconds
+
+    def summary(self) -> str:
+        mb = self.total_bytes / 1e6
+        rate = self.n_records / max(self.total_seconds, 1e-12) / 1e6
+        return (
+            f"{self.n_records:,} records ({mb:.1f} MB) in {self.n_runs} "
+            f"run(s) of <= {self.run_records:,}; "
+            f"runs {self.run_seconds:.3f}s + merge {self.merge_seconds:.3f}s "
+            f"= {self.total_seconds:.3f}s ({rate:.2f} Mrec/s, "
+            f"workers={self.workers})"
+        )
+
+
+class ExternalSorter:
+    """Sorts flat binary files larger than the memory budget.
+
+    Parameters
+    ----------
+    memory_budget:
+        Host bytes the sort may keep resident.  Run slices are planned
+        so a slice plus the in-RAM sorter's auxiliary buffers fit
+        (three-buffer accounting, see
+        :func:`repro.hetero.chunking.max_chunk_bytes`); the merge
+        phase sizes its per-run blocks from the same budget.
+    workers:
+        Host threads run production fans across (merge is a single
+        streaming pass).  Output is byte-identical for any value.
+    pair_packing:
+        Pair engine policy for the in-RAM slice sorts, and — for
+        ``"fused"`` — the merge comparator (ties order by value bits
+        instead of input position, exactly like the in-memory fused
+        engine).
+    spool_dir:
+        Where run files live during the sort.  Default: a fresh
+        temporary directory next to the output file (same filesystem,
+        so spill bandwidth matches output bandwidth), removed
+        afterwards.  A caller-provided directory is left in place.
+    """
+
+    def __init__(
+        self,
+        memory_budget: int = DEFAULT_MEMORY_BUDGET,
+        workers: int = 1,
+        pair_packing: str = "auto",
+        spool_dir: str | os.PathLike | None = None,
+    ) -> None:
+        if memory_budget <= 0:
+            raise ConfigurationError("memory_budget must be positive")
+        if pair_packing not in ("auto", "index", "fused", "off"):
+            raise ConfigurationError(
+                "pair_packing must be 'auto', 'index', 'fused', or 'off'"
+            )
+        self.memory_budget = int(memory_budget)
+        self.workers = int(workers)
+        self.pair_packing = pair_packing
+        self.spool_dir = spool_dir
+        get_context(self.workers)  # validates workers >= 1 eagerly
+
+    # ------------------------------------------------------------------
+    def plan(self, input_path: str | os.PathLike, layout: FileLayout) -> RunPlan:
+        """The run plan :meth:`sort_file` would execute for this input."""
+        n_records = layout.records_in(input_path)
+        return plan_runs(n_records, layout.record_bytes, self.memory_budget)
+
+    def _block_records(self, plan: RunPlan, record_bytes: int) -> int:
+        """Merge-phase block size: budget split over k runs + output."""
+        budget_records = self.memory_budget // record_bytes
+        blocks = plan.n_runs + 1
+        return max(
+            _MIN_BLOCK_RECORDS,
+            min(plan.run_records or 1, budget_records // blocks),
+        )
+
+    def sort_file(
+        self,
+        input_path: str | os.PathLike,
+        output_path: str | os.PathLike,
+        layout: FileLayout,
+    ) -> ExternalSortReport:
+        """Sort ``input_path`` into ``output_path`` (ascending, stable).
+
+        The input file is read-only; the output file is created or
+        truncated.  Peak resident memory tracks ``memory_budget``, not
+        the file size.
+        """
+        input_path = os.fspath(input_path)
+        output_path = os.fspath(output_path)
+        if os.path.abspath(input_path) == os.path.abspath(output_path):
+            raise ConfigurationError(
+                "in-place external sort is not supported; "
+                "give a distinct output path"
+            )
+        plan = self.plan(input_path, layout)
+        if plan.n_records == 0:
+            open(output_path, "wb").close()
+            return ExternalSortReport(
+                0, layout.record_bytes, 0, 0, 0, self.workers, 0.0, 0.0
+            )
+
+        owns_spool = self.spool_dir is None
+        if owns_spool:
+            spool = tempfile.mkdtemp(
+                prefix="repro-spool-",
+                dir=os.path.dirname(os.path.abspath(output_path)) or None,
+            )
+        else:
+            spool = os.fspath(self.spool_dir)
+            os.makedirs(spool, exist_ok=True)
+
+        try:
+            ctx = get_context(self.workers)
+            writer = RunWriter(
+                layout, pair_packing=self.pair_packing, ctx=ctx
+            )
+            t0 = time.perf_counter()
+            run_paths = writer.write_runs(input_path, plan, spool)
+            t1 = time.perf_counter()
+            block_records = self._block_records(plan, layout.record_bytes)
+            written = merge_runs(
+                run_paths,
+                layout,
+                output_path,
+                block_records,
+                pair_packing=self.pair_packing,
+            )
+            t2 = time.perf_counter()
+        finally:
+            if owns_spool:
+                shutil.rmtree(spool, ignore_errors=True)
+
+        if written != plan.n_records:
+            raise ConfigurationError(
+                f"merge wrote {written} records, expected {plan.n_records}"
+            )
+        return ExternalSortReport(
+            n_records=plan.n_records,
+            record_bytes=layout.record_bytes,
+            n_runs=plan.n_runs,
+            run_records=plan.run_records,
+            block_records=block_records,
+            workers=self.workers,
+            run_seconds=t1 - t0,
+            merge_seconds=t2 - t1,
+        )

@@ -57,8 +57,26 @@ def kway_merge_pairs(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Merge sorted key runs with their value runs riding along.
 
-    Ties break by run index, preserving run order — the behaviour of a
-    stable multiway merge.
+    **Stability contract** (documented API, regression-tested in
+    ``tests/hetero/test_merge.py``): records with equal keys are
+    emitted in *run-index order*, and within one run in that run's
+    order.  Consequently, when the runs are consecutive slices of one
+    input — each sorted stably — the merge output equals one global
+    stable sort of that input.  The out-of-core sorter
+    (:func:`repro.external.merge.merge_runs`, which generalizes this
+    function to file-backed runs) relies on exactly this identity for
+    its byte-identical-to-in-memory guarantee; do not weaken the
+    tie-break.
+
+    Empty runs are skipped *before* indexing, so run index means
+    "position among non-empty runs" — callers passing slices of one
+    input are unaffected (empty slices contribute no records).
+
+    Parameters
+    ----------
+    key_runs / value_runs:
+        Parallel lists; ``key_runs[i]`` must be sorted ascending and
+        ``value_runs[i]`` carries its per-record payloads.
     """
     if len(key_runs) != len(value_runs):
         raise ConfigurationError("key and value run lists must be parallel")

@@ -74,6 +74,25 @@ class ExecutionContext:
 
         Serial when ``workers == 1`` or there is at most one task.
         Exceptions raised by a task propagate to the caller either way.
+
+        Parameters
+        ----------
+        fn:
+            The task body.  For deterministic output the caller must
+            guarantee what every engine in this repository guarantees:
+            ``fn`` reads and writes only memory *its* task owns
+            (disjoint buffer regions, per-task files), and the task
+            list itself never depends on ``workers``.  Under those two
+            rules, any worker count produces byte-identical results.
+        tasks:
+            Materialised into a list up front, so a generator is safe
+            even though tasks run concurrently.
+
+        Returns
+        -------
+        list:
+            ``[fn(t) for t in tasks]`` — results in task order
+            regardless of completion order.
         """
         tasks = list(tasks)
         if not self.parallel or len(tasks) <= 1:
@@ -81,7 +100,13 @@ class ExecutionContext:
         return list(self._pool().map(fn, tasks))
 
     def close(self) -> None:
-        """Shut the pool down; the context can be used again afterwards."""
+        """Shut the pool down, blocking until in-flight tasks finish.
+
+        The context remains usable: the next ``map`` call lazily
+        spawns a fresh pool.  Contexts obtained from
+        :func:`get_context` are process-wide and shared — close them
+        only when tearing the whole process down.
+        """
         with self._lock:
             executor, self._executor = self._executor, None
         if executor is not None:

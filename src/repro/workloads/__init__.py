@@ -24,6 +24,7 @@ from repro.workloads.generators import (
     reverse_sorted_keys,
     sorted_keys,
     staircase_keys,
+    typed_keys,
     uniform_keys,
 )
 from repro.workloads.zipf import zipf_keys
@@ -40,6 +41,7 @@ __all__ = [
     "reverse_sorted_keys",
     "sorted_keys",
     "staircase_keys",
+    "typed_keys",
     "uniform_keys",
     "zipf_keys",
 ]

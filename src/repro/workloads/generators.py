@@ -20,6 +20,7 @@ __all__ = [
     "sorted_keys",
     "reverse_sorted_keys",
     "staircase_keys",
+    "typed_keys",
     "generate_pairs",
 ]
 
@@ -75,6 +76,78 @@ def staircase_keys(n: int, key_bits: int = 32, steps: int = 16) -> np.ndarray:
         np.uint64
     )
     return np.repeat(values, -(-n // steps))[:n].astype(dtype)
+
+
+def typed_keys(
+    n: int,
+    dtype,
+    distribution: str = "uniform",
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Generate ``n`` keys of any supported sort dtype.
+
+    The dtype-generic front door the file generator (``repro gen-file``)
+    uses; the CLI ``sort`` command and the wall-clock bench cases
+    delegate here too, so there is exactly one distribution-name
+    dispatch.  32/64-bit unsigned keys support every named distribution
+    (``uniform``, ``zipf``, ``constant``, ``presorted``, ``reverse``,
+    ``staircase``, ``andK``).  Other dtypes reshape a same-width
+    unsigned sample of the requested distribution:
+
+    * signed ints map through the §4.6 bijection inverse, so the full
+      (negative-including) range occurs with the distribution's shape;
+    * floats scale the sample to ``[-0.5, 0.5)`` — order- and
+      duplicate-preserving, so ``presorted`` stays sorted and ``zipf``
+      stays skewed, and negative keys really occur (the case the
+      bijections exist for);
+    * narrow unsigned dtypes (uint8/uint16) take the top bits of a
+      32-bit sample.
+    """
+    dtype = np.dtype(dtype)
+    rng = rng or np.random.default_rng()
+
+    def base(bits: int) -> np.ndarray:
+        if distribution == "uniform":
+            return uniform_keys(n, bits, rng)
+        if distribution == "constant":
+            return constant_keys(n, bits)
+        if distribution == "presorted":
+            return sorted_keys(n, bits, rng)
+        if distribution == "reverse":
+            return reverse_sorted_keys(n, bits, rng)
+        if distribution == "staircase":
+            return staircase_keys(n, bits)
+        if distribution == "zipf":
+            from repro.workloads.zipf import zipf_keys
+
+            return zipf_keys(n, bits, rng=rng)
+        if distribution.startswith("and"):
+            from repro.workloads.entropy import generate_entropy_keys
+
+            return generate_entropy_keys(
+                n, bits, int(distribution.removeprefix("and")), rng
+            )
+        raise ConfigurationError(
+            f"unknown distribution {distribution!r}"
+        )
+
+    if dtype.kind == "u":
+        bits = dtype.itemsize * 8
+        if bits >= 32:
+            return base(bits)
+        # Top bits of a 32-bit sample keep the distribution's shape.
+        return (base(32) >> np.uint32(32 - bits)).astype(dtype)
+    if dtype.kind == "i":
+        from repro.core.keys import from_sortable_bits
+
+        return from_sortable_bits(base(dtype.itemsize * 8), dtype)
+    if dtype.kind == "f":
+        if distribution == "constant":
+            return np.zeros(n, dtype=dtype)
+        bits = dtype.itemsize * 8
+        sample = base(bits).astype(np.float64)
+        return ((sample / 2.0**bits) - 0.5).astype(dtype)
+    raise ConfigurationError(f"unsupported key dtype {dtype}")
 
 
 def generate_pairs(

@@ -118,3 +118,24 @@ class TestHarness:
         with pytest.raises(ValueError, match="bad"):
             write_report(report, str(path))
         assert not path.exists()
+
+
+class TestExternalCases:
+    def test_external_family_in_defaults(self):
+        engines = {c.engine for c in DEFAULT_CASES}
+        assert engines == {"hybrid", "external"}
+        external = [c for c in DEFAULT_CASES if c.engine == "external"]
+        assert {c.name for c in external} == {
+            "external-keys32-uniform",
+            "external-pairs32-uniform",
+        }
+
+    @pytest.mark.parametrize(
+        "name", ["external-keys32-uniform", "external-pairs32-uniform"]
+    )
+    def test_external_case_runs_and_verifies(self, name):
+        case = next(c for c in DEFAULT_CASES if c.name == name)
+        record = run_case(case, 20_000, repeats=1, workers=2)
+        assert record["sorted_ok"]
+        assert record["engine"] == "external"
+        assert record["seconds"] > 0

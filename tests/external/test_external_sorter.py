@@ -1,0 +1,268 @@
+"""Acceptance tests for the out-of-core external sorter.
+
+The contract under test: sorting a file at least 4x larger than the
+memory budget produces output **byte-identical** to an in-memory
+``HybridRadixSorter`` sort of the same data, for every supported
+layout and for workers in {1, 2}.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.hybrid_sort import HybridRadixSorter
+from repro.errors import ConfigurationError
+from repro.external import (
+    ExternalSorter,
+    FileLayout,
+    plan_runs,
+    read_records,
+    write_records,
+)
+from repro.external.runs import RunWriter
+from repro.parallel import get_context
+
+
+def _reference_bytes(layout: FileLayout, keys, values, pair_packing="auto"):
+    """In-memory oracle: the whole file sorted by the hybrid engine."""
+    config = replace(
+        RunWriter(layout)._slice_config(), pair_packing=pair_packing
+    )
+    result = HybridRadixSorter(config=config).sort(keys, values)
+    return layout.to_records(result.keys, result.values).tobytes()
+
+
+def _make_input(layout: FileLayout, n: int, rng) -> tuple:
+    kd = layout.key_dtype
+    if kd.kind == "f":
+        keys = rng.standard_normal(n).astype(kd)
+        keys[:: max(1, n // 50)] = np.nan
+        keys[1] = -0.0
+    elif kd.kind == "i":
+        info = np.iinfo(kd)
+        keys = rng.integers(info.min, info.max, n, dtype=kd)
+    else:
+        info = np.iinfo(kd)
+        # Narrow range forces duplicates, exercising merge stability.
+        keys = rng.integers(0, info.max + 1, n, dtype=np.uint64).astype(kd)
+    values = None
+    if layout.is_pairs:
+        values = np.arange(n, dtype=np.uint64).astype(layout.value_dtype)
+    return keys, values
+
+
+LAYOUTS = [
+    pytest.param(FileLayout(np.uint32), id="keys32"),
+    pytest.param(FileLayout(np.uint64), id="keys64"),
+    pytest.param(FileLayout(np.uint32, np.uint32), id="pairs32"),
+    pytest.param(FileLayout(np.uint64, np.uint64), id="pairs64"),
+    pytest.param(FileLayout(np.float64), id="keys-f64"),
+    pytest.param(FileLayout(np.float32, np.uint32), id="pairs-f32"),
+    pytest.param(FileLayout(np.int64), id="keys-i64"),
+]
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("workers", [1, 2])
+    @pytest.mark.parametrize("layout", LAYOUTS)
+    def test_file_4x_budget_matches_in_memory(
+        self, layout, workers, tmp_path, rng
+    ):
+        n = 40_000
+        keys, values = _make_input(layout, n, rng)
+        inp = tmp_path / "input.bin"
+        out = tmp_path / "output.bin"
+        write_records(inp, layout.to_records(keys, values))
+        total = n * layout.record_bytes
+        budget = total // 4  # file is at least 4x the budget
+        sorter = ExternalSorter(memory_budget=budget, workers=workers)
+        report = sorter.sort_file(inp, out, layout)
+        assert report.n_runs >= 4
+        assert report.n_records == n
+        assert out.read_bytes() == _reference_bytes(layout, keys, values)
+
+    def test_duplicate_heavy_pairs_stability(self, tmp_path, rng):
+        # Equal keys must come out in input order (run order), exactly
+        # like the stable in-memory sort.
+        n = 30_000
+        keys = rng.integers(0, 17, n, dtype=np.uint64).astype(np.uint32)
+        values = np.arange(n, dtype=np.uint32)
+        layout = FileLayout(np.uint32, np.uint32)
+        inp, out = tmp_path / "in.bin", tmp_path / "out.bin"
+        write_records(inp, layout.to_records(keys, values))
+        sorter = ExternalSorter(memory_budget=n * 8 // 6, workers=2)
+        sorter.sort_file(inp, out, layout)
+        got = read_records(out, layout)
+        order = np.argsort(keys, kind="stable")
+        assert np.array_equal(got["value"], values[order])
+
+    def test_constant_keys(self, tmp_path):
+        # Every record equal: the pure tie-drain path of the merge.
+        n = 20_000
+        layout = FileLayout(np.uint64, np.uint64)
+        keys = np.zeros(n, dtype=np.uint64)
+        values = np.arange(n, dtype=np.uint64)
+        inp, out = tmp_path / "in.bin", tmp_path / "out.bin"
+        write_records(inp, layout.to_records(keys, values))
+        sorter = ExternalSorter(memory_budget=n * 16 // 8, workers=2)
+        sorter.sort_file(inp, out, layout)
+        assert np.array_equal(read_records(out, layout)["value"], values)
+
+    def test_fused_packing_matches_in_memory_fused(self, tmp_path, rng):
+        n = 25_000
+        keys = rng.integers(0, 13, n, dtype=np.uint64).astype(np.uint32)
+        values = rng.integers(0, 2**32, n, dtype=np.uint64).astype(np.uint32)
+        layout = FileLayout(np.uint32, np.uint32)
+        inp, out = tmp_path / "in.bin", tmp_path / "out.bin"
+        write_records(inp, layout.to_records(keys, values))
+        sorter = ExternalSorter(
+            memory_budget=n * 8 // 5, workers=2, pair_packing="fused"
+        )
+        sorter.sort_file(inp, out, layout)
+        expected = _reference_bytes(layout, keys, values, "fused")
+        assert out.read_bytes() == expected
+
+
+class TestPlanning:
+    def test_plan_runs_covers_input(self):
+        plan = plan_runs(10_000, 4, memory_budget=4 * 4000)
+        assert plan.bounds[0] == 0
+        assert plan.bounds[-1] == 10_000
+        sizes = np.diff(plan.bounds)
+        assert sizes.sum() == 10_000
+        assert (sizes[:-1] == plan.run_records).all()
+        assert sizes.max() <= plan.run_records
+
+    def test_budget_includes_sorter_buffers(self):
+        # Three-buffer accounting: a run is at most a third of budget.
+        plan = plan_runs(9_000, 8, memory_budget=24_000)
+        assert plan.run_records * 8 <= 24_000 // 3
+
+    def test_empty_input(self):
+        plan = plan_runs(0, 4, memory_budget=1000)
+        assert plan.n_runs == 0
+
+    def test_invalid_budget(self):
+        with pytest.raises(ConfigurationError):
+            plan_runs(100, 4, memory_budget=0)
+
+    def test_plan_independent_of_workers(self, tmp_path, rng):
+        layout = FileLayout(np.uint32)
+        keys = rng.integers(0, 2**32, 5_000, dtype=np.uint64).astype(np.uint32)
+        inp = tmp_path / "in.bin"
+        write_records(inp, keys)
+        plans = [
+            ExternalSorter(memory_budget=4096, workers=w).plan(inp, layout)
+            for w in (1, 2, 8)
+        ]
+        assert plans[0] == plans[1] == plans[2]
+
+
+class TestRunWriter:
+    def test_runs_are_sorted_files_in_input_order(self, tmp_path, rng):
+        layout = FileLayout(np.uint32)
+        keys = rng.integers(0, 2**32, 12_000, dtype=np.uint64).astype(np.uint32)
+        inp = tmp_path / "in.bin"
+        write_records(inp, keys)
+        plan = plan_runs(12_000, 4, memory_budget=4 * 4096)
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        paths = RunWriter(layout, ctx=get_context(2)).write_runs(
+            inp, plan, spool
+        )
+        assert len(paths) == plan.n_runs
+        for i, path in enumerate(paths):
+            lo, hi = plan.bounds[i], plan.bounds[i + 1]
+            run = read_records(path, layout)
+            assert np.array_equal(run, np.sort(keys[lo:hi]))
+
+    def test_runs_identical_for_any_worker_count(self, tmp_path, rng):
+        layout = FileLayout(np.uint32, np.uint32)
+        keys = rng.integers(0, 100, 8_000, dtype=np.uint64).astype(np.uint32)
+        values = np.arange(8_000, dtype=np.uint32)
+        inp = tmp_path / "in.bin"
+        write_records(inp, layout.to_records(keys, values))
+        plan = plan_runs(8_000, 8, memory_budget=8 * 2048)
+        blobs = []
+        for w in (1, 3):
+            spool = tmp_path / f"spool{w}"
+            spool.mkdir()
+            paths = RunWriter(layout, ctx=get_context(w)).write_runs(
+                inp, plan, spool
+            )
+            blobs.append(
+                b"".join(open(p, "rb").read() for p in paths)
+            )
+        assert blobs[0] == blobs[1]
+
+
+class TestSorterEdges:
+    def test_empty_file(self, tmp_path):
+        inp, out = tmp_path / "in.bin", tmp_path / "out.bin"
+        inp.write_bytes(b"")
+        report = ExternalSorter().sort_file(inp, out, FileLayout(np.uint32))
+        assert report.n_records == 0
+        assert out.read_bytes() == b""
+
+    def test_single_run_small_file(self, tmp_path, rng):
+        keys = rng.integers(0, 2**32, 1000, dtype=np.uint64).astype(np.uint32)
+        inp, out = tmp_path / "in.bin", tmp_path / "out.bin"
+        write_records(inp, keys)
+        report = ExternalSorter(memory_budget=1 << 20).sort_file(
+            inp, out, FileLayout(np.uint32)
+        )
+        assert report.n_runs == 1
+        assert np.array_equal(
+            read_records(out, FileLayout(np.uint32)), np.sort(keys)
+        )
+
+    def test_in_place_rejected(self, tmp_path):
+        inp = tmp_path / "in.bin"
+        write_records(inp, np.arange(10, dtype=np.uint32))
+        with pytest.raises(ConfigurationError):
+            ExternalSorter().sort_file(inp, inp, FileLayout(np.uint32))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            ExternalSorter(memory_budget=0)
+        with pytest.raises(ConfigurationError):
+            ExternalSorter(pair_packing="zip")
+        with pytest.raises(ConfigurationError):
+            ExternalSorter(workers=0)
+
+    def test_spool_cleanup(self, tmp_path, rng):
+        keys = rng.integers(0, 2**32, 5_000, dtype=np.uint64).astype(np.uint32)
+        inp, out = tmp_path / "in.bin", tmp_path / "out.bin"
+        write_records(inp, keys)
+        ExternalSorter(memory_budget=4096).sort_file(
+            inp, out, FileLayout(np.uint32)
+        )
+        leftovers = [
+            name for name in os.listdir(tmp_path)
+            if name.startswith("repro-spool-")
+        ]
+        assert leftovers == []
+
+    def test_explicit_spool_dir_kept(self, tmp_path, rng):
+        keys = rng.integers(0, 2**32, 5_000, dtype=np.uint64).astype(np.uint32)
+        inp, out = tmp_path / "in.bin", tmp_path / "out.bin"
+        spool = tmp_path / "spool"
+        write_records(inp, keys)
+        sorter = ExternalSorter(memory_budget=4096, spool_dir=spool)
+        sorter.sort_file(inp, out, FileLayout(np.uint32))
+        assert spool.is_dir()
+
+    def test_report_summary(self, tmp_path, rng):
+        keys = rng.integers(0, 2**32, 5_000, dtype=np.uint64).astype(np.uint32)
+        inp, out = tmp_path / "in.bin", tmp_path / "out.bin"
+        write_records(inp, keys)
+        report = ExternalSorter(memory_budget=4096).sort_file(
+            inp, out, FileLayout(np.uint32)
+        )
+        text = report.summary()
+        assert "records" in text and "merge" in text
+        assert report.total_bytes == 5_000 * 4

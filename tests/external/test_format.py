@@ -1,0 +1,123 @@
+"""Tests for the flat binary file layouts of the external sorter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, UnsupportedDtypeError
+from repro.external.format import (
+    FileLayout,
+    parse_dtype,
+    read_records,
+    write_records,
+)
+
+
+class TestParseDtype:
+    @pytest.mark.parametrize(
+        "name",
+        ["uint8", "uint16", "uint32", "uint64", "int32", "int64",
+         "float32", "float64"],
+    )
+    def test_key_dtypes(self, name):
+        assert parse_dtype(name) == np.dtype(name)
+
+    def test_unknown_name(self):
+        with pytest.raises(UnsupportedDtypeError):
+            parse_dtype("complex128")
+
+    def test_gibberish(self):
+        with pytest.raises(UnsupportedDtypeError):
+            parse_dtype("not-a-dtype")
+
+    def test_value_dtype_allows_int_and_float(self):
+        assert parse_dtype("float32", value=True) == np.dtype(np.float32)
+        assert parse_dtype("uint8", value=True) == np.dtype(np.uint8)
+
+
+class TestFileLayout:
+    def test_keys_only(self):
+        layout = FileLayout(np.uint32)
+        assert not layout.is_pairs
+        assert layout.record_bytes == 4
+        assert layout.key_bits == 32
+        assert layout.value_bits == 0
+        assert layout.storage_dtype == np.dtype(np.uint32)
+
+    def test_pairs(self):
+        layout = FileLayout(np.uint64, np.uint32)
+        assert layout.is_pairs
+        assert layout.record_bytes == 12
+        assert layout.storage_dtype.names == ("key", "value")
+
+    def test_rejects_unsupported_key(self):
+        with pytest.raises(UnsupportedDtypeError):
+            FileLayout(np.complex64)
+
+    def test_describe(self):
+        assert "pairs" in FileLayout(np.uint32, np.uint32).describe()
+        assert "keys" in FileLayout(np.float64).describe()
+
+    def test_to_records_roundtrip(self, rng):
+        layout = FileLayout(np.uint32, np.float32)
+        keys = rng.integers(0, 2**32, 100, dtype=np.uint64).astype(np.uint32)
+        values = rng.standard_normal(100).astype(np.float32)
+        records = layout.to_records(keys, values)
+        back_k, back_v = layout.to_columns(records)
+        assert np.array_equal(back_k, keys)
+        assert np.array_equal(back_v, values)
+        assert back_k.flags.c_contiguous and back_v.flags.c_contiguous
+
+    def test_to_records_validates_layout(self):
+        keys = np.zeros(3, dtype=np.uint32)
+        with pytest.raises(ConfigurationError):
+            FileLayout(np.uint32).to_records(keys, np.zeros(3, np.uint32))
+        with pytest.raises(ConfigurationError):
+            FileLayout(np.uint32, np.uint32).to_records(keys, None)
+        with pytest.raises(ConfigurationError):
+            FileLayout(np.uint32, np.uint32).to_records(
+                keys, np.zeros(4, np.uint32)
+            )
+
+
+class TestFileIO:
+    def test_roundtrip(self, tmp_path, rng):
+        layout = FileLayout(np.int64)
+        keys = rng.integers(-(2**62), 2**62, 500, dtype=np.int64)
+        path = tmp_path / "keys.bin"
+        write_records(path, keys)
+        assert layout.records_in(path) == 500
+        assert np.array_equal(read_records(path, layout), keys)
+
+    def test_slice_read(self, tmp_path):
+        layout = FileLayout(np.uint32)
+        keys = np.arange(100, dtype=np.uint32)
+        path = tmp_path / "keys.bin"
+        write_records(path, keys)
+        got = read_records(path, layout, start=10, count=5)
+        assert np.array_equal(got, np.arange(10, 15, dtype=np.uint32))
+
+    def test_negative_start_rejected(self, tmp_path):
+        path = tmp_path / "keys.bin"
+        write_records(path, np.arange(4, dtype=np.uint32))
+        with pytest.raises(ConfigurationError):
+            read_records(path, FileLayout(np.uint32), start=-1)
+
+    def test_torn_file_rejected(self, tmp_path):
+        path = tmp_path / "torn.bin"
+        path.write_bytes(b"\x00" * 10)  # not a multiple of 4
+        with pytest.raises(ConfigurationError):
+            FileLayout(np.uint32).records_in(path)
+
+    def test_pairs_interleaved_on_disk(self, tmp_path):
+        # The pairs layout is array-of-structures: key bytes then value
+        # bytes per record, in native order — a plain struct dump.
+        layout = FileLayout(np.uint32, np.uint32)
+        records = layout.to_records(
+            np.array([1, 2], np.uint32), np.array([7, 8], np.uint32)
+        )
+        path = tmp_path / "pairs.bin"
+        write_records(path, records)
+        raw = np.frombuffer(path.read_bytes(), dtype=np.uint32)
+        assert np.array_equal(raw, [1, 7, 2, 8])

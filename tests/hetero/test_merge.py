@@ -88,3 +88,61 @@ class TestCpuMergeModel:
     def test_negative_bytes_rejected(self):
         with pytest.raises(ConfigurationError):
             CpuMergeModel().merge_seconds(-1, 4)
+
+
+class TestStabilityContract:
+    """The documented contract: equal keys come out in run order.
+
+    The external sorter's byte-identity guarantee composes run-local
+    stable sorts with this merge; if the tie-break ever changes, these
+    must fail.
+    """
+
+    def test_equal_keys_preserve_run_order(self):
+        # Three runs, all sharing key 7; payloads identify (run, pos).
+        key_runs = [
+            np.array([3, 7, 7], dtype=np.uint64),
+            np.array([7, 9], dtype=np.uint64),
+            np.array([7, 7], dtype=np.uint64),
+        ]
+        value_runs = [
+            np.array([10, 11, 12], dtype=np.uint64),
+            np.array([20, 21], dtype=np.uint64),
+            np.array([30, 31], dtype=np.uint64),
+        ]
+        mk, mv = kway_merge_pairs(key_runs, value_runs)
+        assert mk.tolist() == [3, 7, 7, 7, 7, 7, 9]
+        # All run-0 sevens, then run-1's, then run-2's — in-run order kept.
+        assert mv.tolist() == [10, 11, 12, 20, 30, 31, 21]
+
+    def test_slices_of_one_input_equal_global_stable_sort(self, rng):
+        # Runs = consecutive stable-sorted slices of one array; the merge
+        # must reproduce the global stable argsort exactly.
+        keys = rng.integers(0, 5, 600, dtype=np.uint64)
+        values = np.arange(600, dtype=np.uint64)
+        bounds = [0, 150, 400, 600]
+        key_runs, value_runs = [], []
+        for lo, hi in zip(bounds, bounds[1:]):
+            order = np.argsort(keys[lo:hi], kind="stable")
+            key_runs.append(keys[lo:hi][order])
+            value_runs.append(values[lo:hi][order])
+        mk, mv = kway_merge_pairs(key_runs, value_runs)
+        order = np.argsort(keys, kind="stable")
+        assert np.array_equal(mk, keys[order])
+        assert np.array_equal(mv, values[order])
+
+    def test_empty_runs_do_not_shift_tiebreak(self):
+        key_runs = [
+            np.empty(0, dtype=np.uint64),
+            np.array([1], dtype=np.uint64),
+            np.empty(0, dtype=np.uint64),
+            np.array([1], dtype=np.uint64),
+        ]
+        value_runs = [
+            np.empty(0, dtype=np.uint64),
+            np.array([100], dtype=np.uint64),
+            np.empty(0, dtype=np.uint64),
+            np.array([200], dtype=np.uint64),
+        ]
+        mk, mv = kway_merge_pairs(key_runs, value_runs)
+        assert mv.tolist() == [100, 200]

@@ -45,9 +45,12 @@ class TestExamples:
 
     def test_out_of_core(self, capsys):
         module = _load("out_of_core_sort")
+        module.external_demo(100_000)
         module.functional_demo()
         module.model_demo()
         out = capsys.readouterr().out
+        assert "spilled runs" in out
+        assert "byte-identical" in out
         assert "PARADIS" in out
         assert "without in-place replacement" in out
 

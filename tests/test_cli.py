@@ -103,3 +103,82 @@ class TestParser:
     def test_rejects_unknown_engine(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sort", "--engine", "bogus"])
+
+
+class TestGenAndSortFile:
+    def test_roundtrip_keys(self, tmp_path, capsys):
+        data = str(tmp_path / "data.bin")
+        out = str(tmp_path / "sorted.bin")
+        rc = main(
+            ["gen-file", "--output", data, "--n", "20000",
+             "--dtype", "uint32", "--distribution", "zipf"]
+        )
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+        rc = main(
+            ["sort-file", "--input", data, "--output", out,
+             "--dtype", "uint32", "--memory-budget", "20K", "--verify"]
+        )
+        stdout = capsys.readouterr().out
+        assert rc == 0
+        assert "verified        : yes" in stdout
+        assert "runs            :" in stdout
+
+    def test_roundtrip_pairs_with_workers(self, tmp_path, capsys):
+        data = str(tmp_path / "pairs.bin")
+        out = str(tmp_path / "sorted.bin")
+        assert main(
+            ["gen-file", "--output", data, "--n", "15000", "--pairs",
+             "--dtype", "uint32", "--value-dtype", "uint32"]
+        ) == 0
+        rc = main(
+            ["sort-file", "--input", data, "--output", out, "--pairs",
+             "--dtype", "uint32", "--value-dtype", "uint32",
+             "--memory-budget", "30K", "--workers", "2", "--verify"]
+        )
+        assert rc == 0
+        assert "verified        : yes" in capsys.readouterr().out
+
+    def test_float_keys(self, tmp_path, capsys):
+        data = str(tmp_path / "f.bin")
+        out = str(tmp_path / "fs.bin")
+        assert main(
+            ["gen-file", "--output", data, "--n", "10000",
+             "--dtype", "float32"]
+        ) == 0
+        rc = main(
+            ["sort-file", "--input", data, "--output", out,
+             "--dtype", "float32", "--memory-budget", "10K", "--verify"]
+        )
+        assert rc == 0
+        assert "verified        : yes" in capsys.readouterr().out
+
+    def test_memory_budget_suffixes(self):
+        from repro.cli import _parse_size
+
+        assert _parse_size("64") == 64
+        assert _parse_size("4K") == 4096
+        assert _parse_size("2M") == 2 << 20
+        assert _parse_size("1G") == 1 << 30
+        with pytest.raises(SystemExit):
+            _parse_size("lots")
+        with pytest.raises(SystemExit):
+            _parse_size("-5")
+
+    def test_missing_input_errors(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(
+                ["sort-file", "--input", str(tmp_path / "nope.bin"),
+                 "--output", str(tmp_path / "out.bin")]
+            )
+        assert "error" in str(exc.value)
+
+    def test_torn_input_errors(self, tmp_path):
+        data = tmp_path / "torn.bin"
+        data.write_bytes(b"\x00" * 6)  # not a multiple of 4
+        with pytest.raises(SystemExit) as exc:
+            main(
+                ["sort-file", "--input", str(data),
+                 "--output", str(tmp_path / "out.bin"), "--dtype", "uint32"]
+            )
+        assert "multiple" in str(exc.value)

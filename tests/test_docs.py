@@ -1,0 +1,63 @@
+"""The documentation gate, run as part of tier-1.
+
+Mirrors the CI docs job (``tools/check_docs.py``): every doctest in
+``docs/*.md`` must execute against the current API, and every relative
+link/anchor in the docs and README must resolve.  Keeping this in
+tier-1 means a refactor that breaks the paper-map table or an example
+fails locally, not just in CI.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+
+def _checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_exist():
+    assert (REPO / "docs" / "architecture.md").is_file()
+    assert (REPO / "docs" / "paper-map.md").is_file()
+
+
+def test_links_and_anchors_resolve():
+    checker = _checker()
+    errors = checker.check_links(checker.doc_files())
+    assert errors == []
+
+
+def test_doc_doctests_pass():
+    checker = _checker()
+    errors = checker.check_doctests(checker.doc_files())
+    assert errors == []
+
+
+def test_checker_catches_broken_link(tmp_path):
+    # The gate itself must fail when a link rots; otherwise the CI job
+    # is decoration.
+    checker = _checker()
+    doc = tmp_path / "broken.md"
+    doc.write_text("see [missing](does-not-exist.md) and [bad](#nope)\n")
+    errors = checker.check_links([doc])
+    assert len(errors) == 2
+    assert "broken link" in errors[0]
+    assert "missing anchor" in errors[1]
+
+
+def test_github_slugging():
+    checker = _checker()
+    assert checker.github_slug("Module map") == "module-map"
+    assert checker.github_slug("§4.6 Key Bijections!") == "46-key-bijections"
+    assert (
+        checker.github_slug("Out-of-core: sorting larger-than-memory files")
+        == "out-of-core-sorting-larger-than-memory-files"
+    )

@@ -79,3 +79,54 @@ class TestPairs:
     def test_invalid_payload(self, rng):
         with pytest.raises(ConfigurationError):
             generate_pairs(uniform_keys(10, 32, rng), 32, payload="bogus")
+
+
+class TestTypedKeys:
+    def test_matches_named_generators_for_uint32(self, rng):
+        from repro.workloads.generators import typed_keys
+
+        seed_rng = np.random.default_rng(3)
+        expected = uniform_keys(500, 32, np.random.default_rng(3))
+        got = typed_keys(500, np.uint32, "uniform", seed_rng)
+        assert np.array_equal(got, expected)
+
+    def test_float_distribution_is_honoured(self):
+        from repro.workloads.generators import typed_keys
+
+        rng = np.random.default_rng(0)
+        keys = typed_keys(2000, np.float32, "presorted", rng)
+        assert keys.dtype == np.float32
+        assert np.all(keys[:-1] <= keys[1:])
+        rev = typed_keys(2000, np.float64, "reverse", np.random.default_rng(0))
+        assert np.all(rev[:-1] >= rev[1:])
+        zipf = typed_keys(2000, np.float64, "zipf", np.random.default_rng(0))
+        # Zipfian skew survives the scaling: few distinct, many repeats.
+        assert np.unique(zipf).size < 1000
+
+    def test_floats_include_negatives(self):
+        from repro.workloads.generators import typed_keys
+
+        keys = typed_keys(1000, np.float64, "uniform", np.random.default_rng(1))
+        assert (keys < 0).any() and (keys > 0).any()
+        assert np.isfinite(keys).all()
+
+    def test_signed_ints_include_negatives(self):
+        from repro.workloads.generators import typed_keys
+
+        keys = typed_keys(1000, np.int64, "uniform", np.random.default_rng(1))
+        assert keys.dtype == np.int64
+        assert (keys < 0).any() and (keys > 0).any()
+
+    def test_narrow_unsigned(self):
+        from repro.workloads.generators import typed_keys
+
+        keys = typed_keys(1000, np.uint8, "constant", np.random.default_rng(1))
+        assert keys.dtype == np.uint8 and np.all(keys == 0)
+        uni = typed_keys(1000, np.uint16, "uniform", np.random.default_rng(1))
+        assert uni.dtype == np.uint16
+
+    def test_unknown_distribution(self):
+        from repro.workloads.generators import typed_keys
+
+        with pytest.raises(ConfigurationError):
+            typed_keys(10, np.uint32, "bogus", np.random.default_rng(0))

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Documentation gate: doctests + link/anchor checking for docs/*.md.
+
+Two checks, both run by the CI docs job and by ``tests/test_docs.py``:
+
+1. **doctest** — every ``>>>`` example in ``docs/*.md`` executes
+   against the library (``PYTHONPATH=src``), so documented snippets
+   cannot drift from the real API.
+2. **links** — every relative markdown link in ``docs/*.md`` and
+   ``README.md`` must point at an existing file (and, for ``#anchor``
+   fragments, at a real heading in the target document).  This is what
+   keeps the paper-map table from rotting silently when a module or
+   test file moves.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Exit code 0 when everything passes; a non-zero exit prints every
+failure found.
+"""
+
+from __future__ import annotations
+
+import doctest
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+#: Markdown inline links: [text](target).  Images and reference-style
+#: links are not used in this repository's docs.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def doc_files() -> list[pathlib.Path]:
+    files = sorted((REPO / "docs").glob("*.md"))
+    readme = REPO / "README.md"
+    if readme.exists():
+        files.append(readme)
+    return files
+
+
+def _rel(path: pathlib.Path) -> str:
+    """Repo-relative path for messages; absolute when outside the repo."""
+    try:
+        return str(path.relative_to(REPO))
+    except ValueError:
+        return str(path)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading text."""
+    slug = heading.strip().lower()
+    # Drop everything but word characters, spaces, and hyphens (GitHub
+    # keeps unicode word chars; ASCII suffices for these docs).
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def anchors_of(path: pathlib.Path) -> set[str]:
+    return {github_slug(m.group(1)) for m in _HEADING.finditer(path.read_text())}
+
+
+def check_links(files: list[pathlib.Path]) -> list[str]:
+    errors = []
+    for doc in files:
+        text = doc.read_text()
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                resolved = (doc.parent / path_part).resolve()
+                if not resolved.exists():
+                    errors.append(f"{_rel(doc)}: broken link {target}")
+                    continue
+            else:
+                resolved = doc
+            if fragment:
+                if resolved.is_dir() or resolved.suffix != ".md":
+                    errors.append(
+                        f"{_rel(doc)}: anchor on non-markdown "
+                        f"target {target}"
+                    )
+                elif fragment not in anchors_of(resolved):
+                    errors.append(
+                        f"{_rel(doc)}: missing anchor {target}"
+                    )
+    return errors
+
+
+def check_doctests(files: list[pathlib.Path]) -> list[str]:
+    errors = []
+    for doc in files:
+        if doc.name == "README.md":
+            # The README's snippets are illustrative shell/python blocks,
+            # not doctests; only docs/ pages carry the executable contract.
+            continue
+        results = doctest.testfile(
+            str(doc),
+            module_relative=False,
+            optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
+        )
+        if results.failed:
+            errors.append(
+                f"{_rel(doc)}: {results.failed} of "
+                f"{results.attempted} doctest(s) failed"
+            )
+    return errors
+
+
+def main() -> int:
+    files = doc_files()
+    if not any(f.parent.name == "docs" for f in files):
+        print("error: no docs/*.md files found", file=sys.stderr)
+        return 1
+    errors = check_links(files) + check_doctests(files)
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    if not errors:
+        attempted = sum(1 for f in files if f.parent.name == "docs")
+        print(f"docs ok: {len(files)} file(s) checked, {attempted} with doctests")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
