@@ -11,8 +11,6 @@ of the absence of the other".
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.bench.scaling import simulate_sort_at_scale
 from repro.core.config import SortConfig
 from repro.workloads import (

@@ -11,7 +11,6 @@ thread reduction & atomics stays near peak everywhere.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import emit_report
 from repro.bench.reporting import format_series

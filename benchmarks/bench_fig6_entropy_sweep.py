@@ -12,7 +12,6 @@ local sort, and converges to the pass-count ratio at zero entropy.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import emit_report

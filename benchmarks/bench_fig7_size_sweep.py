@@ -9,7 +9,6 @@ crossover near 1.9 M keys.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import emit_report

@@ -13,7 +13,6 @@ host.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import emit_report

@@ -12,7 +12,6 @@ Paper shapes: the heterogeneous sort is nearly distribution-agnostic
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import emit_report

@@ -8,8 +8,6 @@ of the input + auxiliary memory for the reference configuration.
 
 from __future__ import annotations
 
-import pytest
-
 from benchmarks.conftest import emit_report
 from repro.bench.reporting import format_table
 from repro.core.analytical import AnalyticalModel

@@ -7,7 +7,6 @@ the fully sorted output — from a real run of the hybrid sorter.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import emit_report
 from repro.bench.reporting import format_table

@@ -9,11 +9,9 @@ numbers.
 
 from __future__ import annotations
 
-import pytest
-
 from benchmarks.conftest import emit_report
 from repro.bench.reporting import format_table
-from repro.core.config import SortConfig, derive_table3
+from repro.core.config import derive_table3
 
 PAPER_TABLE3 = {
     "32-bit keys": (6912, 384, 18, 9216),

@@ -22,6 +22,8 @@ and :mod:`repro.workloads` the entropy/Zipf benchmark generators (§6).
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.core.adaptive import AdaptiveSorter
@@ -40,9 +42,16 @@ from repro.errors import (
 )
 from repro.gpu.device import SimulatedGPU
 from repro.gpu.spec import GPUSpec, GTX_980, TESLA_P100, TITAN_X_PASCAL
+from repro.plan import (
+    InputDescriptor,
+    Planner,
+    PlanStep,
+    SortPlan,
+    execute_plan,
+)
 from repro.types import SortResult, SortTrace, TimeBreakdown
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AdaptiveSorter",
@@ -52,10 +61,14 @@ __all__ = [
     "GPUSpec",
     "GTX_980",
     "HybridRadixSorter",
+    "InputDescriptor",
+    "PlanStep",
+    "Planner",
     "ReproError",
     "ResourceExhaustedError",
     "SimulatedGPU",
     "SortConfig",
+    "SortPlan",
     "SortResult",
     "SortTrace",
     "TESLA_P100",
@@ -65,8 +78,10 @@ __all__ = [
     "UnsupportedDtypeError",
     "decompose",
     "derive_table3",
+    "execute_plan",
     "from_sortable_bits",
     "make_records",
+    "plan_for",
     "recompose",
     "sort",
     "sort_pairs",
@@ -75,18 +90,158 @@ __all__ = [
 ]
 
 
-def sort(
-    keys: np.ndarray,
+def _describe(
+    data,
+    values: np.ndarray | None = None,
+    device: SimulatedGPU | None = None,
+    memory_budget: int | None = None,
+    workers: int | None = None,
+    config: SortConfig | None = None,
+    layout=None,
+    dtype=None,
+    value_dtype=None,
+) -> InputDescriptor:
+    """Build the planner's input descriptor for arrays or file paths."""
+    spec = device.spec if device is not None else TITAN_X_PASCAL
+    if workers is None:
+        workers = config.workers if config is not None else 1
+    if isinstance(data, (str, os.PathLike)):
+        return InputDescriptor.for_file(
+            data,
+            _resolve_layout(layout, dtype, value_dtype),
+            memory_budget=memory_budget,
+            workers=workers,
+            spec=spec,
+        )
+    return InputDescriptor.for_array(
+        np.asarray(data),
+        None if values is None else np.asarray(values),
+        memory_budget=memory_budget,
+        workers=workers,
+        spec=spec,
+    )
+
+
+def _resolve_layout(layout, dtype, value_dtype):
+    """One FileLayout from either a layout object or dtype names."""
+    from repro.external.format import FileLayout, parse_dtype
+
+    if layout is not None:
+        return layout
+    if dtype is None:
+        raise ConfigurationError(
+            "sorting a file path needs layout= or dtype= "
+            "(e.g. dtype='uint32')"
+        )
+    return FileLayout(
+        parse_dtype(np.dtype(dtype).name),
+        None
+        if value_dtype is None
+        else parse_dtype(np.dtype(value_dtype).name, value=True),
+    )
+
+
+def plan_for(
+    data,
+    values: np.ndarray | None = None,
     config: SortConfig | None = None,
     device: SimulatedGPU | None = None,
-) -> SortResult:
-    """Sort a key array with the hybrid radix sort.
+    *,
+    memory_budget: int | None = None,
+    workers: int | None = None,
+    layout=None,
+    dtype=None,
+    value_dtype=None,
+) -> SortPlan:
+    """The plan :func:`sort` would execute, without executing anything.
 
-    Accepts any dtype with an order-preserving bijection (uint32/64,
-    int32/64, float32/64).  Uses the Table 3 preset for the layout unless
-    ``config`` overrides it.
+    Accepts the same polymorphic input as :func:`sort` (array or file
+    path) and returns the :class:`~repro.plan.ir.SortPlan` — strategy,
+    steps, and predicted costs.  Planning never reads input data.
     """
-    return HybridRadixSorter(config=config, device=device).sort(keys)
+    descriptor = _describe(
+        data, values, device, memory_budget, workers, config,
+        layout, dtype, value_dtype,
+    )
+    return Planner(config=config).plan(descriptor)
+
+
+def sort(
+    data,
+    config: SortConfig | None = None,
+    device: SimulatedGPU | None = None,
+    *,
+    memory_budget: int | None = None,
+    workers: int | None = None,
+    output: str | os.PathLike | None = None,
+    layout=None,
+    dtype=None,
+    value_dtype=None,
+    pair_packing: str = "auto",
+    spool_dir: str | os.PathLike | None = None,
+):
+    """Sort an array or a flat binary file — plan, then execute.
+
+    Every call routes through :class:`~repro.plan.planner.Planner`:
+
+    * a NumPy array of any dtype with an order-preserving bijection
+      runs the in-memory hybrid sort (§4) and returns a
+      :class:`~repro.types.SortResult` whose ``meta["plan"]`` records
+      the executed plan;
+    * an array with a ``memory_budget`` it does not fit runs the §5
+      chunked pipeline (chunk sorts + k-way merge, bit-identical
+      output);
+    * a file path (``str``/``PathLike``; describe the records with
+      ``layout=`` or ``dtype=``/``value_dtype=``) spills sorted runs
+      and merges them into ``output=``, returning the
+      :class:`~repro.external.ExternalSortReport`.
+
+    ``workers=`` fans disjoint work across host threads; the output is
+    byte-identical for any worker count.
+    """
+    if isinstance(data, (str, os.PathLike)):
+        if output is None:
+            raise ConfigurationError("sorting a file path needs output=")
+        if config is not None:
+            # The external engine derives its slice configuration from
+            # the file layout; a caller config would be silently dropped.
+            raise ConfigurationError(
+                "config= does not apply to file-path inputs; use "
+                "memory_budget=, workers=, and pair_packing= instead"
+            )
+        file_layout = _resolve_layout(layout, dtype, value_dtype)
+        descriptor = _describe(
+            data, None, device, memory_budget, workers, config,
+            layout=file_layout,
+        )
+        return execute_plan(
+            Planner(config=config).plan(descriptor),
+            output_path=output,
+            pair_packing=pair_packing,
+            spool_dir=spool_dir,
+            layout=file_layout,
+        )
+    # File-only kwargs on an array input would be silently dead (no
+    # output file would ever be written) — refuse loudly instead.
+    file_only = {
+        "output": output, "layout": layout, "dtype": dtype,
+        "value_dtype": value_dtype, "spool_dir": spool_dir,
+    }
+    if pair_packing != "auto":
+        file_only["pair_packing"] = pair_packing
+    stray = [name for name, value in file_only.items() if value is not None]
+    if stray:
+        raise ConfigurationError(
+            f"{', '.join(stray)}= only apply to file-path inputs; "
+            f"got an in-memory array"
+        )
+    descriptor = _describe(data, None, device, memory_budget, workers, config)
+    return execute_plan(
+        Planner(config=config).plan(descriptor),
+        keys=np.asarray(data),
+        config=config,
+        device=device,
+    )
 
 
 def sort_pairs(
@@ -94,18 +249,39 @@ def sort_pairs(
     values: np.ndarray,
     config: SortConfig | None = None,
     device: SimulatedGPU | None = None,
+    *,
+    memory_budget: int | None = None,
+    workers: int | None = None,
 ) -> SortResult:
-    """Sort decomposed key-value pairs (§4.6)."""
-    return HybridRadixSorter(config=config, device=device).sort(keys, values)
+    """Sort decomposed key-value pairs (§4.6) through the planner."""
+    keys = np.asarray(keys)
+    values = np.asarray(values)
+    descriptor = _describe(
+        keys, values, device, memory_budget, workers, config
+    )
+    plan = Planner(config=config).plan(descriptor)
+    return execute_plan(
+        plan, keys=keys, values=values, config=config, device=device
+    )
 
 
 def sort_records(
     records: np.ndarray,
     config: SortConfig | None = None,
     device: SimulatedGPU | None = None,
+    *,
+    memory_budget: int | None = None,
+    workers: int | None = None,
 ) -> SortResult:
     """Sort coherent key-value records: decompose, sort, recompose."""
     keys, values = decompose(records)
-    result = sort_pairs(keys, values, config=config, device=device)
+    result = sort_pairs(
+        keys,
+        values,
+        config=config,
+        device=device,
+        memory_budget=memory_budget,
+        workers=workers,
+    )
     result.meta["records"] = recompose(result.keys, result.values)
     return result

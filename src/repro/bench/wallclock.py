@@ -149,7 +149,7 @@ def _run_external_case(
     values: np.ndarray | None,
     repeats: int,
     workers: int,
-) -> tuple[float, bool]:
+) -> tuple[float, bool, dict | None]:
     """Time the spill-to-disk sorter over a real temporary file.
 
     The clock covers the full out-of-core pipeline — run production
@@ -165,6 +165,7 @@ def _run_external_case(
     total_bytes = keys.size * layout.record_bytes
     budget = max(layout.record_bytes * 64, total_bytes // 4)
     best = float("inf")
+    plan_summary = None
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
         inp = os.path.join(tmp, "input.bin")
         out = os.path.join(tmp, "output.bin")
@@ -172,14 +173,27 @@ def _run_external_case(
         sorter = ExternalSorter(memory_budget=budget, workers=workers)
         for _ in range(max(1, repeats)):
             t0 = time.perf_counter()
-            sorter.sort_file(inp, out, layout)
+            report = sorter.sort_file(inp, out, layout)
             best = min(best, time.perf_counter() - t0)
+        plan_summary = _plan_summary(report.plan)
         records = read_records(out, layout)
         out_keys, out_values = layout.to_columns(records)
         ok = _verified(
             SimpleNamespace(keys=out_keys, values=out_values), keys, values
         )
-    return best, ok
+    return best, ok, plan_summary
+
+
+def _plan_summary(plan) -> dict | None:
+    """Compact JSON record of an executed/predicted sort plan."""
+    if plan is None:
+        return None
+    return {
+        "strategy": plan.strategy,
+        "engine": plan.engine,
+        "steps": [step.kind for step in plan.steps],
+        "predicted_seconds": plan.predicted_seconds,
+    }
 
 
 def run_case(
@@ -201,11 +215,20 @@ def run_case(
     rng = np.random.default_rng(seed)
     keys, values = case.make_input(n, rng)
     if case.engine == "external":
-        best, ok = _run_external_case(case, keys, values, repeats, workers)
+        best, ok, plan_summary = _run_external_case(
+            case, keys, values, repeats, workers
+        )
     else:
+        from repro.plan import InputDescriptor, Planner
+
         config = replace(
             SortConfig.for_layout(case.key_bits, case.value_bits),
             workers=workers,
+        )
+        plan_summary = _plan_summary(
+            Planner(config=config).plan(
+                InputDescriptor.for_array(keys, values, workers=workers)
+            )
         )
         sorter = HybridRadixSorter(config=config)
         warm = max(1024, n // 16)
@@ -228,6 +251,7 @@ def run_case(
         "seconds": best,
         "mkeys_per_s": round(n / best / 1e6, 3),
         "sorted_ok": ok,
+        "plan": plan_summary,
     }
 
 

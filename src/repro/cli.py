@@ -5,6 +5,9 @@ Commands
 ``sort``
     Generate a workload, sort it with a chosen engine, verify, and
     print the trace/timing summary.
+``plan``
+    Explain the sort plan the planner would choose — strategy, steps,
+    predicted cost — without generating or sorting any data.
 ``info``
     Show the simulated device, the Table 3 presets, and the §4.5
     analytical bounds for a given input size.
@@ -23,6 +26,8 @@ Commands
 Examples::
 
     python -m repro sort --n 1000000 --distribution zipf --pairs
+    python -m repro plan --n 500000000 --pairs --memory-budget 2G
+    python -m repro plan --input data.bin --dtype uint32 --memory-budget 8M
     python -m repro info --n 500000000
     python -m repro sweep --key-bits 64 --target 250000000
     python -m repro bench-wallclock --quick
@@ -72,8 +77,8 @@ ENGINES = {
 
 def _make_keys(args) -> np.ndarray:
     rng = np.random.default_rng(args.seed)
-    dtype = np.uint32 if args.key_bits == 32 else np.uint64
-    return typed_keys(args.n, dtype, args.distribution, rng)
+    layout = layout_from_args(args)
+    return typed_keys(args.n, layout.key_dtype, args.distribution, rng)
 
 
 def cmd_sort(args) -> int:
@@ -92,22 +97,38 @@ def cmd_sort(args) -> int:
             f"engine; ignored for {args.engine!r}",
             file=sys.stderr,
         )
-    sorter = ENGINES[args.engine]()
-    if args.engine == "hybrid" and tuned:
-        config = replace(
-            SortConfig.for_layout(
-                args.key_bits, args.key_bits if args.pairs else 0
-            ),
-            workers=args.workers,
-            pair_packing=args.packing,
-        )
-        sorter = HybridRadixSorter(config=config)
     try:
-        result = sorter.sort(keys, values) if args.pairs else sorter.sort(keys)
+        if args.engine in ("hybrid", "adaptive"):
+            # The planner-routed engines: plan, then execute.
+            import repro
+
+            config = None
+            if args.engine == "hybrid" and tuned:
+                config = replace(
+                    SortConfig.for_layout(
+                        args.key_bits, args.key_bits if args.pairs else 0
+                    ),
+                    workers=args.workers,
+                    pair_packing=args.packing,
+                )
+            if args.engine == "adaptive":
+                result = AdaptiveSorter().sort(keys, values)
+            elif args.pairs:
+                result = repro.sort_pairs(keys, values, config=config)
+            else:
+                result = repro.sort(keys, config=config)
+        else:
+            sorter = ENGINES[args.engine]()
+            result = (
+                sorter.sort(keys, values) if args.pairs else sorter.sort(keys)
+            )
     except ConfigurationError as exc:
         raise SystemExit(f"error: {exc}")
     ok = bool(np.all(result.keys[:-1] <= result.keys[1:]))
     print(f"engine          : {args.engine}")
+    plan = result.meta.get("plan")
+    if plan is not None:
+        print(f"plan            : {plan.summary()}")
     print(f"records         : {keys.size:,} ({args.distribution})")
     print(f"sorted          : {'yes' if ok else 'NO'}")
     if result.trace is not None:
@@ -178,6 +199,72 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+#: Dtype names the data-handling verbs accept (one definition; every
+#: verb registers its flags through :func:`add_layout_args`).
+DTYPE_CHOICES = (
+    "uint8", "uint16", "uint32", "uint64",
+    "int32", "int64", "float32", "float64",
+)
+
+
+def add_layout_args(
+    parser, *, bits_style: bool = False, value_dtype: bool = True
+) -> None:
+    """Register the dtype/layout flags shared by the data verbs.
+
+    One definition for ``sort`` (``--key-bits`` style), ``gen-file``,
+    ``sort-file``, and ``plan`` (``--dtype`` style) — previously each
+    verb copy-pasted its own set.
+    """
+    if bits_style:
+        parser.add_argument(
+            "--key-bits", type=int, choices=(32, 64), default=32
+        )
+    else:
+        parser.add_argument(
+            "--dtype", choices=DTYPE_CHOICES, default="uint32",
+            help="key dtype of the record layout",
+        )
+    parser.add_argument(
+        "--pairs",
+        action="store_true",
+        help="key-value records instead of keys only",
+    )
+    if value_dtype:
+        parser.add_argument(
+            "--value-dtype",
+            choices=DTYPE_CHOICES,
+            default="uint32",
+            help="payload dtype of the pairs layout",
+        )
+
+
+def layout_from_args(args):
+    """Resolve the FileLayout an invocation's flags describe.
+
+    Handles both flag styles :func:`add_layout_args` registers: the
+    file verbs' ``--dtype``/``--value-dtype`` names and the ``sort``
+    verb's ``--key-bits`` (pairs there carry key-width values).
+    """
+    from repro.errors import UnsupportedDtypeError
+    from repro.external import FileLayout, parse_dtype
+
+    key_name = getattr(args, "dtype", None)
+    if key_name is None:
+        key_name = "uint32" if args.key_bits == 32 else "uint64"
+    value_name = getattr(args, "value_dtype", key_name)
+    try:
+        key_dtype = parse_dtype(key_name)
+        value_dtype = (
+            parse_dtype(value_name, value=True)
+            if getattr(args, "pairs", False)
+            else None
+        )
+    except UnsupportedDtypeError as exc:
+        raise SystemExit(f"error: {exc}")
+    return FileLayout(key_dtype, value_dtype)
+
+
 def _parse_size(text: str) -> int:
     """Parse a byte count with optional binary suffix (``64M``, ``2G``)."""
     text = text.strip()
@@ -198,27 +285,12 @@ def _parse_size(text: str) -> int:
     return value * multiplier
 
 
-def _file_layout(args):
-    """Build the FileLayout a gen-file/sort-file invocation describes."""
-    from repro.errors import UnsupportedDtypeError
-    from repro.external import FileLayout, parse_dtype
-
-    try:
-        key_dtype = parse_dtype(args.dtype)
-        value_dtype = (
-            parse_dtype(args.value_dtype, value=True) if args.pairs else None
-        )
-    except UnsupportedDtypeError as exc:
-        raise SystemExit(f"error: {exc}")
-    return FileLayout(key_dtype, value_dtype)
-
-
 def cmd_gen_file(args) -> int:
     from repro.errors import ConfigurationError
     from repro.external import write_records
     from repro.workloads import generate_pairs, typed_keys
 
-    layout = _file_layout(args)
+    layout = layout_from_args(args)
     rng = np.random.default_rng(args.seed)
     try:
         keys = typed_keys(args.n, layout.key_dtype, args.distribution, rng)
@@ -281,7 +353,7 @@ def cmd_sort_file(args) -> int:
     from repro.errors import ReproError
     from repro.external import ExternalSorter
 
-    layout = _file_layout(args)
+    layout = layout_from_args(args)
     budget = _parse_size(args.memory_budget)
     try:
         sorter = ExternalSorter(
@@ -298,6 +370,8 @@ def cmd_sort_file(args) -> int:
         raise SystemExit(f"error: {exc}")
     total = n_records * layout.record_bytes
     print(f"input           : {args.input} ({layout.describe()})")
+    if report.plan is not None:
+        print(f"plan            : {report.plan.summary()}")
     print(f"records         : {report.n_records:,} ({total / 1e6:.1f} MB)")
     print(f"memory budget   : {budget:,} B")
     print(
@@ -315,6 +389,41 @@ def cmd_sort_file(args) -> int:
         ok = _verify_sorted_file(args.input, args.output, layout)
         print(f"verified        : {'yes' if ok else 'NO'}")
         return 0 if ok else 1
+    return 0
+
+
+def cmd_plan(args) -> int:
+    """Explain the planner's choice without generating or sorting data."""
+    from repro.errors import ReproError
+    from repro.plan import InputDescriptor, Planner
+
+    budget = (
+        _parse_size(args.memory_budget) if args.memory_budget else None
+    )
+    layout = layout_from_args(args)
+    try:
+        if args.input is not None:
+            descriptor = InputDescriptor.for_file(
+                args.input,
+                layout,
+                memory_budget=budget,
+                workers=args.workers,
+            )
+        else:
+            descriptor = InputDescriptor(
+                n=args.n,
+                key_dtype=layout.key_dtype,
+                value_dtype=layout.value_dtype,
+                source="array",
+                memory_budget=budget,
+                workers=args.workers,
+            )
+        plan = Planner(adaptive=args.adaptive).plan(descriptor)
+    except FileNotFoundError as exc:
+        raise SystemExit(f"error: {exc}")
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}")
+    print(plan.explain())
     return 0
 
 
@@ -341,7 +450,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sort = sub.add_parser("sort", help="sort a generated workload")
     p_sort.add_argument("--n", type=int, default=1 << 20)
-    p_sort.add_argument("--key-bits", type=int, choices=(32, 64), default=32)
+    add_layout_args(p_sort, bits_style=True, value_dtype=False)
     p_sort.add_argument(
         "--distribution",
         default="uniform",
@@ -349,7 +458,6 @@ def build_parser() -> argparse.ArgumentParser:
         + [f"and{i}" for i in range(1, 11)],
     )
     p_sort.add_argument("--engine", choices=sorted(ENGINES), default="hybrid")
-    p_sort.add_argument("--pairs", action="store_true")
     p_sort.add_argument("--seed", type=int, default=0)
     p_sort.add_argument(
         "--workers",
@@ -377,33 +485,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--seed", type=int, default=0)
     p_sweep.set_defaults(func=cmd_sweep)
 
-    dtype_choices = (
-        "uint8", "uint16", "uint32", "uint64",
-        "int32", "int64", "float32", "float64",
+    p_plan = sub.add_parser(
+        "plan",
+        help="explain the chosen sort plan without executing it",
     )
+    p_plan.add_argument(
+        "--input",
+        default=None,
+        help="flat binary file to plan for "
+        "(omit to describe an in-memory array of --n records)",
+    )
+    p_plan.add_argument(
+        "--n",
+        type=int,
+        default=1 << 23,
+        help="record count of the in-memory array (ignored with --input)",
+    )
+    add_layout_args(p_plan)
+    p_plan.add_argument(
+        "--memory-budget",
+        default=None,
+        help="resident-byte budget (K/M/G suffixes; default: unlimited "
+        "for arrays, 256M for files)",
+    )
+    p_plan.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="host threads the plan may fan work across",
+    )
+    p_plan.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="apply the §6.1 small-input fallback policy",
+    )
+    p_plan.set_defaults(func=cmd_plan)
 
     p_gen = sub.add_parser(
         "gen-file", help="write a flat binary workload file"
     )
     p_gen.add_argument("--output", required=True, help="file to write")
     p_gen.add_argument("--n", type=int, default=1 << 22)
-    p_gen.add_argument("--dtype", choices=dtype_choices, default="uint32")
+    add_layout_args(p_gen)
     p_gen.add_argument(
         "--distribution",
         default="uniform",
         choices=["uniform", "zipf", "constant", "presorted", "reverse",
                  "staircase"] + [f"and{i}" for i in range(1, 11)],
-    )
-    p_gen.add_argument(
-        "--pairs",
-        action="store_true",
-        help="write interleaved (key, value) records",
-    )
-    p_gen.add_argument(
-        "--value-dtype",
-        choices=dtype_choices,
-        default="uint32",
-        help="payload dtype of the pairs layout",
     )
     p_gen.add_argument(
         "--payload",
@@ -420,11 +548,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sf.add_argument("--input", required=True)
     p_sf.add_argument("--output", required=True)
-    p_sf.add_argument("--dtype", choices=dtype_choices, default="uint32")
-    p_sf.add_argument("--pairs", action="store_true")
-    p_sf.add_argument(
-        "--value-dtype", choices=dtype_choices, default="uint32"
-    )
+    add_layout_args(p_sf)
     p_sf.add_argument(
         "--memory-budget",
         default="256M",

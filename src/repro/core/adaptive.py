@@ -8,11 +8,12 @@ function parameter, we could easily default to CUB's sorting algorithm
 using a simple case distinction for small inputs that fall short of
 these thresholds."
 
-:class:`AdaptiveSorter` implements exactly that: inputs below the
-worst-case crossover go to the LSD baseline, everything else to the
-hybrid sort.  The thresholds default to the paper's measured crossovers
-and can be recalibrated for other devices with
-:func:`calibrate_crossover`.
+:class:`AdaptiveSorter` implements exactly that, as a thin facade over
+the shared planner: the case distinction itself lives in
+:class:`repro.plan.planner.Planner` (``adaptive=True``), this class
+plans each input and dispatches the plan through the executor registry.
+The thresholds default to the paper's measured crossovers and can be
+recalibrated for other devices with :func:`calibrate_crossover`.
 """
 
 from __future__ import annotations
@@ -21,10 +22,14 @@ import numpy as np
 
 from repro.baselines.cub import CubRadixSort
 from repro.core.config import SortConfig
-from repro.core.hybrid_sort import HybridRadixSorter
-from repro.cost.model import CostModel
-from repro.errors import ConfigurationError
 from repro.gpu.spec import GPUSpec, TITAN_X_PASCAL
+from repro.plan.descriptor import InputDescriptor
+from repro.plan.executors import execute_plan
+from repro.plan.planner import (
+    PAPER_CROSSOVER_KEYS,
+    PAPER_CROSSOVER_PAIRS,
+    Planner,
+)
 from repro.types import SortResult
 
 __all__ = [
@@ -33,12 +38,6 @@ __all__ = [
     "PAPER_CROSSOVER_PAIRS",
     "calibrate_crossover",
 ]
-
-#: §6.1: the hybrid sort wins beyond 1.9 M keys on any distribution.
-PAPER_CROSSOVER_KEYS = 1_900_000
-
-#: §6.1: ... and beyond 1.6 M key-value pairs.
-PAPER_CROSSOVER_PAIRS = 1_600_000
 
 
 class AdaptiveSorter:
@@ -60,30 +59,40 @@ class AdaptiveSorter:
         config: SortConfig | None = None,
         spec: GPUSpec = TITAN_X_PASCAL,
     ) -> None:
-        if key_crossover < 0 or pair_crossover < 0:
-            raise ConfigurationError("crossovers must be non-negative")
-        self.key_crossover = key_crossover
-        self.pair_crossover = pair_crossover
-        self._hybrid = HybridRadixSorter(config=config)
-        self._fallback = CubRadixSort("1.5.1", spec=spec)
+        self.planner = Planner(
+            config=config,
+            adaptive=True,
+            key_crossover=key_crossover,
+            pair_crossover=pair_crossover,
+        )
+        self.spec = spec
+        self._config = config
+
+    @property
+    def key_crossover(self) -> int:
+        return self.planner.key_crossover
+
+    @property
+    def pair_crossover(self) -> int:
+        return self.planner.pair_crossover
 
     def chooses_hybrid(self, n: int, has_values: bool) -> bool:
-        """The case distinction itself (exposed for tests/inspection)."""
-        threshold = self.pair_crossover if has_values else self.key_crossover
-        return n >= threshold
+        """The case distinction itself (delegated to the planner)."""
+        return self.planner.chooses_hybrid(n, has_values)
 
     def sort(
         self, keys: np.ndarray, values: np.ndarray | None = None
     ) -> SortResult:
-        """Dispatch on input size, then sort."""
+        """Plan (dispatching on input size), then execute the plan."""
         keys = np.asarray(keys)
-        if self.chooses_hybrid(int(keys.size), values is not None):
-            result = self._hybrid.sort(keys, values)
-            result.meta["engine"] = "hybrid"
-        else:
-            result = self._fallback.sort(keys, values)
-            result.meta["engine"] = "cub-fallback"
-        return result
+        descriptor = InputDescriptor.for_array(
+            keys,
+            values,
+            workers=1 if self._config is None else self._config.workers,
+            spec=self.spec,
+        )
+        plan = self.planner.plan(descriptor)
+        return execute_plan(plan, keys=keys, values=values, config=self._config)
 
 
 def calibrate_crossover(
@@ -103,7 +112,6 @@ def calibrate_crossover(
     """
     from repro.bench.scaling import simulate_sort_at_scale
 
-    model = CostModel(spec)
     fallback = CubRadixSort("1.5.1", spec=spec)
     key_bytes = sample_keys.dtype.itemsize
     for n in candidates:

@@ -24,11 +24,11 @@ The merge threshold ∂ defaults to the §4.5 example value (3 000 for
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.core.digits import DigitGeometry
 from repro.errors import ConfigurationError
-from repro.gpu.occupancy import BlockResources, OccupancyResult, occupancy
+from repro.gpu.occupancy import BlockResources, occupancy
 from repro.gpu.spec import GPUSpec, TITAN_X_PASCAL
 
 __all__ = ["SortConfig", "derive_table3", "TABLE3_PRESETS"]

@@ -117,21 +117,15 @@ class RunWriter:
     def _slice_config(self) -> SortConfig:
         """Table 3 preset for the layout, widened for narrow dtypes.
 
-        The paper tunes 32/64-bit layouts; the narrow pedagogical key
-        dtypes (uint8/uint16) borrow the 32-bit preset's geometry with
-        their true bit width, which the digit machinery handles
-        natively.
+        Delegates the widening to
+        :func:`repro.plan.planner.layout_preset` — the same definition
+        the planner prices with, so predicted and executed geometry
+        cannot diverge.
         """
-        key_bits = self.layout.key_bits
-        value_bits = self.layout.value_bits
-        preset = SortConfig.for_layout(
-            32 if key_bits <= 32 else 64,
-            0 if value_bits == 0 else (32 if value_bits <= 32 else 64),
-        )
+        from repro.plan.planner import layout_preset
+
         return replace(
-            preset,
-            key_bits=key_bits,
-            value_bits=value_bits,
+            layout_preset(self.layout.key_bits, self.layout.value_bits),
             pair_packing=self.pair_packing,
             workers=1,
         )

@@ -32,7 +32,7 @@ from dataclasses import dataclass
 from repro.errors import ConfigurationError
 from repro.external.format import FileLayout
 from repro.external.merge import merge_runs
-from repro.external.runs import RunPlan, RunWriter, plan_runs
+from repro.external.runs import RunPlan, RunWriter
 from repro.parallel import get_context
 
 __all__ = ["ExternalSortReport", "ExternalSorter", "DEFAULT_MEMORY_BUDGET"]
@@ -53,7 +53,8 @@ class ExternalSortReport:
     """What one :meth:`ExternalSorter.sort_file` call did.
 
     ``run_seconds``/``merge_seconds`` are wall-clock phase timings
-    (real I/O + compute, not simulated device time).
+    (real I/O + compute, not simulated device time).  ``plan`` is the
+    :class:`~repro.plan.ir.SortPlan` the sort executed.
     """
 
     n_records: int
@@ -64,6 +65,7 @@ class ExternalSortReport:
     workers: int
     run_seconds: float
     merge_seconds: float
+    plan: object | None = None
 
     @property
     def total_bytes(self) -> int:
@@ -99,6 +101,11 @@ class ExternalSorter:
     workers:
         Host threads run production fans across (merge is a single
         streaming pass).  Output is byte-identical for any value.
+        Slice boundaries never depend on the worker count (that is
+        what keeps the output worker-independent), so up to
+        ``workers`` budget-sized slices are resident at once — peak
+        memory during run production approaches
+        ``memory_budget × workers``; size the budget per worker.
     pair_packing:
         Pair engine policy for the in-RAM slice sorts, and — for
         ``"fused"`` — the merge comparator (ties order by value bits
@@ -133,8 +140,26 @@ class ExternalSorter:
     # ------------------------------------------------------------------
     def plan(self, input_path: str | os.PathLike, layout: FileLayout) -> RunPlan:
         """The run plan :meth:`sort_file` would execute for this input."""
-        n_records = layout.records_in(input_path)
-        return plan_runs(n_records, layout.record_bytes, self.memory_budget)
+        return self.sort_plan(input_path, layout).run_plan
+
+    def sort_plan(self, input_path: str | os.PathLike, layout: FileLayout):
+        """The full :class:`~repro.plan.ir.SortPlan` for this input.
+
+        Planning goes through the shared
+        :class:`~repro.plan.planner.Planner` — the same code path every
+        other engine plans with — and never reads the file's data (only
+        its size).
+        """
+        from repro.plan.descriptor import InputDescriptor
+        from repro.plan.planner import Planner
+
+        descriptor = InputDescriptor.for_file(
+            input_path,
+            layout,
+            memory_budget=self.memory_budget,
+            workers=self.workers,
+        )
+        return Planner().plan(descriptor)
 
     def _block_records(self, plan: RunPlan, record_bytes: int) -> int:
         """Merge-phase block size: budget split over k runs + output."""
@@ -153,9 +178,29 @@ class ExternalSorter:
     ) -> ExternalSortReport:
         """Sort ``input_path`` into ``output_path`` (ascending, stable).
 
-        The input file is read-only; the output file is created or
-        truncated.  Peak resident memory tracks ``memory_budget``, not
-        the file size.
+        Plan-then-execute: :meth:`sort_plan` chooses the run layout
+        through the shared planner, :meth:`execute_plan` spills and
+        merges.  The input file is read-only; the output file is
+        created or truncated.  Peak resident memory tracks
+        ``memory_budget`` (times ``workers`` during parallel run
+        production — see the class docstring), not the file size.
+        """
+        sort_plan = self.sort_plan(input_path, layout)
+        return self.execute_plan(sort_plan, input_path, output_path, layout)
+
+    def execute_plan(
+        self,
+        sort_plan,
+        input_path: str | os.PathLike,
+        output_path: str | os.PathLike,
+        layout: FileLayout,
+    ) -> ExternalSortReport:
+        """Execute a planned ``spill-runs`` + ``kway-merge`` strategy.
+
+        The executor half of the plan/execute split: run boundaries
+        come from the plan alone, so whoever planned (this sorter, the
+        ``repro.sort`` facade, the registry) the output file is
+        byte-identical.
         """
         input_path = os.fspath(input_path)
         output_path = os.fspath(output_path)
@@ -164,11 +209,12 @@ class ExternalSorter:
                 "in-place external sort is not supported; "
                 "give a distinct output path"
             )
-        plan = self.plan(input_path, layout)
+        plan = sort_plan.run_plan
         if plan.n_records == 0:
             open(output_path, "wb").close()
             return ExternalSortReport(
-                0, layout.record_bytes, 0, 0, 0, self.workers, 0.0, 0.0
+                0, layout.record_bytes, 0, 0, 0, self.workers, 0.0, 0.0,
+                plan=sort_plan,
             )
 
         owns_spool = self.spool_dir is None
@@ -215,4 +261,5 @@ class ExternalSorter:
             workers=self.workers,
             run_seconds=t1 - t0,
             merge_seconds=t2 - t1,
+            plan=sort_plan,
         )

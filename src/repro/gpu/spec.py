@@ -9,7 +9,7 @@ all times are seconds, so arithmetic stays unit-consistent throughout.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 

@@ -81,7 +81,42 @@ class HeterogeneousSorter:
         values: np.ndarray | None = None,
         n_chunks: int | None = None,
     ) -> HeteroOutcome:
-        """Chunk, sort each chunk on the simulated GPU, merge on the CPU."""
+        """Chunk, sort each chunk on the simulated GPU, merge on the CPU.
+
+        Plan-then-execute: the §5 chunk sizing is delegated to the
+        shared :class:`repro.plan.planner.Planner` (the one budget code
+        path), and :meth:`run_plan` executes the resulting plan (and
+        carries the input validation both entry points share).
+        """
+        keys = np.asarray(keys)
+        if keys.ndim != 1 or keys.size == 0:
+            raise ConfigurationError("keys must be a non-empty 1-D array")
+        from repro.plan.descriptor import InputDescriptor
+        from repro.plan.planner import Planner
+
+        descriptor = InputDescriptor.for_array(keys, values, spec=self.spec)
+        planner = Planner(
+            config=self.config,
+            in_place_replacement=self.in_place_replacement,
+        )
+        sort_plan = planner.plan_chunked(
+            descriptor, n_chunks=4 if n_chunks is None else n_chunks
+        )
+        return self.run_plan(sort_plan, keys, values)
+
+    def run_plan(
+        self,
+        sort_plan,
+        keys: np.ndarray,
+        values: np.ndarray | None = None,
+    ) -> HeteroOutcome:
+        """Execute a planned ``chunked-pipeline`` + ``kway-merge``.
+
+        The executor half of the plan/execute split: chunk boundaries
+        come from the plan's :class:`~repro.hetero.chunking.ChunkPlan`
+        alone, so whoever planned (this sorter, the ``repro.sort``
+        facade, a service layer) the output is identical.
+        """
         keys = np.asarray(keys)
         if keys.ndim != 1 or keys.size == 0:
             raise ConfigurationError("keys must be a non-empty 1-D array")
@@ -90,14 +125,7 @@ class HeterogeneousSorter:
         record_bytes = keys.dtype.itemsize + (
             values.dtype.itemsize if values is not None else 0
         )
-        if n_chunks is None:
-            n_chunks = 4
-        plan = plan_chunks(
-            keys.size * record_bytes,
-            n_chunks=n_chunks,
-            spec=self.spec,
-            in_place_replacement=self.in_place_replacement,
-        )
+        plan = sort_plan.chunk_plan
         bounds = np.linspace(0, keys.size, plan.n_chunks + 1).astype(np.int64)
         key_runs: list[np.ndarray] = []
         value_runs: list[np.ndarray] = []
@@ -133,6 +161,7 @@ class HeterogeneousSorter:
             merge_seconds=merge_seconds,
             keys=merged_keys,
             values=merged_values,
+            meta={"plan": sort_plan},
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,177 @@
+"""Executor registry: plans → engines.
+
+The planner describes work; this module maps a
+:class:`~repro.plan.ir.SortPlan`'s strategy onto the engine that
+performs it.  Each executor is a plain callable
+``fn(plan, **io) -> SortResult | ExternalSortReport`` registered under
+the plan's strategy name, so new engines (a sharded service, a cached
+backend) plug in without touching the planner or the facades.
+
+Every stock executor drives the *existing* engine unchanged — the plan
+only decides which engine runs and with what sizing — which is what
+keeps the planner refactor bit-identical to the pre-planner behaviour
+(the oracle property tests in ``tests/plan/`` pin this).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.plan.ir import SortPlan
+from repro.types import SortResult
+
+__all__ = ["ExecutorRegistry", "DEFAULT_REGISTRY", "execute_plan"]
+
+
+class ExecutorRegistry:
+    """Maps plan strategies onto engine-driving callables."""
+
+    def __init__(self) -> None:
+        self._executors: dict[str, Callable] = {}
+
+    def register(self, strategy: str, fn: Callable) -> None:
+        self._executors[strategy] = fn
+
+    def executor_for(self, strategy: str) -> Callable:
+        try:
+            return self._executors[strategy]
+        except KeyError:
+            raise ConfigurationError(
+                f"no executor registered for strategy {strategy!r}; "
+                f"known: {', '.join(sorted(self._executors))}"
+            ) from None
+
+    def strategies(self) -> tuple[str, ...]:
+        return tuple(sorted(self._executors))
+
+    def execute(self, plan: SortPlan, **io):
+        """Run a plan through its strategy's engine."""
+        return self.executor_for(plan.strategy)(plan, **io)
+
+
+# ----------------------------------------------------------------------
+# Stock executors
+# ----------------------------------------------------------------------
+def _merged_config(plan: SortPlan, config):
+    """Fold the descriptor's worker count into the engine config.
+
+    The descriptor's ``workers`` is the resolved request (an explicit
+    ``workers=`` kwarg, or the config's own count) and always wins —
+    including an explicit ``workers=1`` overriding a threaded config.
+    """
+    from dataclasses import replace
+
+    from repro.plan.planner import layout_preset
+
+    desc = plan.descriptor
+    if config is not None:
+        if config.workers != desc.workers:
+            return replace(config, workers=desc.workers)
+        return config
+    if desc.workers == 1:
+        return None
+    return replace(
+        layout_preset(desc.key_bits, desc.value_bits), workers=desc.workers
+    )
+
+
+def _execute_hybrid(
+    plan: SortPlan,
+    keys: np.ndarray,
+    values: np.ndarray | None = None,
+    config=None,
+    device=None,
+    **_: object,
+) -> SortResult:
+    from repro.core.hybrid_sort import HybridRadixSorter
+
+    sorter = HybridRadixSorter(
+        config=_merged_config(plan, config), device=device
+    )
+    result = sorter.sort(keys, values)
+    result.meta["engine"] = "hybrid"
+    result.meta["plan"] = plan
+    return result
+
+
+def _execute_fallback(
+    plan: SortPlan,
+    keys: np.ndarray,
+    values: np.ndarray | None = None,
+    **_: object,
+) -> SortResult:
+    from repro.baselines.cub import CubRadixSort
+
+    result = CubRadixSort("1.5.1", spec=plan.descriptor.spec).sort(
+        keys, values
+    )
+    result.meta["engine"] = "cub-fallback"
+    result.meta["plan"] = plan
+    return result
+
+
+def _execute_hetero(
+    plan: SortPlan,
+    keys: np.ndarray,
+    values: np.ndarray | None = None,
+    config=None,
+    **_: object,
+) -> SortResult:
+    from repro.hetero.sorter import HeterogeneousSorter
+
+    sorter = HeterogeneousSorter(
+        spec=plan.descriptor.spec,
+        in_place_replacement=plan.chunk_plan.in_place_replacement,
+        config=_merged_config(plan, config),
+    )
+    outcome = sorter.run_plan(plan, keys, values)
+    result = SortResult(
+        keys=outcome.keys,
+        values=outcome.values,
+        simulated_seconds=outcome.total_seconds,
+        meta={"engine": "hetero", "plan": plan, "outcome": outcome},
+    )
+    return result
+
+
+def _execute_external(
+    plan: SortPlan,
+    output_path=None,
+    pair_packing: str = "auto",
+    spool_dir=None,
+    layout=None,
+    **_: object,
+):
+    from repro.external.format import FileLayout
+    from repro.external.sorter import DEFAULT_MEMORY_BUDGET, ExternalSorter
+
+    desc = plan.descriptor
+    if output_path is None:
+        raise ConfigurationError(
+            "executing a file plan needs an output_path"
+        )
+    if layout is None:
+        layout = FileLayout(desc.key_dtype, desc.value_dtype)
+    sorter = ExternalSorter(
+        memory_budget=desc.memory_budget or DEFAULT_MEMORY_BUDGET,
+        workers=desc.workers,
+        pair_packing=pair_packing,
+        spool_dir=spool_dir,
+    )
+    return sorter.execute_plan(plan, desc.path, output_path, layout)
+
+
+#: The registry the facades use.  Extend it to plug in new engines.
+DEFAULT_REGISTRY = ExecutorRegistry()
+DEFAULT_REGISTRY.register("hybrid", _execute_hybrid)
+DEFAULT_REGISTRY.register("fallback", _execute_fallback)
+DEFAULT_REGISTRY.register("hetero", _execute_hetero)
+DEFAULT_REGISTRY.register("external", _execute_external)
+
+
+def execute_plan(plan: SortPlan, registry: ExecutorRegistry | None = None, **io):
+    """Run ``plan`` through ``registry`` (the default one if omitted)."""
+    return (registry or DEFAULT_REGISTRY).execute(plan, **io)

@@ -1,0 +1,400 @@
+"""The planner: one strategy decision for every engine in the repo.
+
+Before this layer existed, each engine re-derived the paper's
+plan-before-sorting decision privately: ``AdaptiveSorter`` owned the
+§6.1 small-input crossover, ``HeterogeneousSorter`` and
+``ExternalSorter`` each invoked the §5 budget accounting
+(:func:`repro.hetero.chunking.plan_chunks` /
+:func:`repro.external.runs.plan_runs`) on their own, and the
+``repro.sort()`` facade knew exactly one engine.  :class:`Planner`
+absorbs all of those decisions into a single code path that maps an
+:class:`~repro.plan.descriptor.InputDescriptor` to a
+:class:`~repro.plan.ir.SortPlan`:
+
+* **file inputs** spill memory-budgeted runs and k-way merge them
+  (the out-of-core realisation of §5, executed by ``ExternalSorter``);
+* **arrays that exceed the memory budget** run the §5 chunked pipeline
+  (three-buffer in-place replacement accounting, Figure 5);
+* **small arrays under an adaptive policy** fall back to the LSD
+  baseline (§6.1's case distinction — the crossover constants live
+  here and ``AdaptiveSorter`` delegates to them);
+* **everything else** is one in-memory hybrid MSD sort (§4), planned
+  as a single ``local-sort`` step when the whole input fits one
+  on-chip sort.
+
+Planning never touches input data: every decision is a function of the
+descriptor alone, so plans are deterministic, cheap, and serialisable.
+Cost annotations come from the existing models —
+:class:`~repro.core.analytical.AnalyticalModel` pass counts, the LSD
+baseline's :class:`~repro.cost.model.LSDCostPreset` pricing, the §5
+pipeline simulation, and :class:`~repro.hetero.merge.CpuMergeModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.analytical import AnalyticalModel
+from repro.core.config import SortConfig
+from repro.errors import ConfigurationError
+from repro.gpu.pcie import PCIeLink
+from repro.hetero.chunking import max_chunk_bytes, plan_chunks
+from repro.hetero.merge import CpuMergeModel
+from repro.hetero.pipeline import simulate_pipeline
+from repro.plan.descriptor import InputDescriptor
+from repro.plan.ir import PlanStep, SortPlan
+
+__all__ = [
+    "Planner",
+    "PAPER_CROSSOVER_KEYS",
+    "PAPER_CROSSOVER_PAIRS",
+    "HOST_DISK_BANDWIDTH",
+]
+
+#: §6.1: the hybrid sort wins beyond 1.9 M keys on any distribution.
+PAPER_CROSSOVER_KEYS = 1_900_000
+
+#: §6.1: ... and beyond 1.6 M key-value pairs.
+PAPER_CROSSOVER_PAIRS = 1_600_000
+
+#: Nominal host storage bandwidth (bytes/s) used to annotate the I/O
+#: halves of spill/merge steps.  A round SSD-class figure — the
+#: annotation exists so ``repro plan`` can rank strategies, not to
+#: predict a specific machine's wall-clock.
+HOST_DISK_BANDWIDTH = 1.0e9
+
+
+def layout_preset(key_bits: int, value_bits: int) -> SortConfig:
+    """The Table 3 preset for a layout, widened for narrow dtypes.
+
+    Narrow pedagogical key dtypes (uint8/uint16 files) borrow the
+    32-bit preset's geometry with their true bit width — the same
+    widening :class:`repro.external.runs.RunWriter` applies.  One
+    definition, shared by the planner's pricing config and the
+    executors' engine config, so the two can never disagree.
+    """
+    preset = SortConfig.for_layout(
+        32 if key_bits <= 32 else 64,
+        0 if value_bits == 0 else (32 if value_bits <= 32 else 64),
+    )
+    if preset.key_bits == key_bits and preset.value_bits == value_bits:
+        return preset
+    return replace(preset, key_bits=key_bits, value_bits=value_bits)
+
+
+class Planner:
+    """Maps an :class:`InputDescriptor` to an executable :class:`SortPlan`.
+
+    Parameters
+    ----------
+    config:
+        Optional :class:`~repro.core.config.SortConfig` override for
+        the in-memory engine; the Table 3 preset for the layout
+        otherwise.
+    adaptive:
+        Apply the §6.1 small-input case distinction (what
+        :class:`~repro.core.adaptive.AdaptiveSorter` enables).  Off by
+        default so the plain facade reproduces the classic hybrid
+        behaviour bit for bit.
+    key_crossover / pair_crossover:
+        The adaptive thresholds; defaults are the paper's measured
+        worst-case crossovers.
+    in_place_replacement:
+        Chunk-buffer accounting for budgeted plans: three buffers with
+        the Figure 5 layout, four without.
+    """
+
+    def __init__(
+        self,
+        config: SortConfig | None = None,
+        adaptive: bool = False,
+        key_crossover: int = PAPER_CROSSOVER_KEYS,
+        pair_crossover: int = PAPER_CROSSOVER_PAIRS,
+        in_place_replacement: bool = True,
+    ) -> None:
+        if key_crossover < 0 or pair_crossover < 0:
+            raise ConfigurationError("crossovers must be non-negative")
+        self.config = config
+        self.adaptive = adaptive
+        self.key_crossover = key_crossover
+        self.pair_crossover = pair_crossover
+        self.in_place_replacement = in_place_replacement
+
+    # ------------------------------------------------------------------
+    # The strategy decision
+    # ------------------------------------------------------------------
+    def chooses_hybrid(self, n: int, has_values: bool) -> bool:
+        """§6.1's case distinction (the logic AdaptiveSorter delegates to)."""
+        threshold = self.pair_crossover if has_values else self.key_crossover
+        return n >= threshold
+
+    def fits_in_memory(self, descriptor: InputDescriptor) -> bool:
+        """Whether the input plus its double buffer fits the budget.
+
+        Uses the same three-buffer accounting the chunk planner applies
+        (:func:`repro.hetero.chunking.max_chunk_bytes`), so "fits" here
+        and "one chunk" there are the same statement.
+        """
+        if descriptor.memory_budget is None:
+            return True
+        limit = max_chunk_bytes(
+            in_place_replacement=self.in_place_replacement,
+            budget_bytes=descriptor.memory_budget,
+        )
+        return descriptor.total_bytes <= limit
+
+    def plan(self, descriptor: InputDescriptor) -> SortPlan:
+        """Choose the strategy and lay out the steps for one input."""
+        if descriptor.source == "file":
+            return self.plan_external(descriptor)
+        if not self.fits_in_memory(descriptor):
+            return self.plan_chunked(descriptor)
+        if self.adaptive and not self.chooses_hybrid(
+            descriptor.n, descriptor.has_values
+        ):
+            return self._plan_fallback(descriptor)
+        return self._plan_hybrid(descriptor)
+
+    # ------------------------------------------------------------------
+    # Strategy planners
+    # ------------------------------------------------------------------
+    def _plan_hybrid(self, descriptor: InputDescriptor) -> SortPlan:
+        config = self._config_for(descriptor)
+        n = descriptor.n
+        total = descriptor.total_bytes
+        if n <= config.local_threshold:
+            step = PlanStep(
+                kind="local-sort",
+                params={"n": n, "capacity": config.local_threshold},
+                predicted_seconds=self._stream_seconds(descriptor, 2 * total),
+                bytes_moved=2 * total,
+            )
+            reason = (
+                f"{n:,} records fit one local sort "
+                f"(∂̂ = {config.local_threshold:,})"
+            )
+        else:
+            step = self._msd_step(descriptor, config, n)
+            reason = (
+                f"{n:,} records exceed the local-sort threshold; "
+                f"in-memory hybrid MSD sort"
+            )
+        return SortPlan(
+            descriptor=descriptor,
+            strategy="hybrid",
+            engine="HybridRadixSorter",
+            steps=(step,),
+            reason=reason,
+        )
+
+    def _plan_fallback(self, descriptor: InputDescriptor) -> SortPlan:
+        from repro.baselines.cub import CubRadixSort
+
+        fallback = CubRadixSort("1.5.1", spec=descriptor.spec)
+        key_bytes = descriptor.key_dtype.itemsize
+        value_bytes = (
+            0
+            if descriptor.value_dtype is None
+            else descriptor.value_dtype.itemsize
+        )
+        passes = fallback.preset.passes_for(descriptor.key_bits)
+        step = PlanStep(
+            kind="lsd-fallback",
+            params={"n": descriptor.n, "passes": passes,
+                    "baseline": fallback.preset.name},
+            predicted_seconds=fallback.simulated_seconds(
+                descriptor.n, key_bytes, value_bytes
+            ),
+            bytes_moved=3 * passes * descriptor.total_bytes,
+        )
+        threshold = (
+            self.pair_crossover
+            if descriptor.has_values
+            else self.key_crossover
+        )
+        return SortPlan(
+            descriptor=descriptor,
+            strategy="fallback",
+            engine="CubRadixSort",
+            steps=(step,),
+            reason=(
+                f"{descriptor.n:,} records fall short of the §6.1 "
+                f"crossover ({threshold:,}); LSD baseline wins"
+            ),
+        )
+
+    def plan_chunked(
+        self, descriptor: InputDescriptor, n_chunks: int | None = None
+    ) -> SortPlan:
+        """The §5 chunked-pipeline strategy (budget or device memory).
+
+        With ``memory_budget`` set on the descriptor, chunks are planned
+        against that budget; otherwise against the device memory of the
+        descriptor's spec — the single code path that used to live
+        separately in ``HeterogeneousSorter.sort``.
+        """
+        if descriptor.n == 0:
+            raise ConfigurationError("cannot plan chunks for an empty input")
+        config = self._config_for(descriptor)
+        chunk_plan = plan_chunks(
+            descriptor.total_bytes,
+            n_chunks=n_chunks,
+            spec=descriptor.spec,
+            in_place_replacement=self.in_place_replacement,
+            budget_bytes=descriptor.memory_budget,
+        )
+        link = PCIeLink.for_spec(descriptor.spec)
+        record_bytes = descriptor.record_bytes
+        upload, sorting, download = [], [], []
+        for chunk_bytes in chunk_plan.chunk_sizes:
+            chunk_records = max(1, chunk_bytes // record_bytes)
+            upload.append(link.transfer_time(chunk_bytes))
+            sorting.append(
+                self._msd_step(descriptor, config, chunk_records)
+                .predicted_seconds
+            )
+            download.append(link.transfer_time(chunk_bytes))
+        schedule = simulate_pipeline(
+            upload, sorting, download, self.in_place_replacement
+        )
+        pipeline_step = PlanStep(
+            kind="chunked-pipeline",
+            params={
+                "n_chunks": chunk_plan.n_chunks,
+                "chunk_bytes": chunk_plan.chunk_bytes,
+                "in_place_replacement": chunk_plan.in_place_replacement,
+                "chunk_plan": chunk_plan,
+            },
+            predicted_seconds=schedule.makespan,
+            bytes_moved=2 * descriptor.total_bytes,
+        )
+        merge_step = PlanStep(
+            kind="kway-merge",
+            params={"n_runs": chunk_plan.n_chunks, "where": "host"},
+            predicted_seconds=CpuMergeModel().merge_seconds(
+                total_bytes=descriptor.total_bytes,
+                n_runs=chunk_plan.n_chunks,
+                record_bytes=record_bytes,
+            ),
+            bytes_moved=2 * descriptor.total_bytes,
+        )
+        budgeted = descriptor.memory_budget is not None
+        return SortPlan(
+            descriptor=descriptor,
+            strategy="hetero",
+            engine="HeterogeneousSorter",
+            steps=(pipeline_step, merge_step),
+            reason=(
+                f"input exceeds the "
+                f"{'memory budget' if budgeted else 'device memory'}; "
+                f"{chunk_plan.n_chunks} pipelined chunks + host merge"
+            ),
+        )
+
+    def plan_external(self, descriptor: InputDescriptor) -> SortPlan:
+        """The spill-to-disk strategy for file inputs.
+
+        Run sizing delegates to :func:`repro.external.runs.plan_runs`
+        — which itself prices the three-buffer accounting through
+        :func:`repro.hetero.chunking.plan_chunks` — so the external and
+        chunked strategies share one budget code path.
+        """
+        from repro.external.runs import plan_runs
+        from repro.external.sorter import DEFAULT_MEMORY_BUDGET
+
+        budget = descriptor.memory_budget or DEFAULT_MEMORY_BUDGET
+        config = self._config_for(descriptor)
+        run_plan = plan_runs(descriptor.n, descriptor.record_bytes, budget)
+        total = descriptor.total_bytes
+        disk_seconds = 2 * total / HOST_DISK_BANDWIDTH
+        # Every run but the last is run_records long, so price one full
+        # run and the tail instead of O(n_runs) model evaluations.
+        if run_plan.n_runs == 0:
+            sort_seconds = 0.0
+        else:
+            tail_records = run_plan.bounds[-1] - run_plan.bounds[-2]
+            full_seconds = self._msd_step(
+                descriptor, config, max(1, run_plan.run_records)
+            ).predicted_seconds
+            tail_seconds = self._msd_step(
+                descriptor, config, max(1, tail_records)
+            ).predicted_seconds
+            sort_seconds = (
+                full_seconds * (run_plan.n_runs - 1) + tail_seconds
+            )
+        runs_step = PlanStep(
+            kind="spill-runs",
+            params={
+                "n_runs": run_plan.n_runs,
+                "run_records": run_plan.run_records,
+                "memory_budget": budget,
+                "workers": descriptor.workers,
+                "run_plan": run_plan,
+            },
+            predicted_seconds=disk_seconds + sort_seconds,
+            bytes_moved=2 * total,
+        )
+        merge_step = PlanStep(
+            kind="kway-merge",
+            params={"n_runs": run_plan.n_runs, "where": "streaming disk"},
+            predicted_seconds=(
+                2 * total / HOST_DISK_BANDWIDTH
+                + CpuMergeModel().merge_seconds(
+                    total_bytes=total,
+                    n_runs=max(1, run_plan.n_runs),
+                    record_bytes=descriptor.record_bytes,
+                )
+            ),
+            bytes_moved=2 * total,
+        )
+        return SortPlan(
+            descriptor=descriptor,
+            strategy="external",
+            engine="ExternalSorter",
+            steps=(runs_step, merge_step),
+            reason=(
+                f"on-disk input; {run_plan.n_runs} memory-budgeted "
+                f"run(s) of ≤ {run_plan.run_records:,} records, then a "
+                f"streaming merge"
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Pricing helpers
+    # ------------------------------------------------------------------
+    def _config_for(self, descriptor: InputDescriptor) -> SortConfig:
+        """Resolve the sizing/pricing configuration for a layout."""
+        if self.config is not None:
+            return self.config
+        return layout_preset(descriptor.key_bits, descriptor.value_bits)
+
+    def _stream_seconds(
+        self, descriptor: InputDescriptor, bytes_moved: int
+    ) -> float:
+        return bytes_moved / descriptor.spec.effective_bandwidth
+
+    def _msd_step(
+        self, descriptor: InputDescriptor, config: SortConfig, n: int
+    ) -> PlanStep:
+        """Price ``n`` records through the hybrid MSD engine.
+
+        Pass counts come from the §4.5 analytical model's uniform
+        estimate; each counting pass reads the input for the histogram
+        and reads + writes it for the scatter (3× traffic), and the
+        finishing local sorts read and write it once more.
+        """
+        model = AnalyticalModel(config)
+        passes = max(1, model.expected_counting_passes_uniform(max(1, n)))
+        record_bytes = descriptor.record_bytes
+        bytes_moved = (3 * passes + 2) * n * record_bytes
+        return PlanStep(
+            kind="hybrid-msd",
+            params={
+                "n": n,
+                "expected_passes": passes,
+                "local_threshold": config.local_threshold,
+                "merge_threshold": config.merge_threshold,
+            },
+            predicted_seconds=self._stream_seconds(descriptor, bytes_moved),
+            bytes_moved=bytes_moved,
+        )

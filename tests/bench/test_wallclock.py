@@ -74,6 +74,9 @@ class TestHarness:
         assert record["mkeys_per_s"] > 0
         assert record["n"] == 4096
         assert record["workers"] == 1
+        assert record["plan"]["strategy"] == "hybrid"
+        # 4096 keys fit under the Table 3 local threshold (∂̂ = 9216).
+        assert record["plan"]["steps"] == ["local-sort"]
 
     def test_run_case_verifies_pair_permutation(self):
         record = run_case(
@@ -139,3 +142,5 @@ class TestExternalCases:
         assert record["sorted_ok"]
         assert record["engine"] == "external"
         assert record["seconds"] > 0
+        assert record["plan"]["strategy"] == "external"
+        assert record["plan"]["steps"] == ["spill-runs", "kway-merge"]

@@ -61,6 +61,34 @@ class TestDispatch:
             AdaptiveSorter(key_crossover=-1)
 
 
+class TestPlannerDispatch:
+    """The §6.1 case distinction now lives in the shared planner."""
+
+    def test_chooses_hybrid_delegates_to_planner(self):
+        sorter = AdaptiveSorter(key_crossover=500, pair_crossover=700)
+        for n in (0, 499, 500, 501, 699, 700, 10_000):
+            assert sorter.chooses_hybrid(n, False) == sorter.planner.chooses_hybrid(n, False)
+            assert sorter.chooses_hybrid(n, True) == sorter.planner.chooses_hybrid(n, True)
+            assert sorter.chooses_hybrid(n, False) == (n >= 500)
+            assert sorter.chooses_hybrid(n, True) == (n >= 700)
+
+    def test_sort_records_the_plan(self, rng):
+        keys = uniform_keys(2_000, 32, rng)
+        result = AdaptiveSorter(key_crossover=1_000).sort(keys)
+        plan = result.meta["plan"]
+        assert plan.strategy == "hybrid"
+        assert plan.descriptor.n == 2_000
+
+    def test_crossover_constants_reexported(self):
+        from repro.plan import (
+            PAPER_CROSSOVER_KEYS as planner_keys,
+            PAPER_CROSSOVER_PAIRS as planner_pairs,
+        )
+
+        assert PAPER_CROSSOVER_KEYS == planner_keys
+        assert PAPER_CROSSOVER_PAIRS == planner_pairs
+
+
 class TestCalibration:
     def test_worst_case_crossover_near_paper(self):
         # A constant distribution recovers the ~1.9 M-key region.
@@ -74,3 +102,13 @@ class TestCalibration:
         crossover_uniform = calibrate_crossover(keys)
         crossover_worst = calibrate_crossover(constant_keys(1 << 18, 64))
         assert crossover_uniform <= crossover_worst
+
+    def test_smoke_small_candidates(self, rng):
+        # Quick smoke: custom candidate ladder, pairs payload priced in.
+        keys = uniform_keys(1 << 14, 32, rng)
+        crossover = calibrate_crossover(
+            keys,
+            value_bytes=4,
+            candidates=(1 << 14, 1 << 16, 1 << 18),
+        )
+        assert crossover in (1 << 14, 1 << 16, 1 << 18)

@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.config import SortConfig
 from repro.core.hybrid_sort import HybridRadixSorter
 from repro.errors import ConfigurationError
 from repro.gpu.device import SimulatedGPU

@@ -8,7 +8,6 @@ so the first two MSD digits are exactly the example's two radix-4 digits.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.config import SortConfig
 from repro.core.hybrid_sort import HybridRadixSorter

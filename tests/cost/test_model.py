@@ -2,12 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.config import SortConfig
-from repro.core.hybrid_sort import HybridRadixSorter
-from repro.cost.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.cost.model import CostModel, LSDCostPreset, MergeSortCostPreset
 from repro.types import BlockStats, CountingPassTrace, SortTrace
 from repro.workloads import constant_keys, uniform_keys

@@ -8,7 +8,6 @@ hardware (§2.2 motivates exactly this bandwidth-driven reasoning).
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.bench.scaling import simulate_sort_at_scale

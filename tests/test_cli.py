@@ -57,6 +57,68 @@ class TestSortCommand:
             assert "sorted          : yes" in capsys.readouterr().out
 
 
+class TestPlanCommand:
+    def test_array_plan_explains_without_executing(self, capsys):
+        rc = main(["plan", "--n", "1000000"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "strategy        : hybrid" in out
+        assert "hybrid-msd" in out
+        assert "predicted total" in out
+
+    def test_budgeted_plan_chooses_chunked_pipeline(self, capsys):
+        rc = main(["plan", "--n", "8000000", "--memory-budget", "4M"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "strategy        : hetero" in out
+        assert "chunked-pipeline" in out
+
+    def test_adaptive_plan_falls_back_below_crossover(self, capsys):
+        rc = main(["plan", "--n", "100000", "--adaptive"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "strategy        : fallback" in out
+
+    def test_file_plan(self, tmp_path, capsys):
+        data = str(tmp_path / "data.bin")
+        assert main(
+            ["gen-file", "--output", data, "--n", "20000",
+             "--dtype", "uint32"]
+        ) == 0
+        capsys.readouterr()
+        rc = main(
+            ["plan", "--input", data, "--dtype", "uint32",
+             "--memory-budget", "20K", "--workers", "2"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "strategy        : external" in out
+        assert "spill-runs" in out
+        assert "kway-merge" in out
+
+    def test_missing_file_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["plan", "--input", str(tmp_path / "nope.bin")])
+
+    def test_plan_line_in_sort_output(self, capsys):
+        rc = main(["sort", "--n", "20000"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "plan            : hybrid" in out
+
+    def test_plan_line_in_sort_file_output(self, tmp_path, capsys):
+        data = str(tmp_path / "d.bin")
+        out_path = str(tmp_path / "s.bin")
+        assert main(["gen-file", "--output", data, "--n", "9000"]) == 0
+        rc = main(
+            ["sort-file", "--input", data, "--output", out_path,
+             "--memory-budget", "12K"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "plan            : external (spill-runs, kway-merge)" in out
+
+
 class TestBenchWallclockCommand:
     def test_cases_and_workers_flags(self, capsys, tmp_path, monkeypatch):
         import json
