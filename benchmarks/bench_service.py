@@ -1,0 +1,23 @@
+"""Standalone entry point for the sort-service throughput benchmark.
+
+Measures sustained requests/s and p50/p95 latency of
+:class:`repro.service.SortService` under closed-loop concurrent
+clients, with micro-batching on and off, verifying every response
+byte-identical to a direct ``repro.sort()``::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--quick]
+
+It writes ``BENCH_service.json`` (see ``--output``); the committed copy
+at the repository root pins the small-request-mix batching speed-up.
+The implementation lives in :mod:`repro.bench.service`; the CLI
+subcommand ``python -m repro bench-service`` runs the same harness.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.service import main
+
+if __name__ == "__main__":
+    sys.exit(main())

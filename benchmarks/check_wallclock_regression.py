@@ -15,6 +15,12 @@ machines differ from the machine that produced the baseline), so the
 threshold is a coarse bit-rot tripwire — catching "the fast path
 stopped dispatching" (integer-factor slowdowns), not single-digit
 percentage noise.
+
+A requested case missing from *either* report fails the gate (exit 1)
+with a message naming the report and the cases it does contain — a
+skipped case would otherwise pass green while guarding nothing.
+``--cases-from-baseline`` checks every case the baseline records (the
+nightly full-suite gate).
 """
 
 from __future__ import annotations
@@ -41,23 +47,51 @@ def main(argv: list[str] | None = None) -> int:
         help="case name to check (repeatable; default: pairs32-uniform)",
     )
     parser.add_argument(
+        "--cases-from-baseline",
+        action="store_true",
+        help="check every case the baseline report contains "
+        "(what the nightly full-suite gate uses)",
+    )
+    parser.add_argument(
         "--max-regression",
         type=float,
         default=0.2,
         help="tolerated fractional drop below baseline (default 0.2)",
     )
     args = parser.parse_args(argv)
-    cases = args.case or ["pairs32-uniform"]
 
     baseline = load_rates(args.baseline)
     current = load_rates(args.current)
+    if args.cases_from_baseline:
+        # Union with any explicit --case flags (never silently drop an
+        # explicitly requested case).
+        cases = sorted(set(baseline) | set(args.case or ()))
+    else:
+        cases = args.case or ["pairs32-uniform"]
+    if not cases:
+        # An empty case list would pass green while guarding nothing.
+        print(
+            f"FAIL: no cases to check — baseline report {args.baseline} "
+            f"contains no results"
+        )
+        return 1
     failed = False
+    # A case missing from either report is a hard failure: a silently
+    # skipped gate would report green while guarding nothing (a renamed
+    # or dropped case must update the gate's invocation explicitly).
     for name in cases:
         if name not in baseline:
-            print(f"SKIP {name}: not in baseline")
+            print(
+                f"FAIL {name}: missing from baseline report "
+                f"{args.baseline} (known: {', '.join(sorted(baseline))})"
+            )
+            failed = True
             continue
         if name not in current:
-            print(f"FAIL {name}: missing from current report")
+            print(
+                f"FAIL {name}: missing from current report "
+                f"{args.current} (known: {', '.join(sorted(current))})"
+            )
             failed = True
             continue
         floor = baseline[name] * (1.0 - args.max_regression)

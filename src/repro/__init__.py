@@ -70,6 +70,7 @@ __all__ = [
     "SortConfig",
     "SortPlan",
     "SortResult",
+    "SortService",
     "SortTrace",
     "TESLA_P100",
     "TITAN_X_PASCAL",
@@ -88,6 +89,19 @@ __all__ = [
     "sort_records",
     "to_sortable_bits",
 ]
+
+
+def __getattr__(name: str):
+    """Lazy re-exports (PEP 562) that keep ``import repro`` light.
+
+    The service layer pulls in asyncio machinery most library users
+    never touch; it loads on first attribute access instead.
+    """
+    if name == "SortService":
+        from repro.service import SortService
+
+        return SortService
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _describe(

@@ -1,0 +1,343 @@
+"""Closed-loop throughput benchmark of the sort service.
+
+The wall-clock harness (:mod:`repro.bench.wallclock`) measures how fast
+one caller can sort one array; this harness measures the thing the
+service layer exists for: sustained requests/s and tail latency under
+*concurrent* load.  ``clients`` coroutines each run a closed loop —
+submit, await, repeat — drawing request sizes round-robin from a named
+mix, against one shared :class:`~repro.service.SortService`.  Every mix
+runs twice, micro-batching on and off, so the report quantifies exactly
+what coalescing buys; the headline number is
+``batching_speedup_small_mix`` — the requests/s ratio on the
+small-request mix, the regime micro-batching targets (the committed
+``BENCH_service.json`` pins it at ≥ 2×).
+
+Every response is verified byte-identical against a direct
+``repro.sort()`` / ``repro.sort_pairs()`` of the same input —
+concurrency must never change bytes — and, as with the wall-clock
+harness, a report containing an unverified case is never written.
+
+Entry points: ``python -m repro bench-service`` and
+``python benchmarks/bench_service.py`` (what CI smoke-runs with
+``--quick``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import sys
+import time
+
+import numpy as np
+
+import repro
+from repro.bench.wallclock import check_output_writable
+from repro.service import SortService
+from repro.service.stats import ServiceStats
+
+__all__ = ["MIXES", "run_mix", "run_suite", "add_bench_service_args", "main"]
+
+#: Request-size mixes (records per request, cycled round-robin).  The
+#: ``small`` mix is the micro-batching regime — every request is far
+#: below the batching threshold; ``mixed`` adds mid-size and large
+#: requests so admission interleaving and the direct path stay on the
+#: clock next to the batches.
+MIXES: dict[str, tuple[int, ...]] = {
+    "small": (512, 1024, 2048, 4096),
+    "mixed": (1024, 4096, 65_536, 262_144),
+}
+
+#: Closed-loop clients keep ~that many requests in flight, so client
+#: count sets the coalition size the scheduler's drain cycle can see —
+#: the batching speed-up grows with it (≈2× at 16 in-flight, higher at
+#: 32).  Quick mode trades clients for CI wall-time headroom.
+DEFAULT_CLIENTS = 32
+DEFAULT_REQUESTS = 40
+QUICK_CLIENTS = 16
+QUICK_REQUESTS = 8
+
+
+def _client_inputs(
+    mix: tuple[int, ...], client: int, seed: int, pairs_every: int = 3
+) -> list[tuple[np.ndarray, np.ndarray | None]]:
+    """One input per size in the mix, distinct per client.
+
+    Every ``pairs_every``-th entry is a key-value request so both
+    layouts ride in every run; inputs are generated once and resubmitted
+    each loop iteration (re-sorting the same payload is exactly what a
+    cache-less service sees from repeat tenants).
+    """
+    rng = np.random.default_rng(seed + 7919 * client)
+    inputs = []
+    for i, n in enumerate(mix):
+        keys = rng.integers(0, 2**32, n, dtype=np.uint64).astype(np.uint32)
+        if i % pairs_every == pairs_every - 1:
+            values = np.arange(n, dtype=np.uint32)
+            inputs.append((keys, values))
+        else:
+            inputs.append((keys, None))
+    return inputs
+
+
+def _expected_bytes(inputs_by_client) -> dict:
+    """Direct-sort reference bytes for every (client, slot) input."""
+    expected = {}
+    for client, inputs in enumerate(inputs_by_client):
+        for slot, (keys, values) in enumerate(inputs):
+            if values is None:
+                expected[(client, slot)] = (bytes(repro.sort(keys).keys), None)
+            else:
+                ref = repro.sort_pairs(keys, values)
+                expected[(client, slot)] = (bytes(ref.keys), bytes(ref.values))
+    return expected
+
+
+async def _run_mix_async(
+    mix_name: str,
+    micro_batching: bool,
+    clients: int,
+    requests_per_client: int,
+    seed: int,
+    service_kwargs: dict,
+) -> dict:
+    mix = MIXES[mix_name]
+    inputs_by_client = [
+        _client_inputs(mix, client, seed) for client in range(clients)
+    ]
+    # Reference bytes are computed up front (outside the clock) so
+    # EVERY response — not just the last per input — is checked.
+    expected = _expected_bytes(inputs_by_client)
+    latencies: list[float] = []
+    mismatches = 0
+
+    async with SortService(
+        micro_batching=micro_batching, **service_kwargs
+    ) as service:
+
+        async def client_loop(client: int) -> None:
+            nonlocal mismatches
+            inputs = inputs_by_client[client]
+            for i in range(requests_per_client):
+                slot = i % len(inputs)
+                keys, values = inputs[slot]
+                t0 = time.perf_counter()
+                result = await service.submit(keys, values)
+                latencies.append(time.perf_counter() - t0)
+                got = (
+                    bytes(result.keys),
+                    None if result.values is None else bytes(result.values),
+                )
+                if got != expected[(client, slot)]:
+                    mismatches += 1
+
+        async def warm_lap(client: int) -> None:
+            for keys, values in inputs_by_client[client]:
+                await service.submit(keys, values)
+
+        # One untimed lap primes the thread pool, allocator, scratch
+        # pools, and plan cache — the steady state a service lives in.
+        # Its stats are then reset so the recorded counters (batches,
+        # cache hits, peak bytes) describe only the timed window.
+        await asyncio.gather(*(warm_lap(c) for c in range(clients)))
+        service.stats = ServiceStats()
+        service.admission.peak_in_flight = service.admission.in_flight
+        t0 = time.perf_counter()
+        await asyncio.gather(
+            *(client_loop(client) for client in range(clients))
+        )
+        wall = time.perf_counter() - t0
+
+    total_requests = clients * requests_per_client
+    total_records = sum(
+        inputs_by_client[client][i % len(mix)][0].size
+        for client in range(clients)
+        for i in range(requests_per_client)
+    )
+    lat_ms = np.sort(np.array(latencies)) * 1e3
+    stats = service.stats
+    return {
+        "mix": mix_name,
+        "sizes": list(mix),
+        "micro_batching": micro_batching,
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "requests": total_requests,
+        "records": total_records,
+        "wall_seconds": wall,
+        "requests_per_s": round(total_requests / wall, 2),
+        "mkeys_per_s": round(total_records / wall / 1e6, 3),
+        "p50_ms": round(float(np.percentile(lat_ms, 50)), 3),
+        "p95_ms": round(float(np.percentile(lat_ms, 95)), 3),
+        "batches": stats.batches,
+        "batched_requests": stats.batched_requests,
+        "max_batch_size": stats.max_batch_size,
+        "plan_cache_hits": stats.plan_cache_hits,
+        "peak_in_flight_bytes": stats.peak_in_flight_bytes,
+        "verified": mismatches == 0,
+    }
+
+
+def run_mix(
+    mix_name: str,
+    micro_batching: bool,
+    clients: int = DEFAULT_CLIENTS,
+    requests_per_client: int = DEFAULT_REQUESTS,
+    seed: int = 20170514,
+    **service_kwargs,
+) -> dict:
+    """Measure one (mix, batching mode) combination; JSON-ready record."""
+    return asyncio.run(
+        _run_mix_async(
+            mix_name,
+            micro_batching,
+            clients,
+            requests_per_client,
+            seed,
+            service_kwargs,
+        )
+    )
+
+
+def run_suite(
+    mixes=tuple(MIXES),
+    clients: int = DEFAULT_CLIENTS,
+    requests_per_client: int = DEFAULT_REQUESTS,
+    seed: int = 20170514,
+    echo=None,
+) -> dict:
+    """Every mix × {batching on, off}; returns the full report."""
+    # One discarded mini-run warms process-level costs (imports, numpy
+    # kernel dispatch, thread-pool spin-up) that would otherwise tax
+    # only the first recorded combination.
+    run_mix(next(iter(mixes)), True, clients=4, requests_per_client=2, seed=seed)
+    results = []
+    for mix_name in mixes:
+        for micro_batching in (True, False):
+            record = run_mix(
+                mix_name,
+                micro_batching,
+                clients=clients,
+                requests_per_client=requests_per_client,
+                seed=seed,
+            )
+            results.append(record)
+            if echo is not None:
+                mode = "batching" if micro_batching else "unbatched"
+                echo(
+                    f"{mix_name:6s} {mode:9s} {record['requests_per_s']:9.1f}"
+                    f" req/s  p50 {record['p50_ms']:7.2f} ms  p95 "
+                    f"{record['p95_ms']:7.2f} ms"
+                    f"{'' if record['verified'] else '  NOT VERIFIED'}"
+                )
+    by_mode = {
+        (r["mix"], r["micro_batching"]): r["requests_per_s"] for r in results
+    }
+    speedup = None
+    if ("small", True) in by_mode and ("small", False) in by_mode:
+        speedup = round(by_mode[("small", True)] / by_mode[("small", False)], 2)
+    return {
+        "schema": 1,
+        "benchmark": "sort-service closed-loop throughput",
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "seed": seed,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "results": results,
+        "batching_speedup_small_mix": speedup,
+    }
+
+
+def write_report(report: dict, path: str) -> None:
+    """Persist a report — refusing one with an unverified case."""
+    broken = [
+        f"{r['mix']}/{'on' if r['micro_batching'] else 'off'}"
+        for r in report.get("results", ())
+        if not r["verified"]
+    ]
+    if broken:
+        raise ValueError(
+            "refusing to write a report with failed verification: "
+            + ", ".join(broken)
+        )
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+
+def execute(args, echo=print) -> int:
+    """Entry-point body shared by the CLI verb and the script."""
+    check_output_writable(args.output)
+    clients, requests = args.clients, args.requests
+    if args.quick:
+        clients, requests = QUICK_CLIENTS, QUICK_REQUESTS
+    mixes = tuple(MIXES) if not args.mixes else tuple(
+        name.strip() for name in args.mixes.split(",") if name.strip()
+    )
+    unknown = [name for name in mixes if name not in MIXES]
+    if unknown:
+        raise SystemExit(
+            f"error: unknown mix(es) {', '.join(unknown)}; "
+            f"known: {', '.join(MIXES)}"
+        )
+    report = run_suite(
+        mixes,
+        clients=clients,
+        requests_per_client=requests,
+        seed=args.seed,
+        echo=echo,
+    )
+    if not all(r["verified"] for r in report["results"]):
+        echo("error: a run failed byte-identity verification; no report written")
+        return 1
+    write_report(report, args.output)
+    if report["batching_speedup_small_mix"] is not None:
+        echo(
+            f"small-mix batching speed-up: "
+            f"{report['batching_speedup_small_mix']:.2f}x"
+        )
+    echo(f"wrote {args.output}")
+    return 0
+
+
+def add_bench_service_args(parser: argparse.ArgumentParser) -> None:
+    """Options shared by ``repro bench-service`` and the script."""
+    parser.add_argument("--clients", type=int, default=DEFAULT_CLIENTS)
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=DEFAULT_REQUESTS,
+        help="closed-loop requests per client (default 40)",
+    )
+    parser.add_argument(
+        "--mixes",
+        default=None,
+        help=f"comma-separated mix names (default: all of {', '.join(MIXES)})",
+    )
+    parser.add_argument("--seed", type=int, default=20170514)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"CI smoke mode: {QUICK_CLIENTS} clients x "
+        f"{QUICK_REQUESTS} requests",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_service.json",
+        help="report path (default: BENCH_service.json in the cwd)",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Closed-loop throughput benchmark of the sort service"
+    )
+    add_bench_service_args(parser)
+    return execute(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,13 @@ Commands
 ``sort-file``
     Spill-to-disk external sort of a flat binary file under an explicit
     host memory budget (``repro.external.ExternalSorter``).
+``serve``
+    Async sort service (``repro.service.SortService``) driven by JSON
+    lines on stdin: inline arrays, generated workloads, or file sorts,
+    with micro-batching, admission control, and per-request telemetry.
+``bench-service``
+    Closed-loop throughput benchmark of the sort service (requests/s,
+    p50/p95 latency, micro-batching on vs off).
 
 Examples::
 
@@ -34,6 +41,9 @@ Examples::
     python -m repro gen-file --output data.bin --n 8000000 --dtype uint32
     python -m repro sort-file --input data.bin --output sorted.bin \
         --dtype uint32 --memory-budget 8M --workers 2 --verify
+    printf '%s\n' '{"id": 1, "keys": [3, 1, 2], "dtype": "uint32"}' \
+        | python -m repro serve
+    python -m repro bench-service --quick --output /tmp/BENCH_service.json
 """
 
 from __future__ import annotations
@@ -441,6 +451,37 @@ def cmd_bench_wallclock(args) -> int:
     )
 
 
+def cmd_serve(args) -> int:
+    """Run the async sort service over JSON lines (stdin or --input)."""
+    import asyncio
+
+    from repro.service.driver import serve_stream
+
+    stream = sys.stdin if args.input is None else open(args.input)
+    try:
+        return asyncio.run(
+            serve_stream(
+                stream,
+                sys.stdout.write,
+                seed=args.seed,
+                echo_limit=args.echo_limit,
+                memory_budget=_parse_size(args.memory_budget),
+                micro_batching=not args.no_batching,
+                batch_window=args.batch_window / 1e3,
+                executor_threads=args.executor_threads,
+            )
+        )
+    finally:
+        if args.input is not None:
+            stream.close()
+
+
+def cmd_bench_service(args) -> int:
+    from repro.bench.service import execute
+
+    return execute(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -586,6 +627,56 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_bench_args(p_bench)
     p_bench.set_defaults(func=cmd_bench_wallclock)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="async sort service driven by JSON lines on stdin",
+    )
+    p_serve.add_argument(
+        "--input",
+        default=None,
+        help="read request lines from a file instead of stdin",
+    )
+    p_serve.add_argument(
+        "--memory-budget",
+        default="1G",
+        help="bound on in-flight working-set bytes (K/M/G suffixes)",
+    )
+    p_serve.add_argument(
+        "--no-batching",
+        action="store_true",
+        help="disable micro-batching of compatible small requests",
+    )
+    p_serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.0,
+        help="milliseconds to linger for a lone batchable request "
+        "(default 0: coalesce only what has already queued)",
+    )
+    p_serve.add_argument(
+        "--executor-threads",
+        type=int,
+        default=4,
+        help="thread-pool width engine dispatches run on",
+    )
+    p_serve.add_argument(
+        "--echo-limit",
+        type=int,
+        default=10_000,
+        help="echo sorted data for inline requests up to this size",
+    )
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_bsvc = sub.add_parser(
+        "bench-service",
+        help="closed-loop sort-service throughput benchmark",
+    )
+    from repro.bench.service import add_bench_service_args
+
+    add_bench_service_args(p_bsvc)
+    p_bsvc.set_defaults(func=cmd_bench_service)
     return parser
 
 

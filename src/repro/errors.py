@@ -32,6 +32,16 @@ class ResourceExhaustedError(ReproError):
     """
 
 
+class AdmissionError(ResourceExhaustedError):
+    """The sort service refused a request its memory budget cannot host.
+
+    Raised by :class:`repro.service.SortService` when a request's
+    planned working set exceeds the service's in-flight byte budget
+    even with nothing else running — waiting would never help, so the
+    request is rejected at admission instead of deadlocking the queue.
+    """
+
+
 class UnsupportedDtypeError(ReproError):
     """The given NumPy dtype has no order-preserving bijection registered."""
 

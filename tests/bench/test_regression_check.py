@@ -57,12 +57,65 @@ class TestRegressionCheck:
             == 1
         )
 
-    def test_missing_current_case_fails(self, tmp_path):
+    def test_missing_current_case_fails(self, tmp_path, capsys):
         base = _write(tmp_path / "base.json", {"pairs32-uniform": 10.0})
         cur = _write(tmp_path / "cur.json", {"other": 10.0})
         assert check.main(["--baseline", base, "--current", cur]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL pairs32-uniform: missing from current report" in out
+        assert "known: other" in out
 
-    def test_case_absent_from_baseline_skips(self, tmp_path):
+    def test_case_absent_from_baseline_fails(self, tmp_path, capsys):
+        # A silently skipped case would let the gate pass while
+        # guarding nothing — missing-from-baseline is a hard failure.
         base = _write(tmp_path / "base.json", {"other": 10.0})
         cur = _write(tmp_path / "cur.json", {"pairs32-uniform": 1.0})
-        assert check.main(["--baseline", base, "--current", cur]) == 0
+        assert check.main(["--baseline", base, "--current", cur]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL pairs32-uniform: missing from baseline report" in out
+        assert "known: other" in out
+
+    def test_missing_case_fails_even_when_present_cases_pass(self, tmp_path):
+        base = _write(tmp_path / "base.json", {"a": 10.0})
+        cur = _write(tmp_path / "cur.json", {"a": 10.0})
+        assert (
+            check.main(
+                ["--baseline", base, "--current", cur,
+                 "--case", "a", "--case", "ghost"]
+            )
+            == 1
+        )
+
+    def test_cases_from_baseline_checks_everything(self, tmp_path):
+        base = _write(tmp_path / "base.json", {"a": 10.0, "b": 10.0})
+        ok = _write(tmp_path / "ok.json", {"a": 9.5, "b": 9.5})
+        slow = _write(tmp_path / "slow.json", {"a": 9.5, "b": 5.0})
+        partial = _write(tmp_path / "partial.json", {"a": 9.5})
+        args = ["--baseline", base, "--cases-from-baseline"]
+        assert check.main([*args, "--current", ok]) == 0
+        assert check.main([*args, "--current", slow]) == 1
+        assert check.main([*args, "--current", partial]) == 1
+
+    def test_empty_baseline_fails_instead_of_guarding_nothing(
+        self, tmp_path, capsys
+    ):
+        base = _write(tmp_path / "base.json", {})
+        cur = _write(tmp_path / "cur.json", {"a": 9.5})
+        assert (
+            check.main(
+                ["--baseline", base, "--current", cur,
+                 "--cases-from-baseline"]
+            )
+            == 1
+        )
+        assert "no cases to check" in capsys.readouterr().out
+
+    def test_cases_from_baseline_unions_explicit_cases(self, tmp_path):
+        # An explicitly requested case is never silently dropped: here
+        # "ghost" is in neither report, so the gate must fail.
+        base = _write(tmp_path / "base.json", {"a": 10.0})
+        cur = _write(tmp_path / "cur.json", {"a": 9.5})
+        args = ["--baseline", base, "--current", cur,
+                "--cases-from-baseline"]
+        assert check.main(args) == 0
+        assert check.main([*args, "--case", "ghost"]) == 1

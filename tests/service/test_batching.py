@@ -1,0 +1,135 @@
+"""Unit tests for the micro-batch execution path.
+
+The batch path must be byte-identical to the direct facades for every
+layout it accepts — these tests drive :func:`execute_batch` directly;
+the service-level and property suites cover it through the scheduler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.plan import InputDescriptor
+from repro.service.batching import batch_configs, execute_batch
+from repro.service.request import SortRequest
+
+
+def _request(keys, values=None, kind=None):
+    keys = np.asarray(keys)
+    if kind is None:
+        kind = "keys" if values is None else "pairs"
+    return SortRequest(
+        kind=kind,
+        descriptor=InputDescriptor.for_array(keys, values),
+        keys=keys,
+        values=None if values is None else np.asarray(values),
+    )
+
+
+class TestBatchConfigs:
+    def test_ladder_covers_the_largest_segment(self):
+        assert batch_configs(1) == (32,)
+        assert batch_configs(32) == (32,)
+        assert batch_configs(33) == (32, 64)
+        assert batch_configs(4096)[-1] == 4096
+
+    def test_ladder_is_ascending_powers_of_two(self):
+        ladder = batch_configs(10_000)
+        assert list(ladder) == sorted(ladder)
+        assert all(c & (c - 1) == 0 for c in ladder)
+
+
+class TestExecuteBatch:
+    @pytest.mark.parametrize(
+        "dtype",
+        [np.uint32, np.uint64, np.int32, np.int64, np.float32, np.float64],
+    )
+    def test_keys_only_matches_direct_sort(self, dtype, rng):
+        arrays = []
+        for n in (1, 17, 300, 2048):
+            raw = rng.integers(0, 255, n)
+            if np.dtype(dtype).kind == "u":
+                arrays.append(raw.astype(dtype))
+            else:
+                arrays.append((raw - 128).astype(dtype))
+        results = execute_batch([_request(a) for a in arrays])
+        for array, result in zip(arrays, results):
+            expect = repro.sort(array)
+            assert result.keys.dtype == array.dtype
+            assert bytes(result.keys) == bytes(expect.keys)
+
+    def test_float_specials_survive(self):
+        keys = np.array(
+            [1.5, -0.0, np.nan, 0.0, -np.inf, np.inf, -1.5], dtype=np.float64
+        )
+        other = np.array([np.nan, -np.nan, 2.0], dtype=np.float64)
+        results = execute_batch([_request(keys), _request(other)])
+        for array, result in zip((keys, other), results):
+            assert bytes(result.keys) == bytes(repro.sort(array).keys)
+
+    def test_pairs_are_stable_like_the_direct_engine(self, rng):
+        batch = []
+        for n in (5, 64, 900):
+            keys = rng.integers(0, 4, n).astype(np.uint32)
+            values = rng.integers(0, 2**32, n).astype(np.uint32)
+            batch.append((keys, values))
+        results = execute_batch([_request(k, v) for k, v in batch])
+        for (keys, values), result in zip(batch, results):
+            expect = repro.sort_pairs(keys, values)
+            assert bytes(result.keys) == bytes(expect.keys)
+            assert bytes(result.values) == bytes(expect.values)
+
+    def test_empty_and_single_segments(self):
+        empty = np.array([], dtype=np.uint32)
+        one = np.array([7], dtype=np.uint32)
+        results = execute_batch([_request(empty), _request(one)])
+        assert results[0].keys.size == 0
+        assert results[0].keys.dtype == np.uint32
+        assert results[1].keys.tolist() == [7]
+
+    def test_all_empty_batch(self):
+        empty = np.array([], dtype=np.uint32)
+        results = execute_batch([_request(empty), _request(empty)])
+        assert all(r.keys.size == 0 for r in results)
+
+    def test_records_requests_recompose(self, rng):
+        from repro.core.pairs import make_records
+
+        keys = rng.integers(0, 10, 100).astype(np.uint32)
+        values = rng.integers(0, 2**32, 100).astype(np.uint32)
+        records = make_records(keys, values)
+        request = SortRequest(
+            kind="records",
+            descriptor=InputDescriptor.for_array(keys, values),
+            keys=keys,
+            values=values,
+            records=records,
+        )
+        (result,) = execute_batch([request])
+        expect = repro.sort_records(records)
+        assert bytes(result.meta["records"].tobytes()) == bytes(
+            expect.meta["records"].tobytes()
+        )
+
+    def test_inputs_are_never_mutated(self, rng):
+        keys = rng.integers(0, 2**32, 500).astype(np.uint32)
+        values = np.arange(500, dtype=np.uint32)
+        snapshot = keys.copy(), values.copy()
+        execute_batch([_request(keys, values), _request(keys, values)])
+        assert np.array_equal(keys, snapshot[0])
+        assert np.array_equal(values, snapshot[1])
+
+    def test_narrow_dtypes_are_unbatchable(self):
+        # uint8/uint16 arrays are rejected by the in-memory engines;
+        # grouping them would make the outcome depend on queue state.
+        request = _request(np.arange(10, dtype=np.uint8))
+        assert request.batch_group() is None
+        assert _request(np.arange(10, dtype=np.uint32)).batch_group()
+
+    def test_output_arrays_are_fresh(self, rng):
+        keys = rng.integers(0, 2**32, 64).astype(np.uint32)
+        (result,) = execute_batch([_request(keys)])
+        assert not np.shares_memory(result.keys, keys)
+        result.keys[:] = 0  # must not corrupt anything shared

@@ -1,0 +1,125 @@
+"""Concurrency properties: the service never changes bytes.
+
+The acceptance property for the service layer: for every dtype and
+layout, results obtained through :class:`~repro.service.SortService`
+under concurrent mixed-size load are byte-identical to direct
+``repro.sort()`` / ``repro.sort_pairs()`` calls — whatever interleaving
+the scheduler, the batcher, and the admission gate produce.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.service import SortService
+
+#: Every dtype the in-memory facades accept (the narrow pedagogical
+#: uint8/uint16 are file-only — RunWriter widens them on the way in).
+ARRAY_DTYPES = tuple(
+    np.dtype(d)
+    for d in (np.uint32, np.uint64, np.int32, np.int64,
+              np.float32, np.float64)
+)
+
+#: Value column dtypes exercised for pair requests.
+VALUE_DTYPES = (np.dtype(np.uint32), np.dtype(np.uint64))
+
+
+def _make_input(spec, seed):
+    dtype, n, pairs, value_dtype = spec
+    rng = np.random.default_rng(seed)
+    raw = rng.integers(0, 256, n)
+    if dtype.kind == "u":
+        keys = raw.astype(dtype)
+    elif dtype.kind == "i":
+        keys = (raw - 128).astype(dtype)
+    else:
+        keys = ((raw - 128) / 8.0).astype(dtype)
+        if n:
+            keys[rng.integers(0, n)] = np.nan
+    values = None
+    if pairs:
+        values = rng.integers(0, 1 << 31, n).astype(value_dtype)
+    return keys, values
+
+
+def _direct(keys, values):
+    if values is None:
+        result = repro.sort(keys)
+        return bytes(result.keys), None
+    result = repro.sort_pairs(keys, values)
+    return bytes(result.keys), bytes(result.values)
+
+
+async def _through_service(inputs, micro_batching, staged):
+    service = SortService(micro_batching=micro_batching)
+    if not staged:
+        await service.start()
+    tasks = [
+        asyncio.ensure_future(service.submit(keys, values))
+        for keys, values in inputs
+    ]
+    await asyncio.sleep(0)
+    await service.start()
+    results = await asyncio.gather(*tasks)
+    await service.close()
+    return [
+        (
+            bytes(r.keys),
+            None if r.values is None else bytes(r.values),
+        )
+        for r in results
+    ]
+
+
+request_specs = st.lists(
+    st.tuples(
+        st.sampled_from(ARRAY_DTYPES),
+        st.integers(min_value=0, max_value=4096),
+        st.booleans(),
+        st.sampled_from(VALUE_DTYPES),
+    ),
+    min_size=3,
+    max_size=10,
+)
+
+
+@given(
+    specs=request_specs,
+    seed=st.integers(min_value=0, max_value=2**31),
+    micro_batching=st.booleans(),
+    staged=st.booleans(),
+)
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_any_interleaving_matches_sequential_sort(
+    specs, seed, micro_batching, staged
+):
+    inputs = [
+        _make_input(spec, seed + i) for i, spec in enumerate(specs)
+    ]
+    served = asyncio.run(_through_service(inputs, micro_batching, staged))
+    for (keys, values), got in zip(inputs, served):
+        assert got == _direct(keys, values)
+
+
+def test_eight_concurrent_mixed_size_requests_every_layout(rng):
+    """The acceptance shape: ≥ 8 in-flight requests per dtype/layout."""
+    sizes = (0, 1, 33, 500, 2048, 8192, 10_000, 20_000)
+    for dtype in ARRAY_DTYPES:
+        for pairs in (False, True):
+            inputs = []
+            for i, n in enumerate(sizes):
+                spec = (dtype, n, pairs, VALUE_DTYPES[i % 2])
+                inputs.append(_make_input(spec, 1000 * i + n))
+            served = asyncio.run(_through_service(inputs, True, False))
+            for (keys, values), got in zip(inputs, served):
+                assert got == _direct(keys, values), (dtype, pairs)
