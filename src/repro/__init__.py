@@ -34,10 +34,15 @@ from repro.core.keys import from_sortable_bits, to_sortable_bits
 from repro.core.pairs import decompose, make_records, recompose
 from repro.errors import (
     ConfigurationError,
+    CorruptRunError,
+    DeadlineExceededError,
     DeviceStateError,
+    EngineFailedError,
+    OverloadedError,
     ReproError,
     ResourceExhaustedError,
     TraceError,
+    TransientError,
     UnsupportedDtypeError,
 )
 from repro.gpu.device import SimulatedGPU
@@ -57,7 +62,15 @@ __all__ = [
     "AdaptiveSorter",
     "AnalyticalModel",
     "ConfigurationError",
+    "CorruptRunError",
+    "Deadline",
+    "DeadlineExceededError",
     "DeviceStateError",
+    "EngineFailedError",
+    "FaultPlan",
+    "FaultSpec",
+    "OverloadedError",
+    "RetryPolicy",
     "GPUSpec",
     "GTX_980",
     "HybridRadixSorter",
@@ -76,6 +89,7 @@ __all__ = [
     "TITAN_X_PASCAL",
     "TimeBreakdown",
     "TraceError",
+    "TransientError",
     "UnsupportedDtypeError",
     "decompose",
     "derive_table3",
@@ -101,6 +115,14 @@ def __getattr__(name: str):
         from repro.service import SortService
 
         return SortService
+    if name in ("RetryPolicy", "Deadline"):
+        from repro.resilience import policy
+
+        return getattr(policy, name)
+    if name in ("FaultPlan", "FaultSpec"):
+        from repro.resilience import faults
+
+        return getattr(faults, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 

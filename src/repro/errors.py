@@ -42,6 +42,73 @@ class AdmissionError(ResourceExhaustedError):
     """
 
 
+class TransientError(ReproError):
+    """A failure that may well not recur: **retryable**.
+
+    The marker class the resilience layer's
+    :class:`~repro.resilience.policy.RetryPolicy` retries by default
+    (alongside :class:`OSError`, the kind real disks raise).  Engines
+    and fault-injection sites raise it for conditions where trying
+    again — possibly after a backoff — is a sensible reaction: a busy
+    spool disk, a transiently failed worker, an injected I/O hiccup.
+    Errors that would deterministically recur (configuration mistakes,
+    unsupported dtypes) must *not* derive from this class.
+    """
+
+
+class DeadlineExceededError(ReproError):
+    """A request's deadline expired before (or while) it executed.
+
+    **Not retryable** — the time budget is gone; retrying against the
+    same deadline can only fail again.  Raised by
+    :class:`~repro.resilience.policy.Deadline` checks, by the service
+    when a queued request's deadline lapses before dispatch, and by the
+    engine-dispatch watchdog when an execution hangs past its timeout.
+    Callers that want another attempt must submit a fresh request with
+    a fresh deadline.
+    """
+
+
+class CorruptRunError(ReproError):
+    """A spilled run file failed its integrity check.
+
+    **Not retryable in place** — re-reading corrupt bytes cannot help —
+    but **recoverable**: :meth:`repro.external.ExternalSorter.resume`
+    re-produces the damaged run from the (read-only) input file and
+    carries on.  Raised when a run's footer is missing or malformed,
+    when its payload size disagrees with the footer, or when the
+    streaming merge's CRC-32 accumulation does not match the checksum
+    the writer recorded.
+    """
+
+
+class EngineFailedError(ReproError):
+    """Every rung of the engine-degradation ladder failed.
+
+    **Not retryable** by the policy engine (each rung already consumed
+    its own retry budget); surfaced to the caller with the per-rung
+    failure trail in ``args`` and the last underlying exception as
+    ``__cause__``.  A *single* engine failure never raises this — the
+    executor falls down the declared ladder (hybrid → LSD fallback →
+    NumPy stable oracle) first and records the downgrade in
+    ``result.meta["resilience"]``.
+    """
+
+
+class OverloadedError(TransientError):
+    """The service shed this request to protect itself: **retryable**.
+
+    Raised at submission time when failure rates spike and the request
+    is a small, cheaply-retried one.  ``retry_after`` (seconds) is the
+    service's hint, derived from its admission state, for when capacity
+    is likely to exist again.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.05) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
 class UnsupportedDtypeError(ReproError):
     """The given NumPy dtype has no order-preserving bijection registered."""
 

@@ -8,8 +8,18 @@ data flow and the invariants.
 """
 
 from repro.external.format import FileLayout, parse_dtype, read_records, write_records
+from repro.external.manifest import MANIFEST_NAME, SpillManifest
 from repro.external.merge import merge_runs
-from repro.external.runs import RunPlan, RunWriter, plan_runs
+from repro.external.runs import (
+    RUN_FOOTER_BYTES,
+    RUN_MAGIC,
+    RunPlan,
+    RunWriter,
+    plan_runs,
+    read_run,
+    read_run_footer,
+    write_run,
+)
 from repro.external.sorter import (
     DEFAULT_MEMORY_BUDGET,
     ExternalSorter,
@@ -21,10 +31,17 @@ __all__ = [
     "parse_dtype",
     "read_records",
     "write_records",
+    "MANIFEST_NAME",
+    "SpillManifest",
     "merge_runs",
     "RunPlan",
     "RunWriter",
     "plan_runs",
+    "RUN_MAGIC",
+    "RUN_FOOTER_BYTES",
+    "write_run",
+    "read_run",
+    "read_run_footer",
     "ExternalSorter",
     "ExternalSortReport",
     "DEFAULT_MEMORY_BUDGET",

@@ -31,18 +31,29 @@ The blockwise algorithm is the classic bounded-lookahead merge:
 A loser tree would save comparisons for large ``k``; with NumPy the
 per-block stable argsort is faster than element-wise tree steps, so the
 heap/tree lives implicitly in step 2's min-reduction.
+
+The merge **verifies what it reads**: every run file must carry the
+checksummed footer :func:`repro.external.runs.write_run` leaves, each
+cursor accumulates a streaming CRC-32 over the blocks it reads, and a
+mismatch against the footer raises
+:class:`~repro.errors.CorruptRunError` the moment the run is exhausted
+— bit rot or a torn spill can fail the sort, but it can never leak
+silently corrupted records into the output.
 """
 
 from __future__ import annotations
 
 import os
+import zlib
 
 import numpy as np
 
 from repro.core.keys import to_sortable_bits
 from repro.core.pairs import fused_packable, pack_key_value
-from repro.errors import ConfigurationError
+from repro.errors import CorruptRunError
 from repro.external.format import FileLayout
+from repro.external.runs import read_run_footer
+from repro.resilience import faults
 
 __all__ = ["merge_runs"]
 
@@ -65,7 +76,14 @@ def _comparison_keys(
 
 
 class _RunCursor:
-    """Bounded block reader over one sorted run file."""
+    """Bounded block reader over one sorted, checksummed run file.
+
+    The footer is validated up front (so a torn or foreign file fails
+    before a single record is merged) and a streaming CRC-32 is
+    accumulated block by block; when the run is exhausted it must
+    match the footer's, or the cursor raises
+    :class:`~repro.errors.CorruptRunError`.
+    """
 
     def __init__(
         self,
@@ -75,9 +93,11 @@ class _RunCursor:
         fused: bool,
     ) -> None:
         self.layout = layout
+        self.path = os.fspath(path)
         self.block_records = max(1, int(block_records))
         self.fused = fused
-        self._remaining = layout.records_in(path)
+        self._remaining, self._expected_crc = read_run_footer(path, layout)
+        self._crc = 0
         self._fh = open(path, "rb")
         self._records = np.empty(0, dtype=layout.storage_dtype)
         self._ckeys = np.empty(0, dtype=np.uint64)
@@ -105,15 +125,24 @@ class _RunCursor:
         """Read the next block when the buffer is empty."""
         if self._ckeys.size or not self._remaining:
             return
+        faults.trip("external.merge_read")
         take = min(self.block_records, self._remaining)
         records = np.fromfile(
             self._fh, dtype=self.layout.storage_dtype, count=take
         )
         if records.size != take:
-            raise ConfigurationError(
-                "run file truncated while merging (concurrent writer?)"
+            raise CorruptRunError(
+                f"{self.path}: run file truncated while merging "
+                f"(concurrent writer?)"
             )
+        self._crc = zlib.crc32(records.tobytes(), self._crc)
         self._remaining -= take
+        if not self._remaining and self._crc != self._expected_crc:
+            raise CorruptRunError(
+                f"{self.path}: payload CRC-32 {self._crc:#010x} does not "
+                f"match the footer's {self._expected_crc:#010x} "
+                f"(bit rot or torn spill)"
+            )
         self._records = records
         self._ckeys = _comparison_keys(self.layout, records, self.fused)
 
@@ -135,6 +164,24 @@ class _RunCursor:
 
     def close(self) -> None:
         self._fh.close()
+
+
+def _write_block(out, records: np.ndarray) -> None:
+    """Append one merged block, honouring the merge-output fault site.
+
+    The ``partial`` fault kind tears the block mid-write (half the
+    bytes reach the file, then ``EIO``) — the state a crashed merge
+    leaves, which the atomic temp-file + rename protocol in
+    :meth:`ExternalSorter.execute_plan` keeps away from the final
+    output name.
+    """
+    spec = faults.trip("external.merge_write", writes=True)
+    if spec is not None and spec.kind == "partial":
+        payload = records.tobytes()
+        out.write(payload[: len(payload) // 2])
+        out.flush()
+        raise spec.build_error()
+    records.tofile(out)
 
 
 def merge_runs(
@@ -161,6 +208,12 @@ def merge_runs(
         with run-order ties.
 
     Returns the number of records written.
+
+    Every run must carry the checksummed footer
+    :func:`~repro.external.runs.write_run` leaves; each is verified
+    against a streaming CRC-32 as it drains, and a mismatch raises
+    :class:`~repro.errors.CorruptRunError` rather than emitting
+    corrupt records.
     """
     fused = (
         pair_packing == "fused"
@@ -197,7 +250,7 @@ def merge_runs(
                     records = np.concatenate([r for r, _ in taken])
                     ckeys = np.concatenate([k for _, k in taken])
                     order = np.argsort(ckeys, kind="stable")
-                    records[order].tofile(out)
+                    _write_block(out, records[order])
                     written += records.size
                     continue
                 # Every buffered key is >= bound and the bound-defining
@@ -211,7 +264,7 @@ def merge_runs(
                         records, _ = cursor.take(
                             cursor.split_through(bound)
                         )
-                        records.tofile(out)
+                        _write_block(out, records)
                         written += records.size
                         cursor.refill()
     finally:

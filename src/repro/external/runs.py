@@ -19,21 +19,146 @@ workers.  Slice boundaries come from the plan alone — never from the
 worker count — and each slice's sort is deterministic, so the produced
 runs (and therefore the merged output) are byte-identical for any
 number of workers.
+
+Spills are **crash-safe**: every run is written to a hidden temp file,
+fsync'd, and atomically renamed into place with a checksummed footer
+(:func:`write_run`), so a run file either exists whole and verifiable
+or not at all.  A :class:`~repro.external.manifest.SpillManifest`, when
+provided, durably records each completed run — the state
+:meth:`~repro.external.ExternalSorter.resume` rebuilds from after a
+crash.
 """
 
 from __future__ import annotations
 
 import os
+import struct
+import tempfile
+import zlib
 from dataclasses import dataclass, replace
+
+import numpy as np
 
 from repro.core.config import SortConfig
 from repro.core.hybrid_sort import HybridRadixSorter
-from repro.errors import ConfigurationError
-from repro.external.format import FileLayout, read_records, write_records
+from repro.errors import ConfigurationError, CorruptRunError
+from repro.external.format import FileLayout, read_records
 from repro.hetero.chunking import ChunkPlan, plan_chunks
 from repro.parallel import ExecutionContext, SERIAL
+from repro.resilience import faults
+from repro.resilience.policy import RetryPolicy
 
-__all__ = ["RunPlan", "plan_runs", "RunWriter"]
+__all__ = [
+    "RunPlan",
+    "plan_runs",
+    "RunWriter",
+    "RUN_MAGIC",
+    "RUN_FOOTER_BYTES",
+    "write_run",
+    "read_run",
+    "read_run_footer",
+]
+
+#: Trailer identifying a complete, checksummed run file.
+RUN_MAGIC = b"RPRORUN1"
+_FOOTER = struct.Struct("<8sQI4x")  # magic, n_records, payload CRC-32, pad
+RUN_FOOTER_BYTES = _FOOTER.size
+
+
+def write_run(path: str | os.PathLike, records: np.ndarray) -> int:
+    """Spill ``records`` to ``path`` crash-safely; returns the CRC-32.
+
+    The spill-atomicity protocol (every step ordered after the last):
+
+    1. write payload + footer to a hidden temp file *in the same
+       directory* (same filesystem, so the rename is atomic);
+    2. ``fsync`` the temp file — bytes durable before the name is;
+    3. ``os.replace`` onto the final name — the run appears at once,
+       complete, or never;
+    4. ``fsync`` the directory — the rename itself durable.
+
+    On any failure the temp file is unlinked: a crashed or failed
+    spill leaves *no* file under the run's name, which is exactly the
+    "missing run" state :meth:`ExternalSorter.resume` knows how to
+    re-produce.  The footer (magic + record count + payload CRC-32)
+    is what lets the merge phase prove it read back the same bytes.
+    """
+    path = os.fspath(path)
+    records = np.ascontiguousarray(records)
+    payload = records.tobytes()
+    crc = zlib.crc32(payload)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(prefix=".tmp-run-", dir=directory)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            faults.faulted_write("external.run_write", fh, payload)
+            fh.write(_FOOTER.pack(RUN_MAGIC, records.size, crc))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    from repro.external.manifest import _fsync_dir
+
+    _fsync_dir(directory)
+    return crc
+
+
+def read_run_footer(
+    path: str | os.PathLike, layout: FileLayout
+) -> tuple[int, int]:
+    """Validate ``path``'s footer; returns ``(n_records, crc32)``.
+
+    Raises :class:`~repro.errors.CorruptRunError` when the footer is
+    missing, the magic is wrong, or the payload size disagrees with
+    the recorded record count — the states a torn or foreign file
+    presents.
+    """
+    path = os.fspath(path)
+    size = os.path.getsize(path)
+    if size < RUN_FOOTER_BYTES:
+        raise CorruptRunError(
+            f"{path}: {size} bytes is too short to hold a run footer"
+        )
+    with open(path, "rb") as fh:
+        fh.seek(size - RUN_FOOTER_BYTES)
+        magic, n_records, crc = _FOOTER.unpack(fh.read(RUN_FOOTER_BYTES))
+    if magic != RUN_MAGIC:
+        raise CorruptRunError(
+            f"{path}: bad run magic {magic!r} (torn write or foreign file)"
+        )
+    if size - RUN_FOOTER_BYTES != n_records * layout.record_bytes:
+        raise CorruptRunError(
+            f"{path}: payload is {size - RUN_FOOTER_BYTES} bytes but the "
+            f"footer promises {n_records} x {layout.record_bytes}-byte "
+            f"records"
+        )
+    return int(n_records), int(crc)
+
+
+def read_run(
+    path: str | os.PathLike,
+    layout: FileLayout,
+    *,
+    verify: bool = True,
+) -> np.ndarray:
+    """Read a whole run file back, checking its checksum by default."""
+    n_records, crc = read_run_footer(path, layout)
+    with open(path, "rb") as fh:
+        records = np.fromfile(
+            fh, dtype=layout.storage_dtype, count=n_records
+        )
+    if records.size != n_records:
+        raise CorruptRunError(f"{os.fspath(path)}: short read of run payload")
+    if verify and zlib.crc32(records.tobytes()) != crc:
+        raise CorruptRunError(
+            f"{os.fspath(path)}: payload CRC-32 does not match the footer"
+        )
+    return records
 
 
 @dataclass(frozen=True)
@@ -102,6 +227,10 @@ class RunWriter:
         Execution context whose workers slice sorts fan across.  Each
         task sorts serially (``workers=1`` inside the task); the
         parallelism is across slices.
+    retry_policy:
+        When given, each slice's read/sort/spill is retried under the
+        policy on retryable failures (transient I/O errors) before the
+        whole production is abandoned.
     """
 
     def __init__(
@@ -109,10 +238,12 @@ class RunWriter:
         layout: FileLayout,
         pair_packing: str = "auto",
         ctx: ExecutionContext | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.layout = layout
         self.pair_packing = pair_packing
         self.ctx = ctx or SERIAL
+        self.retry_policy = retry_policy
 
     def _slice_config(self) -> SortConfig:
         """Table 3 preset for the layout, widened for narrow dtypes.
@@ -133,30 +264,106 @@ class RunWriter:
     def run_path(self, spool_dir: str | os.PathLike, index: int) -> str:
         return os.path.join(os.fspath(spool_dir), f"run-{index:05d}.bin")
 
+    def produce_run(
+        self,
+        input_path: str | os.PathLike,
+        plan: RunPlan,
+        spool_dir: str | os.PathLike,
+        index: int,
+        manifest=None,
+    ) -> str:
+        """Read, sort, and crash-safely spill slice ``index``.
+
+        The unit :meth:`write_runs` fans out — and the unit
+        :meth:`ExternalSorter.resume` re-runs for a missing or corrupt
+        run.  When a manifest is given, the completed run (path,
+        record count, CRC-32) is durably recorded after the atomic
+        rename, so the manifest never claims a run that is not whole
+        on disk.
+        """
+        layout = self.layout
+        config = self._slice_config()
+
+        def attempt() -> str:
+            lo, hi = plan.bounds[index], plan.bounds[index + 1]
+            faults.trip("external.slice_read")
+            records = read_records(input_path, layout, lo, hi - lo)
+            keys, values = layout.to_columns(records)
+            faults.trip("external.slice_sort")
+            # A fresh sorter per slice: the simulated device's launch log
+            # is per-instance state and must not be shared across threads.
+            result = HybridRadixSorter(config=config).sort(keys, values)
+            path = self.run_path(spool_dir, index)
+            sorted_records = layout.to_records(result.keys, result.values)
+            crc = write_run(path, sorted_records)
+            if manifest is not None:
+                manifest.record_run(
+                    spool_dir, index, path, sorted_records.size, crc
+                )
+            return path
+
+        if self.retry_policy is not None:
+            return self.retry_policy.call(attempt)
+        return attempt()
+
     def write_runs(
         self,
         input_path: str | os.PathLike,
         plan: RunPlan,
         spool_dir: str | os.PathLike,
+        manifest=None,
     ) -> list[str]:
         """Sort every planned slice and spill it; returns run paths.
 
         Runs are written in slice order under ``spool_dir``; the list is
         ordered by input position, which is the tie-break order the
         stable merge preserves.
+
+        On failure, this call cleans up before the error propagates —
+        a failed production never strands ``.tmp-run-*`` temp files in
+        a caller-provided spool directory.  Without a manifest the
+        completed run files are removed too (nothing accounts for
+        them); with one they are kept, because the manifest records
+        exactly which are whole and :meth:`ExternalSorter.resume`
+        reuses them.  (With a parallel ``ctx`` a slice still in flight
+        on another worker can complete after the sweep; the manifest,
+        when given, still records it, and resume
+        verifies-or-reproduces it like any other run.)
         """
-        layout = self.layout
-        config = self._slice_config()
 
         def produce(index: int) -> str:
-            lo, hi = plan.bounds[index], plan.bounds[index + 1]
-            records = read_records(input_path, layout, lo, hi - lo)
-            keys, values = layout.to_columns(records)
-            # A fresh sorter per slice: the simulated device's launch log
-            # is per-instance state and must not be shared across threads.
-            result = HybridRadixSorter(config=config).sort(keys, values)
-            path = self.run_path(spool_dir, index)
-            write_records(path, layout.to_records(result.keys, result.values))
-            return path
+            return self.produce_run(
+                input_path, plan, spool_dir, index, manifest=manifest
+            )
 
-        return self.ctx.map(produce, range(plan.n_runs))
+        try:
+            return self.ctx.map(produce, range(plan.n_runs))
+        except BaseException:
+            self._sweep_orphans(
+                spool_dir, plan, keep_runs=manifest is not None
+            )
+            raise
+
+    def _sweep_orphans(
+        self,
+        spool_dir: str | os.PathLike,
+        plan: RunPlan,
+        keep_runs: bool = False,
+    ) -> None:
+        """Best-effort removal of this plan's temp (and run) files."""
+        if not keep_runs:
+            for index in range(plan.n_runs):
+                try:
+                    os.unlink(self.run_path(spool_dir, index))
+                except OSError:
+                    pass
+        try:
+            entries = os.listdir(spool_dir)
+        except OSError:
+            return
+        for name in entries:
+            if name.startswith(".tmp-run-"):
+                try:
+                    os.unlink(os.path.join(os.fspath(spool_dir), name))
+                except OSError:
+                    pass

@@ -29,11 +29,13 @@ import tempfile
 import time
 from dataclasses import dataclass
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, CorruptRunError
 from repro.external.format import FileLayout
+from repro.external.manifest import SpillManifest
 from repro.external.merge import merge_runs
-from repro.external.runs import RunPlan, RunWriter
+from repro.external.runs import RunPlan, RunWriter, plan_runs, read_run
 from repro.parallel import get_context
+from repro.resilience.policy import RetryPolicy
 
 __all__ = ["ExternalSortReport", "ExternalSorter", "DEFAULT_MEMORY_BUDGET"]
 
@@ -66,6 +68,9 @@ class ExternalSortReport:
     run_seconds: float
     merge_seconds: float
     plan: object | None = None
+    #: Runs a :meth:`ExternalSorter.resume` verified and kept instead of
+    #: re-producing (always 0 for a fresh sort).
+    reused_runs: int = 0
 
     @property
     def total_bytes(self) -> int:
@@ -78,12 +83,15 @@ class ExternalSortReport:
     def summary(self) -> str:
         mb = self.total_bytes / 1e6
         rate = self.n_records / max(self.total_seconds, 1e-12) / 1e6
+        reused = (
+            f", reused {self.reused_runs} run(s)" if self.reused_runs else ""
+        )
         return (
             f"{self.n_records:,} records ({mb:.1f} MB) in {self.n_runs} "
             f"run(s) of <= {self.run_records:,}; "
             f"runs {self.run_seconds:.3f}s + merge {self.merge_seconds:.3f}s "
             f"= {self.total_seconds:.3f}s ({rate:.2f} Mrec/s, "
-            f"workers={self.workers})"
+            f"workers={self.workers}{reused})"
         )
 
 
@@ -115,7 +123,14 @@ class ExternalSorter:
         Where run files live during the sort.  Default: a fresh
         temporary directory next to the output file (same filesystem,
         so spill bandwidth matches output bandwidth), removed
-        afterwards.  A caller-provided directory is left in place.
+        afterwards.  A caller-provided directory is left in place —
+        and, because every sort drops a
+        :class:`~repro.external.manifest.SpillManifest` beside its
+        runs, a caller-provided spool is what makes an interrupted
+        sort :meth:`resume`-able.
+    retry_policy:
+        When given, each slice's read/sort/spill retries transient
+        failures under the policy before the sort is abandoned.
     """
 
     def __init__(
@@ -124,6 +139,7 @@ class ExternalSorter:
         workers: int = 1,
         pair_packing: str = "auto",
         spool_dir: str | os.PathLike | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if memory_budget <= 0:
             raise ConfigurationError("memory_budget must be positive")
@@ -135,6 +151,7 @@ class ExternalSorter:
         self.workers = int(workers)
         self.pair_packing = pair_packing
         self.spool_dir = spool_dir
+        self.retry_policy = retry_policy
         get_context(self.workers)  # validates workers >= 1 eagerly
 
     # ------------------------------------------------------------------
@@ -230,18 +247,23 @@ class ExternalSorter:
         try:
             ctx = get_context(self.workers)
             writer = RunWriter(
-                layout, pair_packing=self.pair_packing, ctx=ctx
+                layout,
+                pair_packing=self.pair_packing,
+                ctx=ctx,
+                retry_policy=self.retry_policy,
             )
+            manifest = SpillManifest.create(
+                input_path, layout, plan.bounds, self.pair_packing
+            )
+            manifest.save(spool)
             t0 = time.perf_counter()
-            run_paths = writer.write_runs(input_path, plan, spool)
+            run_paths = writer.write_runs(
+                input_path, plan, spool, manifest=manifest
+            )
             t1 = time.perf_counter()
             block_records = self._block_records(plan, layout.record_bytes)
-            written = merge_runs(
-                run_paths,
-                layout,
-                output_path,
-                block_records,
-                pair_packing=self.pair_packing,
+            written = self._merge_atomic(
+                run_paths, layout, output_path, block_records
             )
             t2 = time.perf_counter()
         finally:
@@ -262,4 +284,147 @@ class ExternalSorter:
             run_seconds=t1 - t0,
             merge_seconds=t2 - t1,
             plan=sort_plan,
+        )
+
+    def _merge_atomic(
+        self,
+        run_paths: list[str],
+        layout: FileLayout,
+        output_path: str,
+        block_records: int,
+    ) -> int:
+        """Merge into a same-directory temp file, then atomic rename.
+
+        A failed or faulted merge (torn write, ``ENOSPC``, corrupt
+        run) therefore never leaves a partial file under the output
+        name — the caller sees either the complete sorted file or the
+        previous state of the path.
+        """
+        directory = os.path.dirname(os.path.abspath(output_path)) or "."
+        fd, tmp = tempfile.mkstemp(prefix=".tmp-out-", dir=directory)
+        os.close(fd)
+        try:
+            written = merge_runs(
+                run_paths,
+                layout,
+                tmp,
+                block_records,
+                pair_packing=self.pair_packing,
+            )
+            os.replace(tmp, output_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return written
+
+    def resume(
+        self,
+        input_path: str | os.PathLike,
+        output_path: str | os.PathLike,
+        layout: FileLayout | None = None,
+    ) -> ExternalSortReport:
+        """Finish an interrupted :meth:`sort_file` from its spool.
+
+        Loads the :class:`~repro.external.manifest.SpillManifest` in
+        ``spool_dir`` (which must have been caller-provided for the
+        interrupted sort — an owned temp spool is gone), verifies every
+        recorded run against its CRC-32, re-produces only the missing
+        or corrupt runs from the read-only input, and merges.  Run
+        boundaries come from the manifest — never re-derived from the
+        current budget — so the resumed output is byte-identical to
+        what the uninterrupted sort would have written.
+
+        Raises :class:`~repro.errors.ConfigurationError` when there is
+        no manifest, or when ``input_path``/``layout`` do not match
+        the manifest (resuming against the wrong input must fail, not
+        merge two datasets).
+        """
+        if self.spool_dir is None:
+            raise ConfigurationError(
+                "resume needs the spool_dir the interrupted sort used; "
+                "construct ExternalSorter(spool_dir=...)"
+            )
+        input_path = os.fspath(input_path)
+        output_path = os.fspath(output_path)
+        spool = os.fspath(self.spool_dir)
+        manifest = SpillManifest.load(spool)
+        if layout is None:
+            layout = manifest.layout()
+        manifest.matches_input(input_path, layout)
+
+        bounds = tuple(manifest.bounds)
+        n_records = bounds[-1] if bounds else 0
+        if n_records == 0:
+            open(output_path, "wb").close()
+            return ExternalSortReport(
+                0, layout.record_bytes, 0, 0, 0, self.workers, 0.0, 0.0
+            )
+        run_records = max(
+            bounds[i + 1] - bounds[i] for i in range(len(bounds) - 1)
+        )
+        plan = RunPlan(
+            n_records=n_records,
+            run_records=run_records,
+            bounds=bounds,
+            chunk_plan=plan_runs(
+                n_records, layout.record_bytes, self.memory_budget
+            ).chunk_plan,
+        )
+        writer = RunWriter(
+            layout,
+            pair_packing=manifest.pair_packing,
+            ctx=get_context(self.workers),
+            retry_policy=self.retry_policy,
+        )
+
+        t0 = time.perf_counter()
+        stale: list[int] = []
+        for index in range(plan.n_runs):
+            entry = manifest.runs.get(index)
+            if entry is None:
+                stale.append(index)
+                continue
+            path = writer.run_path(spool, index)
+            try:
+                records = read_run(path, layout)
+            except (CorruptRunError, OSError):
+                stale.append(index)
+                continue
+            if (
+                records.size != entry["n_records"]
+                or entry["n_records"]
+                != bounds[index + 1] - bounds[index]
+            ):
+                stale.append(index)
+        reused = plan.n_runs - len(stale)
+        for index in stale:
+            writer.produce_run(
+                input_path, plan, spool, index, manifest=manifest
+            )
+        run_paths = [
+            writer.run_path(spool, index) for index in range(plan.n_runs)
+        ]
+        t1 = time.perf_counter()
+        block_records = self._block_records(plan, layout.record_bytes)
+        written = self._merge_atomic(
+            run_paths, layout, output_path, block_records
+        )
+        t2 = time.perf_counter()
+        if written != plan.n_records:
+            raise ConfigurationError(
+                f"resume merged {written} records, expected {plan.n_records}"
+            )
+        return ExternalSortReport(
+            n_records=plan.n_records,
+            record_bytes=layout.record_bytes,
+            n_runs=plan.n_runs,
+            run_records=plan.run_records,
+            block_records=block_records,
+            workers=self.workers,
+            run_seconds=t1 - t0,
+            merge_seconds=t2 - t1,
+            reused_runs=reused,
         )

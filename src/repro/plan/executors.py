@@ -164,12 +164,39 @@ def _execute_external(
     return sorter.execute_plan(plan, desc.path, output_path, layout)
 
 
+def _execute_oracle(
+    plan: SortPlan,
+    keys: np.ndarray,
+    values: np.ndarray | None = None,
+    **_: object,
+) -> SortResult:
+    """The last rung of the degradation ladder: NumPy's stable sort.
+
+    Sorts in §4.6 bits space (the engines' total order — NaNs after
+    +inf, ``-0.0`` before ``+0.0``) with a stable argsort, so its
+    output is byte-identical to every radix engine above it.  It
+    models no device and reports no simulated time; its one job is to
+    always produce the correct answer when faster rungs have failed.
+    """
+    from repro.core.keys import to_sortable_bits
+
+    keys = np.asarray(keys)
+    order = np.argsort(to_sortable_bits(keys), kind="stable")
+    return SortResult(
+        keys=keys[order],
+        values=None if values is None else np.asarray(values)[order],
+        simulated_seconds=0.0,
+        meta={"engine": "numpy-oracle", "plan": plan},
+    )
+
+
 #: The registry the facades use.  Extend it to plug in new engines.
 DEFAULT_REGISTRY = ExecutorRegistry()
 DEFAULT_REGISTRY.register("hybrid", _execute_hybrid)
 DEFAULT_REGISTRY.register("fallback", _execute_fallback)
 DEFAULT_REGISTRY.register("hetero", _execute_hetero)
 DEFAULT_REGISTRY.register("external", _execute_external)
+DEFAULT_REGISTRY.register("oracle", _execute_oracle)
 
 
 def execute_plan(plan: SortPlan, registry: ExecutorRegistry | None = None, **io):

@@ -1,0 +1,183 @@
+"""Deadlines and retry policies: *when* to give up, *how* to try again.
+
+Two small, composable pieces:
+
+* :class:`Deadline` — an absolute point on the monotonic clock a piece
+  of work must finish by.  Deadlines are created once at the edge (a
+  ``SortService.submit(deadline=...)``) and then *propagated by
+  reference* through queueing, planning, admission, and execution, so
+  every layer measures against the same instant; there is no
+  per-layer re-budgeting to drift.
+* :class:`RetryPolicy` — a bounded, jittered exponential backoff for
+  failures marked retryable (:class:`~repro.errors.TransientError` and
+  ``OSError`` by default).  The jitter is **deterministic** (seeded),
+  so a retry schedule replays bit-for-bit in tests while still
+  decorrelating real concurrent retriers that use distinct seeds.
+
+Both honour each other: :meth:`RetryPolicy.call` never sleeps past the
+deadline and converts "retries remain but time does not" into
+:class:`~repro.errors.DeadlineExceededError` with the last real
+failure chained as ``__cause__``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    TransientError,
+)
+
+__all__ = ["Deadline", "RetryPolicy", "DEFAULT_RETRY_POLICY"]
+
+
+class Deadline:
+    """An absolute expiry instant on the monotonic clock.
+
+    Construct with :meth:`after` (relative seconds) at the request
+    edge; pass the object itself downstream.  ``None`` is the idiom
+    for "no deadline" everywhere one is accepted.
+    """
+
+    __slots__ = ("expires_at",)
+
+    def __init__(self, expires_at: float) -> None:
+        self.expires_at = float(expires_at)
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        if seconds < 0:
+            raise ConfigurationError("deadline seconds must be >= 0")
+        return cls(time.monotonic() + seconds)
+
+    @property
+    def remaining(self) -> float:
+        """Seconds left; never negative (an expired deadline reads 0)."""
+        return max(0.0, self.expires_at - time.monotonic())
+
+    @property
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    def check(self, what: str = "operation") -> None:
+        """Raise :class:`~repro.errors.DeadlineExceededError` if expired."""
+        if self.expired:
+            raise DeadlineExceededError(f"deadline expired before {what}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(remaining={self.remaining:.3f}s)"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with deterministic jittered exponential backoff.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries including the first (``1`` disables retrying).
+    base_delay / multiplier / max_delay:
+        Attempt ``k`` (2-based) backs off
+        ``min(max_delay, base_delay * multiplier**(k-2))`` seconds
+        before jitter.
+    jitter:
+        Fraction of each delay replaced by a seeded-uniform draw:
+        ``delay * (1 - jitter + jitter * u)`` with ``u ∈ [0, 1)``.
+        ``0`` = fully deterministic spacing.
+    seed:
+        Seed of the jitter stream — the same policy object always
+        produces the same :meth:`delays`, which is what lets tests
+        assert an exact schedule.
+    retry_on:
+        Exception classes worth a second attempt.  The default —
+        :class:`~repro.errors.TransientError` plus ``OSError`` — is
+        the library's retryability doctrine: transient by declaration,
+        or I/O (the one thing real hardware fails sporadically).
+        :class:`~repro.errors.DeadlineExceededError` is never retried
+        even if listed.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+    retry_on: tuple = field(default=(TransientError, OSError))
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ConfigurationError("delays must be >= 0")
+        if not 0 <= self.jitter <= 1:
+            raise ConfigurationError("jitter must be in [0, 1]")
+        if self.multiplier < 1:
+            raise ConfigurationError("multiplier must be >= 1")
+
+    def delays(self) -> list[float]:
+        """The backoff before each retry (length ``max_attempts - 1``)."""
+        rng = random.Random(self.seed)
+        out = []
+        for attempt in range(self.max_attempts - 1):
+            raw = min(
+                self.max_delay, self.base_delay * self.multiplier**attempt
+            )
+            out.append(raw * (1 - self.jitter + self.jitter * rng.random()))
+        return out
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        if isinstance(exc, DeadlineExceededError):
+            return False
+        return isinstance(exc, self.retry_on)
+
+    def call(
+        self,
+        fn,
+        *,
+        deadline: Deadline | None = None,
+        on_retry=None,
+        sleep=time.sleep,
+    ):
+        """Run ``fn()`` under this policy; return its result.
+
+        Retries on :meth:`is_retryable` failures, sleeping the
+        :meth:`delays` schedule between attempts (capped to the
+        deadline's remaining time).  ``on_retry(attempt, exc)`` fires
+        before each backoff — the hook the service counts retries
+        with.  Exhausted attempts re-raise the last failure; an
+        expired deadline raises
+        :class:`~repro.errors.DeadlineExceededError` from it instead.
+        """
+        last: BaseException | None = None
+        for attempt, delay in enumerate(self.delays() + [None], start=1):
+            if deadline is not None and deadline.expired:
+                raise DeadlineExceededError(
+                    f"deadline expired after {attempt - 1} attempt(s)"
+                ) from last
+            try:
+                return fn()
+            except BaseException as exc:
+                if delay is None or not self.is_retryable(exc):
+                    raise
+                last = exc
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                if deadline is not None:
+                    remaining = deadline.remaining
+                    if remaining <= 0:
+                        raise DeadlineExceededError(
+                            f"deadline expired after {attempt} attempt(s)"
+                        ) from last
+                    delay = min(delay, remaining)
+                if delay > 0:
+                    sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+#: The stack's default policy: three attempts, ~50 ms first backoff.
+DEFAULT_RETRY_POLICY = RetryPolicy()

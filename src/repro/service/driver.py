@@ -104,6 +104,10 @@ def request_kwargs(record: dict, default_seed: int = 0) -> dict:
                 if option == "memory_budget"
                 else int(record[option])
             )
+    if record.get("deadline") is not None:
+        # Seconds from submission; expired requests come back as typed
+        # DeadlineExceededError responses instead of running late.
+        source["deadline"] = float(record["deadline"])
     return source
 
 
@@ -162,6 +166,10 @@ def _response(record: dict, result, echo: bool) -> dict:
     plan = result.meta.get("plan")
     if plan is not None:
         out["strategy"] = plan.strategy
+    resilience = result.meta.get("resilience")
+    if resilience is not None:
+        out["degraded_to"] = resilience["executed"]
+        out["retries"] = resilience["retries"]
     timing = result.meta.get("service")
     if timing is not None:
         out["queue_wait_ms"] = round(timing["queue_wait"] * 1e3, 3)
@@ -221,7 +229,18 @@ async def serve_stream(
                 # line's error response, never a swallowed task
                 # exception with exit code 0.
                 failures += 1
-                emit({"id": record.get("id"), "ok": False, "error": str(exc)})
+                payload = {
+                    "id": record.get("id"),
+                    "ok": False,
+                    "error": str(exc),
+                    "error_type": type(exc).__name__,
+                }
+                retry_after = getattr(exc, "retry_after", None)
+                if retry_after is not None:
+                    # Shed under overload: tell the caller when to come
+                    # back instead of just turning them away.
+                    payload["retry_after"] = retry_after
+                emit(payload)
 
         line_no = 0
         while True:

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.plan.descriptor import InputDescriptor
+from repro.resilience.policy import Deadline
 from repro.service.stats import RequestTiming
 
 __all__ = ["SortRequest"]
@@ -43,6 +44,10 @@ class SortRequest:
     future: asyncio.Future = None
     enqueued_at: float = 0.0
     timing: RequestTiming = field(default_factory=RequestTiming)
+    #: Absolute time budget (monotonic) the whole request must finish
+    #: within; checked at dispatch, admission, and between engine
+    #: retries.  ``None`` = no deadline.
+    deadline: Deadline | None = None
 
     @property
     def cancelled(self) -> bool:

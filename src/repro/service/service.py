@@ -29,6 +29,17 @@ service does the multi-tenant work a blocking facade cannot:
 The engines themselves are untouched: concurrency changes *when* work
 happens, never *what* is produced (the same worker-count-independence
 doctrine :mod:`repro.parallel` established).
+
+The service is also the resilience integration point (PR 6): each
+request may carry a ``deadline`` (rejected once expired — at dispatch,
+after admission, and between engine retries), engine dispatches run
+under a **watchdog** (``asyncio.wait_for``; a hung worker thread
+cannot be killed, so it is abandoned and counted in
+``stats.timeouts``), failures retry and degrade down the engine ladder
+through :func:`~repro.resilience.degrade.resilient_execute`, and under
+a sustained failure rate the scheduler **sheds** small batchable
+requests early with :class:`~repro.errors.OverloadedError` carrying a
+retry-after hint derived from admission pressure.
 """
 
 from __future__ import annotations
@@ -36,18 +47,27 @@ from __future__ import annotations
 import asyncio
 import os
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from functools import partial
 
 import numpy as np
 
 from repro.core.pairs import decompose, recompose
-from repro.errors import AdmissionError, ConfigurationError
+from repro.errors import (
+    AdmissionError,
+    ConfigurationError,
+    DeadlineExceededError,
+    OverloadedError,
+)
 from repro.gpu.spec import GPUSpec, TITAN_X_PASCAL
 from repro.plan.descriptor import InputDescriptor
-from repro.plan.executors import ExecutorRegistry, execute_plan
+from repro.plan.executors import ExecutorRegistry
 from repro.plan.ir import SortPlan
 from repro.plan.planner import Planner
+from repro.resilience import faults
+from repro.resilience.degrade import DEFAULT_LADDER, resilient_execute
+from repro.resilience.policy import DEFAULT_RETRY_POLICY, Deadline, RetryPolicy
 from repro.service.admission import AdmissionController, plan_resident_bytes
 from repro.service.batching import BATCHABLE_STRATEGIES, execute_batch
 from repro.service.cache import PlanCache
@@ -93,6 +113,26 @@ class SortService:
         engine mapping, and the priced device.
     executor_threads:
         Thread-pool width engine dispatches run on.
+    retry_policy:
+        Per-rung retry policy for engine failures (see
+        :func:`~repro.resilience.degrade.resilient_execute`).  ``None``
+        disables retries.
+    degradation:
+        Walk failing in-memory plans down the engine ladder (hybrid →
+        LSD fallback → NumPy oracle) instead of failing the request;
+        downgrades are recorded in ``result.meta["resilience"]`` and
+        counted in ``stats.fallbacks``.
+    watchdog_timeout:
+        Seconds one engine dispatch may run before the service stops
+        waiting (``stats.timeouts``).  The worker thread itself cannot
+        be interrupted — it is abandoned and its pool slot is lost
+        until it returns — but the caller gets a prompt, typed
+        :class:`~repro.errors.DeadlineExceededError` instead of a
+        hang.  ``None`` disables the watchdog.
+    shed_failure_threshold:
+        Fraction of recent dispatches that must have failed before the
+        scheduler sheds small batchable requests with
+        :class:`~repro.errors.OverloadedError` (``stats.shed``).
 
     Use as an async context manager::
 
@@ -114,11 +154,23 @@ class SortService:
         plan_cache_size: int = 256,
         executor_threads: int = 4,
         spec: GPUSpec = TITAN_X_PASCAL,
+        retry_policy: RetryPolicy | None = DEFAULT_RETRY_POLICY,
+        degradation: bool = True,
+        watchdog_timeout: float | None = 60.0,
+        shed_failure_threshold: float = 0.5,
     ) -> None:
         if batch_max_requests < 1 or batch_max_records < 1:
             raise ConfigurationError("batch caps must be positive")
         if batch_window < 0:
             raise ConfigurationError("batch_window must be non-negative")
+        if watchdog_timeout is not None and watchdog_timeout <= 0:
+            raise ConfigurationError(
+                "watchdog_timeout must be positive (or None to disable)"
+            )
+        if not 0.0 < shed_failure_threshold <= 1.0:
+            raise ConfigurationError(
+                "shed_failure_threshold must be in (0, 1]"
+            )
         self.micro_batching = micro_batching
         self.small_request_records = int(small_request_records)
         self.batch_max_requests = int(batch_max_requests)
@@ -127,6 +179,10 @@ class SortService:
         self.planner = planner or Planner()
         self.registry = registry
         self.spec = spec
+        self.retry_policy = retry_policy
+        self.degradation = degradation
+        self.watchdog_timeout = watchdog_timeout
+        self.shed_failure_threshold = float(shed_failure_threshold)
         self.admission = AdmissionController(memory_budget)
         self.plan_cache = PlanCache(plan_cache_size)
         self.stats = ServiceStats()
@@ -136,6 +192,9 @@ class SortService:
         self._executor: ThreadPoolExecutor | None = None
         self._inflight: set[asyncio.Task] = set()
         self._closed = False
+        # Sliding window of recent dispatch outcomes (True = success)
+        # — the load-shedding signal.  Event-loop-only, no locking.
+        self._recent_outcomes: deque[bool] = deque(maxlen=32)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -198,6 +257,7 @@ class SortService:
         spool_dir: str | os.PathLike | None = None,
         config=None,
         device=None,
+        deadline: float | Deadline | None = None,
     ):
         """Queue one sort and await its result.
 
@@ -211,6 +271,13 @@ class SortService:
         request is still queued withdraws it.  Submissions made before
         :meth:`start` simply queue until the scheduler runs — the hook
         the deterministic batching tests use to stage a burst.
+
+        ``deadline`` is a whole-request time budget: seconds from now
+        (or a prepared :class:`~repro.resilience.policy.Deadline`).
+        An expired request is rejected with
+        :class:`~repro.errors.DeadlineExceededError` wherever it is —
+        queued, awaiting admission, or between engine retries — rather
+        than executed late.
         """
         if self._closed:
             raise ConfigurationError("service is closed")
@@ -228,6 +295,12 @@ class SortService:
             config=config,
             device=device,
         )
+        if deadline is not None:
+            request.deadline = (
+                deadline
+                if isinstance(deadline, Deadline)
+                else Deadline.after(float(deadline))
+            )
         return await self._enqueue(request)
 
     async def submit_many(self, payloads) -> list:
@@ -409,6 +482,28 @@ class SortService:
             if request.cancelled:
                 self.stats.cancelled += 1
                 continue
+            if request.deadline is not None and request.deadline.expired:
+                self.stats.rejected_expired += 1
+                request.reject(
+                    DeadlineExceededError(
+                        "deadline expired while the request was queued"
+                    )
+                )
+                continue
+            if self._batchable(request) and self._overloaded():
+                # Load shedding: under a sustained failure rate, small
+                # batchable requests (cheap for the caller to retry)
+                # are turned away immediately with a hint instead of
+                # queueing behind a struggling backend.
+                self.stats.shed += 1
+                request.reject(
+                    OverloadedError(
+                        "service is shedding small requests after "
+                        "repeated dispatch failures; retry later",
+                        retry_after=self._retry_after_hint(),
+                    )
+                )
+                continue
             if self.micro_batching and self._batchable(request):
                 groups.setdefault(request.batch_group(), []).append(request)
             else:
@@ -457,6 +552,35 @@ class SortService:
         task.add_done_callback(self._inflight.discard)
 
     # ------------------------------------------------------------------
+    # Load shedding
+    # ------------------------------------------------------------------
+    def _record_outcome(self, ok: bool) -> None:
+        self._recent_outcomes.append(ok)
+
+    def _overloaded(self) -> bool:
+        """True when recent dispatches fail at or above the threshold.
+
+        Needs a minimum sample (8 dispatches) so one early failure
+        cannot flip a fresh service into shedding.
+        """
+        window = self._recent_outcomes
+        if len(window) < 8:
+            return False
+        failures = sum(1 for ok in window if not ok)
+        return failures / len(window) >= self.shed_failure_threshold
+
+    def _retry_after_hint(self) -> float:
+        """Seconds a shed caller should wait, from admission pressure.
+
+        The mean engine time, scaled up with how full the admission
+        budget currently is — an empty service says "one dispatch from
+        now", a saturated one stretches the hint accordingly.
+        """
+        base = self.stats.mean_execute_seconds or 0.05
+        pressure = self.admission.in_flight / self.admission.capacity
+        return round(max(0.05, base * (1.0 + 4.0 * pressure)), 3)
+
+    # ------------------------------------------------------------------
     # Planning
     # ------------------------------------------------------------------
     def _plan_request(self, request: SortRequest) -> SortPlan:
@@ -465,6 +589,7 @@ class SortService:
         A per-request ``config=`` changes the plan in ways the cache
         signature does not capture, so those requests plan fresh.
         """
+        faults.trip("service.plan")
         t0 = time.perf_counter()
         config = request.io.get("config")
         if config is not None:
@@ -504,22 +629,82 @@ class SortService:
             request.reject(exc)
             return
         try:
+            if request.deadline is not None and request.deadline.expired:
+                self.stats.rejected_expired += 1
+                request.reject(
+                    DeadlineExceededError(
+                        "deadline expired while waiting for admission"
+                    )
+                )
+                return
             t0 = time.perf_counter()
-            result = await asyncio.get_running_loop().run_in_executor(
-                self._executor, partial(self._execute_single, plan, request)
+            report: dict = {}
+            result = await self._guarded_execute(
+                partial(self._execute_single, plan, request, report),
+                request.deadline,
             )
             request.timing.execute_seconds = time.perf_counter() - t0
+            self._harvest(report)
+            self._record_outcome(True)
             self._finish(request, plan, result)
             self.stats.record_batch(1)
         except Exception as exc:
             self.stats.failed += 1
+            self._record_outcome(False)
             request.reject(exc)
         finally:
             await self.admission.release(resident)
             self.stats.peak_in_flight_bytes = self.admission.peak_in_flight
 
-    def _execute_single(self, plan: SortPlan, request: SortRequest):
+    async def _guarded_execute(self, fn, deadline: Deadline | None):
+        """Run ``fn`` on the thread pool under the dispatch watchdog.
+
+        The timeout is the tighter of ``watchdog_timeout`` and the
+        request deadline's remaining budget plus a grace second (so a
+        responsive engine's own in-thread deadline check wins the race
+        and produces the precise error; the watchdog only fires when
+        the worker is truly stuck).  A fired watchdog abandons the
+        worker thread — Python offers no way to kill it — so the pool
+        slot stays occupied until the thread returns on its own; a
+        bounded ``hang`` fault (or a released one at teardown) keeps
+        tests from leaking threads forever.
+        """
+        future = asyncio.get_running_loop().run_in_executor(
+            self._executor, fn
+        )
+        budgets = []
+        if self.watchdog_timeout is not None:
+            budgets.append(self.watchdog_timeout)
+        if deadline is not None:
+            budgets.append(deadline.remaining + 1.0)
+        if not budgets:
+            return await future
+        timeout = min(budgets)
+        try:
+            return await asyncio.wait_for(future, timeout)
+        except (asyncio.TimeoutError, TimeoutError):
+            self.stats.timeouts += 1
+            raise DeadlineExceededError(
+                f"engine dispatch did not complete within {timeout:.3f}s; "
+                f"the worker thread was abandoned"
+            ) from None
+
+    def _harvest(self, report: dict) -> None:
+        """Fold a worker-thread resilience report into the stats.
+
+        The report dict is filled on the pool thread but read here on
+        the event loop only after the executor future resolved — the
+        happens-before edge that makes this lock-free.
+        """
+        self.stats.retries += report.get("retries", 0)
+        if report.get("downgrades"):
+            self.stats.fallbacks += 1
+
+    def _execute_single(
+        self, plan: SortPlan, request: SortRequest, report: dict
+    ):
         """Engine dispatch (runs on the thread pool)."""
+        faults.trip("service.execute")
         if request.kind == "file":
             io = {k: v for k, v in request.io.items()}
         else:
@@ -529,7 +714,15 @@ class SortService:
                 "config": request.io.get("config"),
                 "device": request.io.get("device"),
             }
-        result = execute_plan(plan, registry=self.registry, **io)
+        result = resilient_execute(
+            plan,
+            registry=self.registry,
+            ladder=DEFAULT_LADDER if self.degradation else (),
+            retry_policy=self.retry_policy,
+            deadline=request.deadline,
+            report=report,
+            **io,
+        )
         if request.kind == "records":
             result.meta["records"] = recompose(result.keys, result.values)
         return result
@@ -540,6 +733,14 @@ class SortService:
         runnable: list[SortRequest] = []
         for request in requests:
             request.timing.queue_wait = now - request.enqueued_at
+            if request.deadline is not None and request.deadline.expired:
+                self.stats.rejected_expired += 1
+                request.reject(
+                    DeadlineExceededError(
+                        "deadline expired while the request was queued"
+                    )
+                )
+                continue
             try:
                 plan = self._plan_request(request)
             except Exception as exc:
@@ -567,8 +768,17 @@ class SortService:
             return
         try:
             t0 = time.perf_counter()
-            results = await asyncio.get_running_loop().run_in_executor(
-                self._executor, partial(execute_batch, runnable)
+            batch_deadline = min(
+                (
+                    r.deadline
+                    for r in runnable
+                    if r.deadline is not None
+                ),
+                key=lambda d: d.expires_at,
+                default=None,
+            )
+            results = await self._guarded_execute(
+                partial(self._batch_dispatch, runnable), batch_deadline
             )
             dt = time.perf_counter() - t0
             for request, plan, result in zip(runnable, plans, results):
@@ -577,13 +787,21 @@ class SortService:
                 result.meta["plan"] = plan
                 self._finish(request, plan, result)
             self.stats.record_batch(len(runnable))
+            self._record_outcome(True)
         except Exception as exc:
             self.stats.failed += len(runnable)
+            self._record_outcome(False)
             for request in runnable:
                 request.reject(exc)
         finally:
             await self.admission.release(resident)
             self.stats.peak_in_flight_bytes = self.admission.peak_in_flight
+
+    @staticmethod
+    def _batch_dispatch(runnable: list[SortRequest]):
+        """Coalesced engine dispatch (runs on the thread pool)."""
+        faults.trip("service.execute")
+        return execute_batch(runnable)
 
     def _finish(self, request: SortRequest, plan: SortPlan, result) -> None:
         meta = getattr(result, "meta", None)

@@ -75,6 +75,13 @@ class ServiceStats:
     peak_in_flight_bytes:
         High-water mark of admitted working-set bytes — how close the
         service came to its memory budget.
+    retries / timeouts / fallbacks / rejected_expired / shed:
+        Failure-mode counters from the resilience layer: engine
+        attempts the :class:`~repro.resilience.policy.RetryPolicy`
+        retried, dispatches the watchdog timed out, requests completed
+        on a downgraded engine rung, requests rejected because their
+        deadline expired before execution, and small requests shed
+        under overload (each with a retry-after hint).
     """
 
     submitted: int = 0
@@ -91,6 +98,11 @@ class ServiceStats:
     plan_seconds: float = 0.0
     execute_seconds: float = 0.0
     peak_in_flight_bytes: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    fallbacks: int = 0
+    rejected_expired: int = 0
+    shed: int = 0
     by_strategy: dict = field(default_factory=dict)
 
     def record(self, timing: RequestTiming, strategy: str) -> None:
@@ -133,5 +145,10 @@ class ServiceStats:
             "mean_queue_wait": self.mean_queue_wait,
             "mean_execute_seconds": self.mean_execute_seconds,
             "peak_in_flight_bytes": self.peak_in_flight_bytes,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "fallbacks": self.fallbacks,
+            "rejected_expired": self.rejected_expired,
+            "shed": self.shed,
             "by_strategy": dict(self.by_strategy),
         }

@@ -1,0 +1,311 @@
+"""Crash-safe spilling: atomic runs, manifests, resume, no orphans.
+
+Everything here is about what survives a failure: a crashed spill must
+leave nothing under the run's name, a torn write must be detected at
+merge time by the CRC footer, an interrupted sort must resume to
+byte-identical output, and a failed production must never strand temp
+files in a caller-provided spool.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, CorruptRunError
+from repro.external import (
+    ExternalSorter,
+    FileLayout,
+    RUN_FOOTER_BYTES,
+    SpillManifest,
+    read_run,
+    read_run_footer,
+    write_records,
+    write_run,
+)
+from repro.external.merge import merge_runs
+from repro.external.runs import RunWriter, plan_runs
+from repro.resilience.faults import FaultPlan, inject
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    from repro.resilience import faults
+
+    faults.uninstall()
+    yield
+    faults.uninstall()
+
+
+def make_keys(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 1 << 32, n, dtype=np.uint64).astype(np.uint32)
+
+
+def expected_bytes(keys):
+    return np.sort(keys).tobytes()
+
+
+class TestRunFileFormat:
+    def test_roundtrip_with_footer(self, tmp_path):
+        layout = FileLayout("uint32")
+        keys = make_keys(1000)
+        path = str(tmp_path / "run-00000.bin")
+        crc = write_run(path, keys)
+        n_records, stored_crc = read_run_footer(path, layout)
+        assert (n_records, stored_crc) == (1000, crc)
+        assert os.path.getsize(path) == keys.nbytes + RUN_FOOTER_BYTES
+        back = read_run(path, layout)
+        assert np.array_equal(back, keys)
+
+    def test_flipped_payload_byte_is_detected(self, tmp_path):
+        layout = FileLayout("uint32")
+        path = str(tmp_path / "run-00000.bin")
+        write_run(path, make_keys(500))
+        with open(path, "r+b") as fh:
+            fh.seek(123)
+            byte = fh.read(1)
+            fh.seek(123)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        with pytest.raises(CorruptRunError, match="CRC"):
+            read_run(path, layout)
+        # verify=False is the explicit opt-out (resume uses verify=True).
+        read_run(path, layout, verify=False)
+
+    def test_truncated_file_is_detected(self, tmp_path):
+        layout = FileLayout("uint32")
+        path = str(tmp_path / "run-00000.bin")
+        write_run(path, make_keys(500))
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size - 40)
+        with pytest.raises(CorruptRunError):
+            read_run_footer(path, layout)
+
+    def test_foreign_file_is_not_a_run(self, tmp_path):
+        layout = FileLayout("uint32")
+        path = str(tmp_path / "run-00000.bin")
+        with open(path, "wb") as fh:
+            fh.write(b"x" * 64)
+        with pytest.raises(CorruptRunError, match="magic|footer"):
+            read_run_footer(path, layout)
+
+    def test_failed_spill_leaves_no_file_at_all(self, tmp_path):
+        # Torn write mid-spill: neither the final name nor the hidden
+        # temp may exist afterwards — the atomicity protocol's point.
+        path = str(tmp_path / "run-00000.bin")
+        with inject(FaultPlan.single("external.run_write", "partial")):
+            with pytest.raises(OSError):
+                write_run(path, make_keys(500))
+        assert not os.path.exists(path)
+        assert os.listdir(tmp_path) == []
+
+
+class TestMergeVerification:
+    def _runs(self, tmp_path, layout, n_runs=3, per_run=400):
+        paths = []
+        for i in range(n_runs):
+            keys = np.sort(make_keys(per_run, seed=i))
+            path = str(tmp_path / f"run-{i:05d}.bin")
+            write_run(path, keys)
+            paths.append(path)
+        return paths
+
+    def test_merge_rejects_corrupted_run(self, tmp_path):
+        layout = FileLayout("uint32")
+        paths = self._runs(tmp_path, layout)
+        with open(paths[1], "r+b") as fh:
+            fh.seek(64)
+            fh.write(b"\xff\xff\xff\xff")
+        out = str(tmp_path / "out.bin")
+        with pytest.raises(CorruptRunError):
+            merge_runs(paths, layout, out, block_records=64)
+
+    def test_merge_rejects_truncated_run(self, tmp_path):
+        layout = FileLayout("uint32")
+        paths = self._runs(tmp_path, layout, per_run=1000)
+        data = open(paths[0], "rb").read()
+        with open(paths[0], "wb") as fh:
+            fh.write(data[:2000])  # payload cut short, footer gone
+        out = str(tmp_path / "out.bin")
+        with pytest.raises(CorruptRunError):
+            merge_runs(paths, layout, out, block_records=64)
+
+
+class TestOrphanSweep:
+    def test_failed_production_without_manifest_sweeps_everything(
+        self, tmp_path
+    ):
+        layout = FileLayout("uint32")
+        inp = str(tmp_path / "in.bin")
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        keys = make_keys(4000)
+        write_records(inp, keys)
+        plan = plan_runs(keys.size, layout.record_bytes, keys.nbytes // 4)
+        assert plan.n_runs > 1
+        writer = RunWriter(layout)
+        # The third slice's spill fails; the two completed runs have
+        # nothing accounting for them and must not be left behind.
+        with inject(FaultPlan.single("external.run_write", after=2)):
+            with pytest.raises(Exception):
+                writer.write_runs(inp, plan, str(spool))
+        assert os.listdir(spool) == []
+
+    def test_failed_production_with_manifest_keeps_completed_runs(
+        self, tmp_path
+    ):
+        layout = FileLayout("uint32")
+        inp = str(tmp_path / "in.bin")
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        keys = make_keys(4000)
+        write_records(inp, keys)
+        plan = plan_runs(keys.size, layout.record_bytes, keys.nbytes // 4)
+        writer = RunWriter(layout)
+        manifest = SpillManifest.create(inp, layout, plan.bounds, "auto")
+        manifest.save(str(spool))
+        with inject(FaultPlan.single("external.run_write", after=2)):
+            with pytest.raises(Exception):
+                writer.write_runs(inp, plan, str(spool), manifest=manifest)
+        names = sorted(os.listdir(spool))
+        # Completed (manifest-recorded) runs survive for resume; the
+        # failed slice's temp never does.
+        assert "run-00000.bin" in names and "run-00001.bin" in names
+        assert not any(name.startswith(".tmp-run-") for name in names)
+
+
+class TestResume:
+    def _interrupt(self, tmp_path, site, n=30_000, **fault_kwargs):
+        layout = FileLayout("uint32")
+        keys = make_keys(n, seed=11)
+        inp = str(tmp_path / "in.bin")
+        out = str(tmp_path / "out.bin")
+        spool = str(tmp_path / "spool")
+        write_records(inp, keys)
+        sorter = ExternalSorter(
+            memory_budget=keys.nbytes // 4, spool_dir=spool,
+            retry_policy=None,
+        )
+        with inject(FaultPlan.single(site, **fault_kwargs)):
+            with pytest.raises(Exception):
+                sorter.sort_file(inp, out, layout)
+        return sorter, layout, keys, inp, out
+
+    def test_resume_after_merge_crash_reuses_every_run(self, tmp_path):
+        sorter, layout, keys, inp, out = self._interrupt(
+            tmp_path, "external.merge_read"
+        )
+        assert not os.path.exists(out)  # atomic merge: no partial output
+        report = sorter.resume(inp, out, layout)
+        assert report.reused_runs == report.n_runs > 1
+        assert open(out, "rb").read() == expected_bytes(keys)
+
+    def test_resume_reproduces_corrupt_and_missing_runs(self, tmp_path):
+        sorter, layout, keys, inp, out = self._interrupt(
+            tmp_path, "external.merge_read"
+        )
+        spool = sorter.spool_dir
+        runs = sorted(
+            name for name in os.listdir(spool) if name.endswith(".bin")
+        )
+        os.unlink(os.path.join(spool, runs[0]))
+        with open(os.path.join(spool, runs[1]), "r+b") as fh:
+            fh.seek(32)
+            fh.write(b"\x00\x01\x02\x03")
+        report = sorter.resume(inp, out, layout)
+        assert report.reused_runs == report.n_runs - 2
+        assert open(out, "rb").read() == expected_bytes(keys)
+
+    def test_resume_is_byte_identical_even_with_different_budget(
+        self, tmp_path
+    ):
+        # Run boundaries come from the manifest, not the current
+        # budget, so a resumed sorter configured differently still
+        # reproduces the uninterrupted output bit-for-bit.
+        sorter, layout, keys, inp, out = self._interrupt(
+            tmp_path, "external.merge_read"
+        )
+        resumer = ExternalSorter(
+            memory_budget=keys.nbytes * 2, spool_dir=sorter.spool_dir
+        )
+        report = resumer.resume(inp, out, layout)
+        assert open(out, "rb").read() == expected_bytes(keys)
+        assert report.n_runs == len(
+            plan_runs(
+                keys.size, layout.record_bytes, keys.nbytes // 4
+            ).bounds
+        ) - 1
+
+    def test_resume_rejects_mismatched_input(self, tmp_path):
+        sorter, layout, keys, inp, out = self._interrupt(
+            tmp_path, "external.merge_read"
+        )
+        other = str(tmp_path / "other.bin")
+        write_records(other, make_keys(1000, seed=5))
+        with pytest.raises(ConfigurationError, match="refusing to mix"):
+            sorter.resume(other, out, layout)
+
+    def test_resume_without_manifest_is_loud(self, tmp_path):
+        inp = str(tmp_path / "in.bin")
+        write_records(inp, make_keys(100))
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        sorter = ExternalSorter(spool_dir=str(spool))
+        with pytest.raises(ConfigurationError, match="no spill manifest"):
+            sorter.resume(inp, str(tmp_path / "out.bin"), FileLayout("uint32"))
+
+    def test_resume_requires_a_spool_dir(self, tmp_path):
+        inp = str(tmp_path / "in.bin")
+        write_records(inp, make_keys(100))
+        with pytest.raises(ConfigurationError, match="spool_dir"):
+            ExternalSorter().resume(
+                inp, str(tmp_path / "out.bin"), FileLayout("uint32")
+            )
+
+
+class TestKillAndResume:
+    def test_sigkill_mid_production_then_resume(self, tmp_path):
+        """The real crash: a child process dies by SIGKILL between run
+        production and merge; a fresh process resumes to the exact
+        bytes an uninterrupted sort would have produced."""
+        layout = FileLayout("uint32")
+        keys = make_keys(20_000, seed=23)
+        inp = str(tmp_path / "in.bin")
+        out = str(tmp_path / "out.bin")
+        spool = str(tmp_path / "spool")
+        write_records(inp, keys)
+        budget = keys.nbytes // 4
+
+        child = f"""
+import os, signal
+from repro.external import ExternalSorter, FileLayout, SpillManifest
+from repro.external.runs import RunWriter, plan_runs
+layout = FileLayout("uint32")
+plan = plan_runs({keys.size}, layout.record_bytes, {budget})
+os.makedirs({spool!r}, exist_ok=True)
+manifest = SpillManifest.create({inp!r}, layout, plan.bounds, "auto")
+manifest.save({spool!r})
+writer = RunWriter(layout)
+writer.write_runs({inp!r}, plan, {spool!r}, manifest=manifest)
+os.kill(os.getpid(), signal.SIGKILL)  # dies before merging
+"""
+        env = dict(os.environ, PYTHONPATH=os.path.abspath(REPO_SRC))
+        proc = subprocess.run(
+            [sys.executable, "-c", child], env=env,
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+        assert not os.path.exists(out)
+
+        sorter = ExternalSorter(memory_budget=budget, spool_dir=spool)
+        report = sorter.resume(inp, out, layout)
+        assert report.reused_runs == report.n_runs > 1
+        assert open(out, "rb").read() == expected_bytes(keys)

@@ -21,6 +21,7 @@ from repro.external import (
     FileLayout,
     plan_runs,
     read_records,
+    read_run,
     write_records,
 )
 from repro.external.runs import RunWriter
@@ -177,7 +178,7 @@ class TestRunWriter:
         assert len(paths) == plan.n_runs
         for i, path in enumerate(paths):
             lo, hi = plan.bounds[i], plan.bounds[i + 1]
-            run = read_records(path, layout)
+            run = read_run(path, layout)
             assert np.array_equal(run, np.sort(keys[lo:hi]))
 
     def test_runs_identical_for_any_worker_count(self, tmp_path, rng):

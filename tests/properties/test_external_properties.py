@@ -21,7 +21,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.external import ExternalSorter, FileLayout, write_records
+from repro.external import ExternalSorter, FileLayout, write_records, write_run
 from repro.external.merge import merge_runs
 from repro.hetero.merge import kway_merge_pairs
 
@@ -35,7 +35,7 @@ def _write_runs(tmpdir, layout, runs):
     paths = []
     for i, (keys, values) in enumerate(runs):
         path = os.path.join(tmpdir, f"run-{i:05d}.bin")
-        write_records(path, layout.to_records(keys, values))
+        write_run(path, layout.to_records(keys, values))
         paths.append(path)
     return paths
 

@@ -1,0 +1,167 @@
+"""Deadlines and retry policies: exact schedules, strict budgets."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    TransientError,
+)
+from repro.resilience.policy import (
+    DEFAULT_RETRY_POLICY,
+    Deadline,
+    RetryPolicy,
+)
+
+
+class TestDeadline:
+    def test_after_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Deadline.after(-1.0)
+
+    def test_zero_budget_is_already_expired(self):
+        deadline = Deadline.after(0.0)
+        assert deadline.expired
+        assert deadline.remaining == 0.0
+        with pytest.raises(DeadlineExceededError, match="before planning"):
+            deadline.check("planning")
+
+    def test_remaining_counts_down_never_negative(self):
+        deadline = Deadline.after(60.0)
+        assert 59.0 < deadline.remaining <= 60.0
+        assert not deadline.expired
+        expired = Deadline(time.monotonic() - 5.0)
+        assert expired.remaining == 0.0
+        assert expired.expired
+
+
+class TestRetryPolicyConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(multiplier=0.5)
+
+    def test_delays_are_deterministic_and_bounded(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.1, multiplier=2.0,
+            max_delay=0.3, jitter=0.5, seed=42,
+        )
+        first, second = policy.delays(), policy.delays()
+        assert first == second  # seeded jitter replays bit-for-bit
+        assert len(first) == 4
+        raws = [0.1, 0.2, 0.3, 0.3]  # capped by max_delay
+        for delay, raw in zip(first, raws):
+            assert raw * 0.5 <= delay <= raw
+
+    def test_zero_jitter_is_pure_exponential(self):
+        policy = RetryPolicy(
+            max_attempts=4, base_delay=0.05, multiplier=3.0,
+            max_delay=10.0, jitter=0.0,
+        )
+        assert policy.delays() == pytest.approx([0.05, 0.15, 0.45])
+
+    def test_retryability_doctrine(self):
+        policy = DEFAULT_RETRY_POLICY
+        assert policy.is_retryable(TransientError("x"))
+        assert policy.is_retryable(OSError("disk hiccup"))
+        assert not policy.is_retryable(ValueError("caller bug"))
+        # Never retried, even under a catch-all retry_on: retrying
+        # cannot manufacture time.
+        broad = RetryPolicy(retry_on=(Exception,))
+        assert not broad.is_retryable(DeadlineExceededError("late"))
+
+
+class TestRetryPolicyCall:
+    def test_success_needs_no_sleep(self):
+        slept = []
+        result = RetryPolicy(max_attempts=3).call(
+            lambda: "ok", sleep=slept.append
+        )
+        assert result == "ok"
+        assert slept == []
+
+    def test_retries_follow_the_declared_schedule(self):
+        policy = RetryPolicy(max_attempts=3, jitter=0.0, base_delay=0.01)
+        attempts = []
+        slept = []
+        hooks = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise TransientError("blip")
+            return "third time lucky"
+
+        result = policy.call(
+            flaky,
+            sleep=slept.append,
+            on_retry=lambda attempt, exc: hooks.append(
+                (attempt, type(exc).__name__)
+            ),
+        )
+        assert result == "third time lucky"
+        assert slept == pytest.approx(policy.delays())
+        assert hooks == [(1, "TransientError"), (2, "TransientError")]
+
+    def test_non_retryable_raises_immediately(self):
+        attempts = []
+
+        def bug():
+            attempts.append(1)
+            raise ValueError("deterministic caller bug")
+
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=5).call(bug, sleep=lambda _: None)
+        assert len(attempts) == 1
+
+    def test_exhausted_attempts_reraise_last_failure(self):
+        def always():
+            raise TransientError("still down")
+
+        with pytest.raises(TransientError, match="still down"):
+            RetryPolicy(max_attempts=3).call(always, sleep=lambda _: None)
+
+    def test_expired_deadline_wins_over_remaining_retries(self):
+        deadline = Deadline.after(0.0)
+
+        def flaky():
+            raise TransientError("blip")
+
+        with pytest.raises(DeadlineExceededError):
+            RetryPolicy(max_attempts=5).call(
+                flaky, deadline=deadline, sleep=lambda _: None
+            )
+
+    def test_deadline_expiry_chains_the_real_failure(self):
+        deadline = Deadline.after(0.02)
+
+        def flaky():
+            raise TransientError("the actual problem")
+
+        with pytest.raises(DeadlineExceededError) as info:
+            RetryPolicy(
+                max_attempts=10, base_delay=0.05, jitter=0.0
+            ).call(flaky, deadline=deadline)
+        assert isinstance(info.value.__cause__, TransientError)
+
+    def test_backoff_never_sleeps_past_the_deadline(self):
+        deadline = Deadline.after(0.05)
+        slept = []
+
+        def flaky():
+            raise TransientError("blip")
+
+        with pytest.raises((TransientError, DeadlineExceededError)):
+            RetryPolicy(
+                max_attempts=3, base_delay=10.0, jitter=0.0
+            ).call(flaky, deadline=deadline, sleep=slept.append)
+        assert all(s <= 0.05 for s in slept)

@@ -244,3 +244,67 @@ class TestGenAndSortFile:
                  "--output", str(tmp_path / "out.bin"), "--dtype", "uint32"]
             )
         assert "multiple" in str(exc.value)
+
+
+class TestChaosCommand:
+    def test_list_prints_the_site_table(self, capsys):
+        rc = main(["chaos", "--list"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        from repro.resilience.faults import SITES
+
+        for site in SITES:
+            assert site in out
+
+    def test_single_site_sweep_is_contained(self, capsys):
+        rc = main(["chaos", "--site", "engine.hybrid", "--n", "3000"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "1 scenario(s), 1 contained, 0 failed" in out
+
+    def test_unknown_site_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--site", "engine.imaginary"])
+
+
+class TestSortFileResume:
+    def test_resume_without_spool_dir_is_an_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="--spool-dir"):
+            main(
+                ["sort-file", "--input", str(tmp_path / "in.bin"),
+                 "--output", str(tmp_path / "out.bin"), "--resume"]
+            )
+
+    def test_interrupt_then_resume_via_cli(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.external import ExternalSorter, FileLayout, write_records
+        from repro.resilience.faults import FaultPlan, inject
+
+        layout = FileLayout("uint32")
+        rng = np.random.default_rng(9)
+        keys = rng.integers(0, 1 << 32, 20_000, dtype=np.uint64).astype(
+            np.uint32
+        )
+        inp = str(tmp_path / "in.bin")
+        out = str(tmp_path / "out.bin")
+        spool = str(tmp_path / "spool")
+        write_records(inp, keys)
+        sorter = ExternalSorter(
+            memory_budget=keys.nbytes // 4, spool_dir=spool,
+            retry_policy=None,
+        )
+        with inject(FaultPlan.single("external.merge_read")):
+            with pytest.raises(Exception):
+                sorter.sort_file(inp, out, layout)
+        rc = main(
+            ["sort-file", "--input", inp, "--output", out,
+             "--dtype", "uint32", "--spool-dir", spool, "--resume",
+             "--memory-budget", str(keys.nbytes // 4), "--verify"]
+        )
+        stdout = capsys.readouterr().out
+        assert rc == 0
+        assert "resumed         : reused" in stdout
+        assert "verified        : yes" in stdout
+        got = np.fromfile(out, dtype=np.uint32)
+        assert np.array_equal(got, np.sort(keys))
