@@ -1,0 +1,21 @@
+"""Standalone entry point for the sharded multiprocess scaling bench.
+
+Measures real host throughput of ``repro.sort(keys, shards=k)`` across
+process counts, verifying every sharded result byte-identical to the
+single-process oracle before anything is reported::
+
+    PYTHONPATH=src python benchmarks/bench_shard.py [--quick]
+
+It writes ``BENCH_shard.json`` (see ``--output``).  The implementation
+lives in :mod:`repro.bench.shard`; the CLI subcommand
+``python -m repro bench-shard`` runs the same harness.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.shard import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,6 +79,8 @@ __all__ = [
     "Planner",
     "ReproError",
     "ResourceExhaustedError",
+    "ShardSupervisor",
+    "ShardedSortService",
     "SimulatedGPU",
     "SortConfig",
     "SortPlan",
@@ -115,6 +117,14 @@ def __getattr__(name: str):
         from repro.service import SortService
 
         return SortService
+    if name == "ShardedSortService":
+        from repro.shard.service import ShardedSortService
+
+        return ShardedSortService
+    if name == "ShardSupervisor":
+        from repro.shard.supervisor import ShardSupervisor
+
+        return ShardSupervisor
     if name in ("RetryPolicy", "Deadline"):
         from repro.resilience import policy
 
@@ -136,6 +146,7 @@ def _describe(
     layout=None,
     dtype=None,
     value_dtype=None,
+    shards: int | None = None,
 ) -> InputDescriptor:
     """Build the planner's input descriptor for arrays or file paths."""
     spec = device.spec if device is not None else TITAN_X_PASCAL
@@ -154,6 +165,7 @@ def _describe(
         None if values is None else np.asarray(values),
         memory_budget=memory_budget,
         workers=workers,
+        shards=shards or 1,
         spec=spec,
     )
 
@@ -185,6 +197,7 @@ def plan_for(
     *,
     memory_budget: int | None = None,
     workers: int | None = None,
+    shards: int | None = None,
     layout=None,
     dtype=None,
     value_dtype=None,
@@ -197,7 +210,7 @@ def plan_for(
     """
     descriptor = _describe(
         data, values, device, memory_budget, workers, config,
-        layout, dtype, value_dtype,
+        layout, dtype, value_dtype, shards,
     )
     return Planner(config=config).plan(descriptor)
 
@@ -209,6 +222,7 @@ def sort(
     *,
     memory_budget: int | None = None,
     workers: int | None = None,
+    shards: int | None = None,
     output: str | os.PathLike | None = None,
     layout=None,
     dtype=None,
@@ -232,10 +246,17 @@ def sort(
       and merges them into ``output=``, returning the
       :class:`~repro.external.ExternalSortReport`.
 
-    ``workers=`` fans disjoint work across host threads; the output is
-    byte-identical for any worker count.
+    ``workers=`` fans disjoint work across host threads and
+    ``shards=`` across worker *processes* (shared-memory slabs +
+    scatter/merge, :mod:`repro.shard`); the output is byte-identical
+    for any worker or shard count.
     """
     if isinstance(data, (str, os.PathLike)):
+        if shards is not None and shards > 1:
+            raise ConfigurationError(
+                "shards= applies to in-memory arrays; file inputs "
+                "scale out through memory_budget= runs"
+            )
         if output is None:
             raise ConfigurationError("sorting a file path needs output=")
         if config is not None:
@@ -271,7 +292,9 @@ def sort(
             f"{', '.join(stray)}= only apply to file-path inputs; "
             f"got an in-memory array"
         )
-    descriptor = _describe(data, None, device, memory_budget, workers, config)
+    descriptor = _describe(
+        data, None, device, memory_budget, workers, config, shards=shards
+    )
     return execute_plan(
         Planner(config=config).plan(descriptor),
         keys=np.asarray(data),
@@ -288,12 +311,13 @@ def sort_pairs(
     *,
     memory_budget: int | None = None,
     workers: int | None = None,
+    shards: int | None = None,
 ) -> SortResult:
     """Sort decomposed key-value pairs (§4.6) through the planner."""
     keys = np.asarray(keys)
     values = np.asarray(values)
     descriptor = _describe(
-        keys, values, device, memory_budget, workers, config
+        keys, values, device, memory_budget, workers, config, shards=shards
     )
     plan = Planner(config=config).plan(descriptor)
     return execute_plan(
@@ -308,6 +332,7 @@ def sort_records(
     *,
     memory_budget: int | None = None,
     workers: int | None = None,
+    shards: int | None = None,
 ) -> SortResult:
     """Sort coherent key-value records: decompose, sort, recompose."""
     keys, values = decompose(records)
@@ -318,6 +343,7 @@ def sort_records(
         device=device,
         memory_budget=memory_budget,
         workers=workers,
+        shards=shards,
     )
     result.meta["records"] = recompose(result.keys, result.values)
     return result

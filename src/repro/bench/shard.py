@@ -1,0 +1,218 @@
+"""Multiprocess sharded-engine scaling benchmark (``bench-shard``).
+
+One workload — keys32-uniform, the acceptance case every PR quotes —
+timed through ``repro.sort`` at 1, 2, 3, 4 shard processes.  The
+single-process run is the oracle: **every** timed sharded run is
+compared byte-for-byte against it, and the harness refuses to write a
+report containing a mismatch, exactly like the wallclock bench refuses
+unverified cases.  A scaling number for a wrong sort is worthless; a
+scaling number for an *unchecked* sort is worse, because it looks
+meaningful.
+
+The report records ``host_cpus`` next to every speed-up: the sharded
+backend cannot scale past the cores the host actually grants (on a
+1-CPU CI container the expected curve is flat-to-slightly-negative —
+scatter/merge overhead with no parallelism to pay for it), so the
+speed-up column is only meaningful on hosts with ``host_cpus >=
+shards``.  Entry points:
+
+* ``python -m repro bench-shard [--quick]`` — the CLI subcommand;
+* ``python benchmarks/bench_shard.py ...`` — the same harness as a
+  standalone script (what CI smoke-runs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.bench.wallclock import check_output_writable
+from repro.workloads import typed_keys
+
+__all__ = [
+    "run_scaling",
+    "write_report",
+    "add_bench_shard_args",
+    "execute",
+    "main",
+]
+
+#: Acceptance workload size (matches the wallclock default).
+DEFAULT_N = 1 << 23
+#: ``--quick`` size for CI smoke runs — small, but large enough that
+#: the planner still routes ``shards>1`` to the multiprocess engine.
+QUICK_N = 1 << 19
+
+
+def _parse_shards(text: str) -> tuple[int, ...]:
+    try:
+        shards = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise SystemExit(f"error: invalid --shards list {text!r}")
+    if not shards or any(k < 1 for k in shards):
+        raise SystemExit("error: --shards needs positive process counts")
+    return shards
+
+
+def _time_sort(keys: np.ndarray, shards: int, repeats: int):
+    """Best-of-``repeats`` wall time for one shard count; returns result."""
+    import repro
+
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        result = repro.sort(keys, shards=shards)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run_scaling(
+    n: int = DEFAULT_N,
+    seed: int = 20170514,
+    repeats: int = 2,
+    shard_counts: tuple[int, ...] = (1, 2, 3, 4),
+    echo=None,
+) -> dict:
+    """Measure Mkeys/s across shard counts; verify each against shards=1.
+
+    The oracle run (``shards=1``) always executes first, whether or not
+    1 is in ``shard_counts`` — nothing is reported unverified.
+    """
+    from repro.shard.router import shutdown_default_pools
+
+    keys = typed_keys(n, np.uint32, "uniform", np.random.default_rng(seed))
+    # Warm pass primes allocator and imports before anything is timed.
+    import repro
+
+    repro.sort(keys[: max(1024, n // 16)].copy())
+    oracle_seconds, oracle = _time_sort(keys, 1, repeats)
+    oracle_bytes = oracle.keys.tobytes()
+    base_rate = n / oracle_seconds / 1e6
+    results = []
+    for count in shard_counts:
+        if count == 1:
+            seconds, identical, meta = oracle_seconds, True, oracle.meta
+        else:
+            # A fresh pool per shard count: pool spin-up is charged to
+            # the warm-up sort, not to the timed repeats.
+            seconds, result = _time_sort(keys, count, repeats)
+            identical = result.keys.tobytes() == oracle_bytes
+            meta = result.meta
+        record = {
+            "shards": count,
+            "seconds": seconds,
+            "mkeys_per_s": round(n / seconds / 1e6, 3),
+            "speedup_vs_1": round(oracle_seconds / seconds, 3),
+            "identical": identical,
+            "engine": meta.get("engine"),
+            "partition": meta.get("partition"),
+            "restarts": meta.get("restarts", 0),
+        }
+        results.append(record)
+        if echo is not None:
+            echo(
+                f"shards={count}  {record['mkeys_per_s']:9.2f} Mkeys/s"
+                f"  ({seconds * 1e3:.1f} ms, {record['speedup_vs_1']:.2f}x"
+                f"{'' if identical else ', NOT IDENTICAL'})"
+            )
+    shutdown_default_pools()
+    best = max(r["speedup_vs_1"] for r in results)
+    return {
+        "schema": 1,
+        "benchmark": "sharded multiprocess scaling, repro.sort(shards=k)",
+        "workload": "keys32-uniform",
+        "n": n,
+        "seed": seed,
+        "repeats": repeats,
+        "host_cpus": os.cpu_count(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "baseline_mkeys_per_s": round(base_rate, 3),
+        "best_speedup": best,
+        "note": (
+            "speedup is bounded above by min(shards, host_cpus); on a "
+            "host with fewer cores than shards the curve measures "
+            "scatter/merge overhead, not scaling"
+        ),
+        "results": results,
+    }
+
+
+def write_report(report: dict, path: str) -> None:
+    """Persist a report — refusing one with a non-identical result."""
+    broken = [
+        str(r["shards"])
+        for r in report.get("results", ())
+        if not r["identical"]
+    ]
+    if broken:
+        raise ValueError(
+            "refusing to write a report with non-identical sharded "
+            "output at shards=" + ", ".join(broken)
+        )
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+
+def add_bench_shard_args(parser: argparse.ArgumentParser) -> None:
+    """The harness's options — shared by every entry point."""
+    parser.add_argument("--n", type=int, default=DEFAULT_N)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=20170514)
+    parser.add_argument(
+        "--shards",
+        default="1,2,3,4",
+        help="comma-separated shard process counts (default 1,2,3,4)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"CI smoke mode: n={QUICK_N}, one repeat",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_shard.json",
+        help="report path (default: BENCH_shard.json in the cwd)",
+    )
+
+
+def execute(args) -> int:
+    """Shared entry-point body for the CLI subcommand and the script."""
+    check_output_writable(args.output)
+    n, repeats = args.n, args.repeats
+    if args.quick:
+        n, repeats = QUICK_N, 1
+    report = run_scaling(
+        n=n,
+        seed=args.seed,
+        repeats=repeats,
+        shard_counts=_parse_shards(args.shards),
+        echo=print,
+    )
+    if not all(r["identical"] for r in report["results"]):
+        print("error: a sharded result diverged from the oracle; "
+              "no report written")
+        return 1
+    write_report(report, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Multiprocess sharded-engine scaling benchmark"
+    )
+    add_bench_shard_args(parser)
+    return execute(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,7 +55,7 @@ from repro.external.format import FileLayout
 from repro.external.runs import read_run_footer
 from repro.resilience import faults
 
-__all__ = ["merge_runs"]
+__all__ = ["drain_cursors", "merge_runs"]
 
 
 def _comparison_keys(
@@ -184,6 +184,62 @@ def _write_block(out, records: np.ndarray) -> None:
     records.tofile(out)
 
 
+def drain_cursors(cursors, emit) -> int:
+    """Drain sorted cursors into ``emit`` in one globally stable order.
+
+    The cursor-generic core of the bounded-lookahead merge (module
+    docstring, steps 1-3): anything exposing the ``_RunCursor``
+    surface — ``refill()``, ``pending``, ``buffered``, ``head``,
+    ``last``, ``split_below()``, ``split_through()``, ``take()`` —
+    merges through the same loop, so the file merge here and the
+    in-memory shard reduce (:mod:`repro.shard.merge`) share one
+    stability proof.  ``emit(records)`` receives each merged block in
+    output order; the return value is the total records emitted.
+    """
+    written = 0
+    while True:
+        for cursor in cursors:
+            cursor.refill()
+        active = [c for c in cursors if c.buffered]
+        if not active:
+            return written
+        pending_lasts = [c.last for c in active if c.pending]
+        if pending_lasts:
+            bound = min(pending_lasts)
+            counts = [c.split_below(bound) for c in active]
+        else:
+            bound = None
+            counts = [c.buffered for c in active]
+        if sum(counts):
+            # Everything below the bound is complete in memory:
+            # concatenate in run order and stable-sort, which
+            # breaks ties by run index exactly like the
+            # in-memory k-way merge.
+            taken = [
+                c.take(n) for c, n in zip(active, counts) if n
+            ]
+            records = np.concatenate([r for r, _ in taken])
+            ckeys = np.concatenate([k for _, k in taken])
+            order = np.argsort(ckeys, kind="stable")
+            emit(records[order])
+            written += records.size
+            continue
+        # Every buffered key is >= bound and the bound-defining
+        # cursor's whole block equals it: a run of equal keys
+        # straddles a block boundary.  Drain the equal keys in
+        # run-index order, block by block, so memory stays
+        # bounded and the stability contract holds.
+        for cursor in cursors:
+            cursor.refill()
+            while cursor.buffered and cursor.head == bound:
+                records, _ = cursor.take(
+                    cursor.split_through(bound)
+                )
+                emit(records)
+                written += records.size
+                cursor.refill()
+
+
 def merge_runs(
     run_paths: list[str],
     layout: FileLayout,
@@ -223,51 +279,11 @@ def merge_runs(
     cursors = [
         _RunCursor(path, layout, block_records, fused) for path in run_paths
     ]
-    written = 0
     try:
         with open(output_path, "wb") as out:
-            while True:
-                for cursor in cursors:
-                    cursor.refill()
-                active = [c for c in cursors if c.buffered]
-                if not active:
-                    break
-                pending_lasts = [c.last for c in active if c.pending]
-                if pending_lasts:
-                    bound = min(pending_lasts)
-                    counts = [c.split_below(bound) for c in active]
-                else:
-                    bound = None
-                    counts = [c.buffered for c in active]
-                if sum(counts):
-                    # Everything below the bound is complete in memory:
-                    # concatenate in run order and stable-sort, which
-                    # breaks ties by run index exactly like the
-                    # in-memory k-way merge.
-                    taken = [
-                        c.take(n) for c, n in zip(active, counts) if n
-                    ]
-                    records = np.concatenate([r for r, _ in taken])
-                    ckeys = np.concatenate([k for _, k in taken])
-                    order = np.argsort(ckeys, kind="stable")
-                    _write_block(out, records[order])
-                    written += records.size
-                    continue
-                # Every buffered key is >= bound and the bound-defining
-                # cursor's whole block equals it: a run of equal keys
-                # straddles a block boundary.  Drain the equal keys in
-                # run-index order, block by block, so memory stays
-                # bounded and the stability contract holds.
-                for cursor in cursors:
-                    cursor.refill()
-                    while cursor.buffered and cursor.head == bound:
-                        records, _ = cursor.take(
-                            cursor.split_through(bound)
-                        )
-                        _write_block(out, records)
-                        written += records.size
-                        cursor.refill()
+            return drain_cursors(
+                cursors, lambda records: _write_block(out, records)
+            )
     finally:
         for cursor in cursors:
             cursor.close()
-    return written

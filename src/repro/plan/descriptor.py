@@ -46,6 +46,11 @@ class InputDescriptor:
     workers:
         Host threads the execution may fan disjoint work across.
         Never affects the plan's output — only its wall-clock.
+    shards:
+        Worker *processes* the sort may scatter across
+        (:mod:`repro.shard`).  Like ``workers``, never affects the
+        output bytes — only where the work runs.  ``1`` means
+        single-process.
     spec:
         The simulated device the cost annotations are priced against.
     """
@@ -57,6 +62,7 @@ class InputDescriptor:
     path: str | None = None
     memory_budget: int | None = None
     workers: int = 1
+    shards: int = 1
     spec: GPUSpec = field(default=TITAN_X_PASCAL, repr=False)
 
     def __post_init__(self) -> None:
@@ -70,6 +76,13 @@ class InputDescriptor:
             raise ConfigurationError("memory_budget must be positive")
         if self.workers < 1:
             raise ConfigurationError("workers must be >= 1")
+        if self.shards < 1:
+            raise ConfigurationError("shards must be >= 1")
+        if self.shards > 1 and self.source == "file":
+            raise ConfigurationError(
+                "shards= applies to in-memory arrays; file inputs "
+                "scale out through the external sorter's run plan"
+            )
         object.__setattr__(self, "key_dtype", np.dtype(self.key_dtype))
         if self.value_dtype is not None:
             object.__setattr__(
@@ -111,6 +124,7 @@ class InputDescriptor:
         values: np.ndarray | None = None,
         memory_budget: int | None = None,
         workers: int = 1,
+        shards: int = 1,
         spec: GPUSpec = TITAN_X_PASCAL,
     ) -> "InputDescriptor":
         """Describe an in-memory (keys[, values]) input without copying it."""
@@ -128,6 +142,7 @@ class InputDescriptor:
             source="array",
             memory_budget=memory_budget,
             workers=workers,
+            shards=shards,
             spec=spec,
         )
 
@@ -177,6 +192,7 @@ class InputDescriptor:
             "path": self.path,
             "memory_budget": self.memory_budget,
             "workers": self.workers,
+            "shards": self.shards,
             "spec": self.spec.name,
             "total_bytes": self.total_bytes,
         }

@@ -164,6 +164,35 @@ def _execute_external(
     return sorter.execute_plan(plan, desc.path, output_path, layout)
 
 
+def _execute_sharded(
+    plan: SortPlan,
+    keys: np.ndarray,
+    values: np.ndarray | None = None,
+    config=None,
+    supervisor=None,
+    partition: str | None = None,
+    device=None,
+    **_: object,
+) -> SortResult:
+    """The multiprocess scatter/merge backend (:mod:`repro.shard`).
+
+    Sits above ``hybrid`` on the degradation ladder: if the worker
+    pool is systematically failing, :func:`repro.resilience.degrade.
+    resilient_execute` falls back to the single-process engines, which
+    produce byte-identical output.
+    """
+    from repro.shard.router import execute_sharded_plan
+
+    return execute_sharded_plan(
+        plan,
+        keys=keys,
+        values=values,
+        config=_merged_config(plan, config),
+        supervisor=supervisor,
+        partition=partition,
+    )
+
+
 def _execute_oracle(
     plan: SortPlan,
     keys: np.ndarray,
@@ -196,6 +225,7 @@ DEFAULT_REGISTRY.register("hybrid", _execute_hybrid)
 DEFAULT_REGISTRY.register("fallback", _execute_fallback)
 DEFAULT_REGISTRY.register("hetero", _execute_hetero)
 DEFAULT_REGISTRY.register("external", _execute_external)
+DEFAULT_REGISTRY.register("sharded", _execute_sharded)
 DEFAULT_REGISTRY.register("oracle", _execute_oracle)
 
 

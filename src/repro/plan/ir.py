@@ -26,6 +26,9 @@ STEP_KINDS = MappingProxyType({
     "chunked-pipeline": "budgeted chunks through the §5 pipeline",
     "spill-runs": "memory-budgeted sorted runs spilled to disk",
     "kway-merge": "k-way merge of sorted runs",
+    "shard-scatter": "partitioning input into per-shard memory slabs",
+    "shard-sort": "per-shard sorts across worker processes",
+    "shard-merge": "bits-space k-way reduce of sorted shards",
 })
 
 
@@ -77,7 +80,8 @@ class SortPlan:
         The :class:`~repro.plan.descriptor.InputDescriptor` planned for.
     strategy:
         Which executor family runs the plan: ``"hybrid"``,
-        ``"fallback"``, ``"hetero"``, or ``"external"``.
+        ``"fallback"``, ``"hetero"``, ``"external"``, or
+        ``"sharded"``.
     engine:
         Human-readable engine name (class that executes the plan).
     steps:

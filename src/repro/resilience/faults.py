@@ -100,6 +100,19 @@ SITES: dict[str, str] = {
         "executor registry: the NumPy stable-sort oracle rung "
         "(the ladder's last resort)"
     ),
+    "engine.sharded": (
+        "executor registry: the multiprocess sharded engine rung"
+    ),
+    "shard.scatter": (
+        "sharded router: partitioning input into per-shard memory slabs"
+    ),
+    "shard.dispatch": (
+        "sharded supervisor: dispatching one shard task to a worker "
+        "process"
+    ),
+    "shard.merge": (
+        "sharded router: the bits-space k-way reduce of sorted shards"
+    ),
 }
 
 

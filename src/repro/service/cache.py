@@ -40,6 +40,7 @@ def descriptor_signature(descriptor: InputDescriptor) -> tuple:
         descriptor.path,
         descriptor.memory_budget,
         descriptor.workers,
+        descriptor.shards,
         descriptor.spec.name,
     )
 

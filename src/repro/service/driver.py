@@ -97,7 +97,7 @@ def request_kwargs(record: dict, default_seed: int = 0) -> dict:
             "request needs 'keys' (inline), 'n' (generated), or "
             "'input' (file)"
         )
-    for option in ("memory_budget", "workers"):
+    for option in ("memory_budget", "workers", "shards"):
         if record.get(option) is not None:
             source[option] = (
                 _parse_size(record[option])
@@ -190,6 +190,7 @@ async def serve_stream(
     *,
     seed: int = 0,
     echo_limit: int = 10_000,
+    shards: int | None = None,
     **service_kwargs,
 ) -> int:
     """Drive a :class:`SortService` from a line stream; returns exit code.
@@ -199,6 +200,11 @@ async def serve_stream(
     Requests are submitted as soon as their line parses — concurrent
     in-flight requests are what gives the scheduler bursts to batch —
     and responses stream out as they complete.
+
+    ``shards`` > 1 swaps the backend for a
+    :class:`~repro.shard.service.ShardedSortService` — that many worker
+    processes, each running a full service; the final stats record then
+    carries fleet-wide totals plus a per-worker breakdown.
     """
     loop = asyncio.get_running_loop()
     failures = 0
@@ -207,7 +213,13 @@ async def serve_stream(
     def emit(payload: dict) -> None:
         write(json.dumps(payload) + "\n")
 
-    async with SortService(**service_kwargs) as service:
+    if shards is not None and shards > 1:
+        from repro.shard.service import ShardedSortService
+
+        backend = ShardedSortService(shards=shards, **service_kwargs)
+    else:
+        backend = SortService(**service_kwargs)
+    async with backend as service:
 
         async def run_one(record: dict) -> None:
             nonlocal failures

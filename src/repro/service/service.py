@@ -249,6 +249,7 @@ class SortService:
         *,
         memory_budget: int | None = None,
         workers: int | None = None,
+        shards: int | None = None,
         output: str | os.PathLike | None = None,
         layout=None,
         dtype=None,
@@ -286,6 +287,7 @@ class SortService:
             values,
             memory_budget=memory_budget,
             workers=workers,
+            shards=shards,
             output=output,
             layout=layout,
             dtype=dtype,
@@ -334,6 +336,7 @@ class SortService:
         *,
         memory_budget,
         workers,
+        shards,
         output,
         layout,
         dtype,
@@ -349,6 +352,11 @@ class SortService:
         if isinstance(data, (str, os.PathLike)):
             if output is None:
                 raise ConfigurationError("sorting a file path needs output=")
+            if shards is not None and shards > 1:
+                raise ConfigurationError(
+                    "shards= applies to in-memory arrays; file inputs "
+                    "already stream through the external engine"
+                )
             if values is not None:
                 raise ConfigurationError(
                     "values= does not apply to file-path inputs; describe "
@@ -410,6 +418,7 @@ class SortService:
             values,
             memory_budget=memory_budget,
             workers=workers,
+            shards=shards or 1,
             spec=spec,
         )
         return SortRequest(

@@ -1,0 +1,45 @@
+"""Multiprocess sharded scale-out: slabs, a worker pool, and a router.
+
+Single-process throughput is capped well short of the hardware — NumPy
+kernels release the GIL but the Python orchestration around them does
+not — so this package scatters a sort across worker *processes*:
+
+* :mod:`repro.shard.slab` — zero-copy ``multiprocessing.shared_memory``
+  slabs with an explicit create/attach/close/unlink lifecycle and a
+  leak-auditable registry;
+* :mod:`repro.shard.supervisor` — a restartable pool of workers that
+  execute pickled :class:`~repro.plan.ir.SortPlan` objects against
+  slab-backed arrays through the ordinary executor registry;
+* :mod:`repro.shard.merge` — the bits-space k-way reduce, sharing the
+  external sorter's bounded-lookahead merge core and its stability
+  proof;
+* :mod:`repro.shard.router` — scatter → parallel shard sorts → reduce,
+  byte-identical to the single-process sort by construction;
+* :mod:`repro.shard.service` — :class:`ShardedSortService`, N worker
+  processes each running a full :class:`~repro.service.SortService`.
+
+Entry points: ``repro.sort(..., shards=k)``, ``repro serve --shards``,
+``repro bench-shard``.
+"""
+
+from repro.shard.slab import Slab, SlabRef, live_slab_names, system_slab_names
+from repro.shard.supervisor import ShardSupervisor
+from repro.shard.router import execute_sharded_plan
+
+__all__ = [
+    "Slab",
+    "SlabRef",
+    "ShardSupervisor",
+    "ShardedSortService",
+    "execute_sharded_plan",
+    "live_slab_names",
+    "system_slab_names",
+]
+
+
+def __getattr__(name: str):
+    if name == "ShardedSortService":
+        from repro.shard.service import ShardedSortService
+
+        return ShardedSortService
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,491 @@
+"""Process-sharded sort service: N worker processes, one front door.
+
+:class:`~repro.service.service.SortService` scales until the event
+loop and the Python-side orchestration saturate one core; this module
+scales past that by running **one full service per worker process**
+and routing requests across them.  The front-end keeps the exact
+``submit()`` surface, so callers swap ``SortService`` for
+:class:`ShardedSortService` (or pass ``--shards`` to ``repro serve``)
+and nothing else changes:
+
+* requests round-robin across workers — request-level scatter; a
+  single oversized request scatters *within* a worker via the slab
+  router when submitted with ``shards=`` (the engine-level path);
+* each worker is a forked process running its own asyncio loop, its
+  own :class:`~repro.service.service.SortService` (admission budget,
+  micro-batching, plan cache, resilience ladder — all per worker);
+* results and typed errors come back over the worker's pipe; one
+  reader thread per worker hands them to the parent loop with
+  ``call_soon_threadsafe`` — the loop itself never blocks on a pipe;
+* a worker that dies fails its in-flight requests with
+  :class:`~repro.errors.TransientError` (the caller may resubmit;
+  other workers are untouched) and is restarted, up to
+  ``max_restarts`` for the service's lifetime — after that the dead
+  slot stays dead, and when no slot is left
+  :class:`~repro.errors.EngineFailedError` marks the failure
+  systematic, mirroring :class:`~repro.shard.supervisor.ShardSupervisor`;
+* ``close()`` collects each worker's final
+  :class:`~repro.service.stats.ServiceStats` and aggregates them, so
+  the ``repro serve`` trailer reports fleet-wide totals plus the
+  per-worker breakdown.
+
+What crosses the pipe here is the *request payload* (arrays pickle),
+not slab names — this tier trades a copy per request for complete
+per-worker isolation.  The zero-copy path stays in
+:mod:`repro.shard.router`, underneath each worker's engines.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import atexit
+import itertools
+import threading
+import weakref
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, EngineFailedError, TransientError
+from repro.resilience.policy import Deadline
+
+__all__ = ["ShardedSortService", "ShardedServiceStats"]
+
+#: Services whose workers may still be running at interpreter exit.
+#: Workers are non-daemon (they must be able to spawn the slab
+#: supervisor's own worker processes — daemonic processes cannot have
+#: children), and multiprocessing joins non-daemon children at exit;
+#: this sweep stops them first so an unclosed service cannot deadlock
+#: the interpreter against a worker blocked on its pipe.
+_LIVE_SERVICES: "weakref.WeakSet[ShardedSortService]" = weakref.WeakSet()
+_ATEXIT_INSTALLED = False
+
+
+def _stop_live_services() -> None:  # pragma: no cover - teardown path
+    for service in list(_LIVE_SERVICES):
+        service._emergency_stop()
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _service_worker_main(conn, service_kwargs: dict) -> None:
+    """Entry point of one service worker process (top-level for spawn)."""
+    try:
+        asyncio.run(_service_worker(conn, service_kwargs))
+    finally:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - racing parent close
+            pass
+
+
+async def _service_worker(conn, service_kwargs: dict) -> None:
+    from repro.service.service import SortService
+
+    loop = asyncio.get_running_loop()
+    pending: set[asyncio.Task] = set()
+    async with SortService(**service_kwargs) as service:
+        while True:
+            try:
+                message = await loop.run_in_executor(None, conn.recv)
+            except (EOFError, OSError):  # parent went away
+                message = ("stop",)
+            if message[0] == "stop":
+                break
+            _, request_id, payload = message
+            task = asyncio.create_task(
+                _serve_one(service, conn, request_id, payload)
+            )
+            pending.add(task)
+            task.add_done_callback(pending.discard)
+        while pending:
+            await asyncio.gather(*list(pending), return_exceptions=True)
+        stats = service.stats.to_dict()
+    try:
+        conn.send(("stats", stats))
+    except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
+        pass
+
+
+async def _serve_one(service, conn, request_id: int, payload: dict) -> None:
+    """Run one submitted request and send its outcome to the parent."""
+    try:
+        data = payload.pop("data")
+        values = payload.pop("values", None)
+        result = await service.submit(data, values, **payload)
+        message = ("result", request_id, result)
+    except Exception as exc:  # noqa: BLE001 - forwarded, typed, to parent
+        message = ("error", request_id, exc)
+    try:
+        conn.send(message)
+    except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
+        pass
+    except Exception as exc:
+        # The result (or the original exception) did not pickle; the
+        # caller still gets a typed answer instead of a hang.
+        conn.send(
+            ("error", request_id,
+             TransientError(
+                 f"response could not cross the process boundary: "
+                 f"{type(exc).__name__}: {exc}"
+             ))
+        )
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+@dataclass
+class _ServiceWorker:
+    """Parent-side handle: process + pipe + in-flight futures."""
+
+    index: int
+    process: object
+    conn: object
+    inflight: dict[int, asyncio.Future] = field(default_factory=dict)
+    stats_future: asyncio.Future | None = None
+    dead: bool = False
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+
+class ShardedServiceStats:
+    """Fleet-wide aggregate of per-worker :class:`ServiceStats` dicts.
+
+    Counters sum across workers; ``by_strategy`` merges; the raw
+    per-worker dicts ride along under ``per_worker``.  Final figures
+    exist only after :meth:`ShardedSortService.close` collected them —
+    before that, ``to_dict`` reports the parent-side routing counters.
+    """
+
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.failed = 0
+        self.restarts = 0
+        self.worker_stats: list[dict] = []
+
+    def to_dict(self) -> dict:
+        merged: dict = {
+            "sharded": True,
+            "workers": len(self.worker_stats),
+            "restarts": self.restarts,
+            "routed": self.submitted,
+            "routing_failures": self.failed,
+        }
+        totals: dict = {}
+        strategies: dict = {}
+        # High-water marks are per-worker maxima, not fleet sums.
+        max_keys = ("max_batch_size", "peak_in_flight_bytes")
+        for stats in self.worker_stats:
+            for key, value in stats.items():
+                if key == "by_strategy":
+                    for name, count in value.items():
+                        strategies[name] = strategies.get(name, 0) + count
+                elif isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    if key in max_keys:
+                        totals[key] = max(totals.get(key, 0), value)
+                    else:
+                        totals[key] = totals.get(key, 0) + value
+        completed = totals.get("completed", 0)
+        if completed:
+            totals["mean_queue_wait"] = (
+                totals.get("queue_wait_seconds", 0.0) / completed
+            )
+            totals["mean_execute_seconds"] = (
+                totals.get("execute_seconds", 0.0) / completed
+            )
+        merged.update(totals)
+        merged["by_strategy"] = strategies
+        merged["per_worker"] = list(self.worker_stats)
+        return merged
+
+
+class ShardedSortService:
+    """Async sort service front-end over N service worker processes.
+
+    Parameters
+    ----------
+    shards:
+        Worker-process count (each runs a complete
+        :class:`~repro.service.service.SortService`).
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` where
+        available (inherits loaded engine modules), the platform
+        default elsewhere.
+    max_restarts:
+        Worker restarts tolerated over the service's lifetime before a
+        dying slot is abandoned.
+    **service_kwargs:
+        Forwarded verbatim to every worker's ``SortService`` —
+        ``memory_budget``, ``micro_batching``, ``watchdog_timeout``,
+        and friends all apply per worker.
+
+    Use as an async context manager, exactly like ``SortService``::
+
+        async with ShardedSortService(shards=4) as svc:
+            result = await svc.submit(keys)
+    """
+
+    def __init__(
+        self,
+        *,
+        shards: int = 2,
+        start_method: str | None = None,
+        max_restarts: int = 4,
+        **service_kwargs,
+    ) -> None:
+        import multiprocessing
+
+        if shards < 1:
+            raise ConfigurationError("shards must be >= 1")
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.shards = int(shards)
+        self.max_restarts = int(max_restarts)
+        self.stats = ShardedServiceStats()
+        self._service_kwargs = dict(service_kwargs)
+        self._ctx = multiprocessing.get_context(start_method)
+        self._workers: list[_ServiceWorker] = []
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._request_ids = itertools.count(1)
+        self._rr = 0
+        self._closed = False
+        global _ATEXIT_INSTALLED
+        if not _ATEXIT_INSTALLED:
+            # Registered after `import multiprocessing` above, so this
+            # runs before multiprocessing's own join-children handler.
+            atexit.register(_stop_live_services)
+            _ATEXIT_INSTALLED = True
+        _LIVE_SERVICES.add(self)
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> "ShardedSortService":
+        """Start the worker fleet (idempotent)."""
+        if self._closed:
+            raise ConfigurationError("service is closed")
+        self._loop = asyncio.get_running_loop()
+        while len(self._workers) < self.shards:
+            self._workers.append(self._spawn(len(self._workers)))
+        return self
+
+    async def close(self) -> None:
+        """Stop every worker, collecting and aggregating final stats."""
+        if self._closed:
+            return
+        self._closed = True
+        _LIVE_SERVICES.discard(self)
+        stopping = [w for w in self._workers if not w.dead]
+        for worker in stopping:
+            worker.stats_future = self._loop.create_future()
+            try:
+                worker.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                worker.stats_future.set_result(None)
+        for worker in stopping:
+            try:
+                stats = await asyncio.wait_for(worker.stats_future, 30.0)
+            except (asyncio.TimeoutError, TimeoutError):
+                stats = None
+            if stats is not None:
+                self.stats.worker_stats.append(stats)
+            await self._loop.run_in_executor(None, self._reap, worker)
+
+    @staticmethod
+    def _reap(worker: _ServiceWorker, grace: float = 5.0) -> None:
+        worker.process.join(timeout=grace)
+        if worker.process.is_alive():  # pragma: no cover - stuck worker
+            worker.process.kill()
+            worker.process.join(timeout=grace)
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        worker.process.close()
+
+    def _emergency_stop(self) -> None:  # pragma: no cover - teardown path
+        """Synchronous last-resort worker stop (atexit / leak sweep)."""
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.conn.send(("stop",))
+            except Exception:
+                pass
+            try:
+                worker.conn.close()
+            except Exception:
+                pass
+            try:
+                worker.process.join(timeout=5.0)
+                if worker.process.is_alive():
+                    worker.process.kill()
+                    worker.process.join(timeout=5.0)
+            except Exception:
+                pass
+
+    async def __aenter__(self) -> "ShardedSortService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    def worker_pids(self) -> tuple[int, ...]:
+        """Live worker PIDs (crash tests aim SIGKILL with these)."""
+        return tuple(w.pid for w in self._workers if not w.dead)
+
+    # -- worker management ----------------------------------------------
+    def _spawn(self, index: int) -> _ServiceWorker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_service_worker_main,
+            args=(child_conn, self._service_kwargs),
+            name=f"repro-shard-service-{index}",
+            # Non-daemon: the worker's engines may spawn the slab
+            # supervisor's processes, which daemonic parents cannot.
+            daemon=False,
+        )
+        process.start()
+        child_conn.close()
+        worker = _ServiceWorker(index, process, parent_conn)
+        threading.Thread(
+            target=self._pump,
+            args=(worker,),
+            name=f"repro-shard-service-reader-{index}",
+            daemon=True,
+        ).start()
+        return worker
+
+    def _pump(self, worker: _ServiceWorker) -> None:
+        """Reader thread: pipe → event loop.  One per live worker."""
+        while True:
+            try:
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                self._signal(self._on_worker_exit, worker)
+                return
+            self._signal(self._on_message, worker, message)
+            if message[0] == "stats":
+                return
+
+    def _signal(self, callback, *args) -> None:
+        try:
+            self._loop.call_soon_threadsafe(callback, *args)
+        except RuntimeError:  # pragma: no cover - loop already closed
+            pass
+
+    def _on_message(self, worker: _ServiceWorker, message: tuple) -> None:
+        kind = message[0]
+        if kind == "stats":
+            if worker.stats_future is not None and not worker.stats_future.done():
+                worker.stats_future.set_result(message[1])
+            return
+        _, request_id, payload = message
+        future = worker.inflight.pop(request_id, None)
+        if future is None or future.done():
+            return
+        if kind == "result":
+            future.set_result(payload)
+        else:
+            self.stats.failed += 1
+            future.set_exception(payload)
+
+    def _on_worker_exit(self, worker: _ServiceWorker) -> None:
+        """The pipe closed without a stats trailer: the worker died."""
+        if worker.dead:
+            return
+        worker.dead = True
+        exc = TransientError(
+            f"sharded service worker {worker.index} (pid {worker.pid}) "
+            f"died with {len(worker.inflight)} request(s) in flight; "
+            f"resubmit"
+        )
+        for future in worker.inflight.values():
+            if not future.done():
+                self.stats.failed += 1
+                future.set_exception(exc)
+        worker.inflight.clear()
+        if worker.stats_future is not None and not worker.stats_future.done():
+            worker.stats_future.set_result(None)
+        if not self._closed and self.stats.restarts < self.max_restarts:
+            self.stats.restarts += 1
+            self._workers[worker.index] = self._spawn(worker.index)
+
+    # -- submission ------------------------------------------------------
+    def _pick_worker(self) -> _ServiceWorker:
+        alive = [w for w in self._workers if not w.dead]
+        if not alive:
+            raise EngineFailedError(
+                "every sharded service worker is dead and the restart "
+                "budget is exhausted — failures are systematic"
+            )
+        worker = alive[self._rr % len(alive)]
+        self._rr += 1
+        return worker
+
+    async def submit(
+        self,
+        data,
+        values: np.ndarray | None = None,
+        *,
+        deadline: float | Deadline | None = None,
+        **kwargs,
+    ):
+        """Queue one sort on the next worker; await its result.
+
+        Accepts what :meth:`SortService.submit` accepts — including
+        ``shards=`` for engine-level scatter inside the worker — and
+        resolves with the same result objects, byte-identical to a
+        direct call.  A worker crash rejects the request with
+        :class:`~repro.errors.TransientError`; the request is *not*
+        silently replayed (the caller owns idempotency).
+        """
+        if self._closed:
+            raise ConfigurationError("service is closed")
+        await self.start()
+        if isinstance(deadline, Deadline):
+            # Monotonic clocks do not cross process boundaries intact;
+            # ship the remaining budget and let the worker re-anchor.
+            deadline = deadline.remaining
+        payload = {"data": data, "values": values, **kwargs}
+        if deadline is not None:
+            payload["deadline"] = float(deadline)
+        worker = self._pick_worker()
+        request_id = next(self._request_ids)
+        future = self._loop.create_future()
+        worker.inflight[request_id] = future
+        self.stats.submitted += 1
+        try:
+            worker.conn.send(("submit", request_id, payload))
+        except (BrokenPipeError, OSError):
+            # The reader thread will notice the death and reject this
+            # future (with restart accounting); just await it.
+            pass
+        except Exception as exc:
+            worker.inflight.pop(request_id, None)
+            self.stats.failed += 1
+            raise ConfigurationError(
+                f"request payload could not cross the process boundary: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        return await future
+
+    async def submit_many(self, payloads) -> list:
+        """Submit a sequence concurrently; gather results in order.
+
+        Payload forms match :meth:`SortService.submit_many`: an array,
+        a ``(keys, values)`` tuple, or a dict of submit kwargs.
+        """
+        coros = []
+        for payload in payloads:
+            if isinstance(payload, dict):
+                coros.append(self.submit(**payload))
+            elif isinstance(payload, tuple):
+                coros.append(self.submit(*payload))
+            else:
+                coros.append(self.submit(payload))
+        return list(await asyncio.gather(*coros))

@@ -1,0 +1,257 @@
+"""Zero-copy shared-memory slabs with an explicit, auditable lifecycle.
+
+The sharded backend moves *descriptions* of work between processes
+(:class:`~repro.plan.ir.SortPlan` objects and :class:`SlabRef` names)
+and never the data itself: input and output arrays live in
+``multiprocessing.shared_memory`` segments — **slabs** — that the
+parent creates and every worker attaches to by name.  One copy in at
+scatter time, one copy out at gather time, zero copies across the
+process boundary.
+
+Lifecycle is explicit because leaked POSIX shared memory outlives the
+process that forgot it::
+
+    create(n, dtype)  ->  the owner's slab; backs ``.ndarray``
+    attach(ref)       ->  a non-owning view in another process
+    close()           ->  drop this process's mapping
+    unlink()          ->  owner-only: remove the segment system-wide
+
+Every created slab is recorded in a process-local registry keyed by
+segment name; :func:`live_slab_names` exposes it so the test suite can
+snapshot the registry around every test and fail on anything left
+behind, and :func:`system_slab_names` audits ``/dev/shm`` for segments
+any *other* (possibly crashed) process leaked.  An ``atexit`` hook
+unlinks whatever the registry still holds — a crash-path safety net,
+not an excuse to skip ``unlink()``.
+
+Two portability notes, both load-bearing:
+
+* Python 3.11's ``SharedMemory`` registers segments with the resource
+  tracker on *attach* as well as on create (``track=False`` arrives in
+  3.13), so a spawned worker's exit would unlink segments the parent
+  still owns — and under fork, where every process shares *one*
+  tracker whose cache is a set, concurrent attach/detach of the same
+  slab name from several workers makes register/unregister pairs
+  collapse and misfire.  Slabs therefore opt out of the tracker
+  entirely: :func:`_untracked` constructs every ``SharedMemory`` with
+  the registration suppressed, and cleanup belongs to
+  :meth:`Slab.unlink` + the registry's ``atexit`` sweep.  (The cost:
+  a SIGKILLed *parent* leaks its live slabs until ``/dev/shm`` is
+  swept — :func:`system_slab_names` exists to audit exactly that.)
+* Ownership is guarded by the creating PID: forked workers inherit the
+  parent's registry, and without the guard their ``atexit`` pass would
+  unlink the parent's live segments.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+import threading
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "SLAB_PREFIX",
+    "Slab",
+    "SlabRef",
+    "live_slab_names",
+    "system_slab_names",
+]
+
+#: Every slab name starts with this, so leak audits (and a human in
+#: ``ls /dev/shm``) can tell our segments from the system's.
+SLAB_PREFIX = "repro-slab-"
+
+_REGISTRY: dict[str, "Slab"] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+#: Serializes the construction-time tracker patch below; slab creation
+#: can race across the service's executor threads.
+_TRACKER_PATCH_LOCK = threading.Lock()
+
+
+def _untracked(**kwargs):
+    """Construct a ``SharedMemory`` with tracker registration suppressed.
+
+    The pre-3.13 equivalent of ``SharedMemory(..., track=False)``: the
+    constructor's ``resource_tracker.register`` call is stubbed out for
+    the duration (under a lock — registration is process-local state).
+    See the module docstring for why slabs must stay out of the
+    tracker's ledger entirely.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    with _TRACKER_PATCH_LOCK:
+        original = resource_tracker.register
+        resource_tracker.register = lambda name, rtype: None
+        try:
+            return shared_memory.SharedMemory(**kwargs)
+        finally:
+            resource_tracker.register = original
+
+
+def _retrack(shm) -> None:
+    """Re-register just before ``SharedMemory.unlink``.
+
+    ``unlink()`` unconditionally unregisters; with registration
+    suppressed at construction that entry never existed and the tracker
+    daemon would print a ``KeyError`` traceback.  A matching register
+    immediately beforehand keeps its ledger balanced — and only the
+    owner ever sends this pair, so the shared tracker's set semantics
+    cannot collide across processes.
+    """
+    from multiprocessing import resource_tracker
+
+    try:
+        resource_tracker.register(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals moved
+        pass
+
+
+class SlabRef(NamedTuple):
+    """A picklable name for a slab — what crosses the process boundary."""
+
+    name: str
+    dtype: str
+    n: int
+
+
+class Slab:
+    """One shared-memory array segment.  Use :meth:`create` / :meth:`attach`."""
+
+    def __init__(self, shm, dtype, n: int, owner: bool) -> None:
+        self._shm = shm
+        self.name = shm.name
+        self.dtype = np.dtype(dtype)
+        self.n = int(n)
+        self.owner = bool(owner)
+        self._owner_pid = os.getpid() if owner else None
+        self._closed = False
+        self._unlinked = False
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def create(cls, n: int, dtype) -> "Slab":
+        """Allocate a new slab for ``n`` elements of ``dtype`` (owner)."""
+        dtype = np.dtype(dtype)
+        if n < 0:
+            raise ConfigurationError("slab size must be non-negative")
+        name = f"{SLAB_PREFIX}{os.getpid()}-{secrets.token_hex(6)}"
+        shm = _untracked(
+            # SharedMemory refuses zero-byte segments; a 0-element slab
+            # still needs a name to ship, so give it one byte.
+            name=name, create=True, size=max(1, n * dtype.itemsize)
+        )
+        slab = cls(shm, dtype, n, owner=True)
+        with _REGISTRY_LOCK:
+            _REGISTRY[slab.name] = slab
+        return slab
+
+    @classmethod
+    def attach(cls, ref: SlabRef) -> "Slab":
+        """Map an existing slab by reference (non-owning)."""
+        shm = _untracked(name=ref.name)
+        return cls(shm, ref.dtype, ref.n, owner=False)
+
+    # -- views ----------------------------------------------------------
+    @property
+    def ndarray(self) -> np.ndarray:
+        """A fresh array view over the slab's memory (no copy)."""
+        if self._closed:
+            raise ConfigurationError(f"slab {self.name} is closed")
+        return np.ndarray((self.n,), dtype=self.dtype, buffer=self._shm.buf)
+
+    @property
+    def nbytes(self) -> int:
+        return self.n * self.dtype.itemsize
+
+    def ref(self) -> SlabRef:
+        return SlabRef(self.name, str(self.dtype), self.n)
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Drop this process's mapping (keeps the segment alive)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except BufferError:
+            # An ndarray view is still exported; the mapping lingers
+            # until it is garbage-collected.  unlink() below is what
+            # actually frees the system resource, so this is benign.
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment system-wide.  Owner-only, idempotent."""
+        if not self.owner or self._owner_pid != os.getpid():
+            raise ConfigurationError(
+                f"only the creating process may unlink slab {self.name}"
+            )
+        self.close()
+        if self._unlinked:
+            return
+        self._unlinked = True
+        _retrack(self._shm)
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - external cleanup
+            # unlink() skipped its own unregister; balance _retrack.
+            from multiprocessing import resource_tracker
+
+            try:
+                resource_tracker.unregister(self._shm._name, "shared_memory")
+            except Exception:
+                pass
+        with _REGISTRY_LOCK:
+            _REGISTRY.pop(self.name, None)
+
+    # -- context manager ------------------------------------------------
+    def __enter__(self) -> "Slab":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self.owner and self._owner_pid == os.getpid():
+            self.unlink()
+        else:
+            self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        role = "owner" if self.owner else "attached"
+        return f"Slab({self.name}, {self.dtype}x{self.n}, {role})"
+
+
+def live_slab_names() -> tuple[str, ...]:
+    """Names of slabs this process created and has not unlinked."""
+    with _REGISTRY_LOCK:
+        return tuple(sorted(_REGISTRY))
+
+
+def system_slab_names() -> tuple[str, ...]:
+    """Slab-prefixed segments visible system-wide (``/dev/shm``).
+
+    Catches segments leaked by *crashed* processes, which no in-process
+    registry can see.  Returns ``()`` where ``/dev/shm`` does not exist.
+    """
+    try:
+        entries = os.listdir("/dev/shm")
+    except OSError:  # pragma: no cover - non-tmpfs platforms
+        return ()
+    return tuple(sorted(e for e in entries if e.startswith(SLAB_PREFIX)))
+
+
+def _cleanup_at_exit() -> None:  # pragma: no cover - interpreter teardown
+    for slab in list(_REGISTRY.values()):
+        try:
+            slab.unlink()
+        except Exception:
+            pass
+
+
+atexit.register(_cleanup_at_exit)

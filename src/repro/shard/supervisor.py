@@ -1,0 +1,437 @@
+"""A restartable pool of worker processes executing serialized plans.
+
+The supervisor is the process-boundary half of the sharded backend:
+it owns N long-lived worker processes, each running
+:func:`_worker_main` — a loop that receives a :class:`_ShardTask`
+(a pickled :class:`~repro.plan.ir.SortPlan` plus
+:class:`~repro.shard.slab.SlabRef` names), attaches the named slabs,
+executes the plan through the ordinary executor registry
+(:func:`repro.plan.executors.execute_plan`), writes the sorted columns
+into the output slabs, and acknowledges.  Workers never receive array
+data over the pipe; the PR 4 plan IR already describes work without
+holding any, which is exactly what makes it shippable.
+
+Failure semantics (the PR 6 resilience contract, extended across the
+process boundary):
+
+* a worker that reports a typed engine error forwards the original
+  exception; deterministic errors (configuration, unsupported dtype)
+  re-raise in the parent unchanged, while
+  :class:`~repro.errors.TransientError` is retried in place;
+* a worker that *dies* (SIGKILL, OOM, segfault) is detected by its
+  closed pipe, restarted, and its in-flight task retried — up to
+  ``task_retries`` times, after which the supervisor raises
+  :class:`~repro.errors.TransientError` (a fresh attempt may succeed;
+  the caller's retry policy / engine ladder decides);
+* a worker that *hangs* past ``task_timeout`` is killed and treated as
+  a crash — the pool never wedges its caller;
+* a pool that exceeds its per-call restart budget raises
+  :class:`~repro.errors.EngineFailedError` — something is systematically
+  killing workers and retrying would loop forever.
+
+After any failed batch the supervisor recycles every worker, so a
+half-drained queue can never desynchronise the next call's protocol.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+
+from repro.errors import (
+    ConfigurationError,
+    EngineFailedError,
+    TransientError,
+)
+from repro.resilience import faults
+from repro.shard.slab import Slab, SlabRef
+
+__all__ = ["ShardSupervisor", "DEFAULT_TASK_TIMEOUT"]
+
+#: Generous per-task wall-clock bound; a worker silent past this is
+#: killed and the task retried.  Containment, not scheduling: tests
+#: use much smaller values.
+DEFAULT_TASK_TIMEOUT = 600.0
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """One unit of worker work: a plan plus the slabs it reads/writes.
+
+    ``select`` narrows the input slabs to this shard's records:
+    ``("slice", lo, hi)`` takes a contiguous range;
+    ``("mask", sid_ref, shard_index)`` takes the records whose entry in
+    the shard-id slab equals ``shard_index`` (order-preserving).
+    ``None`` sorts the whole slab.
+    """
+
+    plan: object
+    config: object
+    keys: SlabRef
+    values: SlabRef | None
+    out_keys: SlabRef
+    out_values: SlabRef | None
+    select: tuple | None = None
+
+
+def _run_task(task: _ShardTask) -> dict:
+    """Execute one task against its slabs (worker side)."""
+    from repro.plan.executors import execute_plan
+
+    slabs: list[Slab] = []
+    keys = values = None
+
+    def attach(ref: SlabRef) -> Slab:
+        slab = Slab.attach(ref)
+        slabs.append(slab)
+        return slab
+
+    try:
+        keys = attach(task.keys).ndarray
+        values = attach(task.values).ndarray if task.values else None
+        if task.select is not None:
+            mode, a, b = task.select
+            if mode == "slice":
+                keys = keys[a:b]
+                values = None if values is None else values[a:b]
+            else:  # "mask": this shard's records, in input order
+                selected = attach(a).ndarray == b
+                keys = keys[selected]
+                values = None if values is None else values[selected]
+        result = execute_plan(
+            task.plan, keys=keys, values=values, config=task.config
+        )
+        out_keys = attach(task.out_keys)
+        if result.keys.size != out_keys.n:
+            raise EngineFailedError(
+                f"shard engine returned {result.keys.size} records "
+                f"for a {out_keys.n}-record output slab"
+            )
+        out_keys.ndarray[:] = result.keys
+        if task.out_values is not None:
+            attach(task.out_values).ndarray[:] = result.values
+        return {
+            "n": int(result.keys.size),
+            "pid": os.getpid(),
+            "engine": result.meta.get("engine"),
+            "simulated_seconds": float(result.simulated_seconds or 0.0),
+        }
+    finally:
+        # Views into the slabs must die before the mappings close;
+        # these locals hold the last references.
+        del keys, values
+        for slab in slabs:
+            slab.close()
+
+
+def _worker_main(conn) -> None:
+    """The worker loop: recv task → execute → ack.  Top-level for spawn."""
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):  # parent went away
+            return
+        if msg[0] == "stop":
+            return
+        if msg[0] == "ping":
+            conn.send(("ok", msg[1], {"pid": os.getpid()}))
+            continue
+        _, task_id, task = msg
+        try:
+            conn.send(("ok", task_id, _run_task(task)))
+        except Exception as exc:  # noqa: BLE001 - forwarded, typed, to parent
+            try:
+                conn.send(("err", task_id, exc))
+            except Exception:  # unpicklable exception: degrade the message
+                conn.send(
+                    ("err", task_id,
+                     TransientError(f"{type(exc).__name__}: {exc}"))
+                )
+
+
+class _Worker:
+    """One pipe + process pair."""
+
+    def __init__(self, ctx, index: int) -> None:
+        self.index = index
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn,),
+            name=f"repro-shard-worker-{index}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+    def stop(self, grace: float = 2.0) -> None:
+        try:
+            if self.process.is_alive():
+                self.conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=grace)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.kill()
+            self.process.join(timeout=grace)
+        self.conn.close()
+        self.process.close()
+
+    def kill(self, grace: float = 2.0) -> None:
+        try:
+            if self.process.is_alive():
+                self.process.kill()
+            self.process.join(timeout=grace)
+            self.conn.close()
+            self.process.close()
+        except Exception:  # pragma: no cover - already-dead races
+            pass
+
+
+class _WorkerDied(Exception):
+    """Internal: the pipe closed or the task timed out."""
+
+
+class ShardSupervisor:
+    """N worker processes executing :class:`_ShardTask` batches.
+
+    Parameters
+    ----------
+    processes:
+        Pool size.  Tasks beyond it queue round-robin, so ``k`` shards
+        run fine on fewer than ``k`` workers.
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork``
+        (cheap, inherits the loaded engine modules) and falls back to
+        the platform default where fork does not exist.
+    task_retries:
+        Crash/transient retries per task before giving up.
+    max_restarts:
+        Worker restarts tolerated within one ``run_tasks`` call before
+        the pool declares the failure systematic
+        (:class:`~repro.errors.EngineFailedError`).
+    task_timeout:
+        Seconds a worker may stay silent on one task before it is
+        killed and the task retried.
+    """
+
+    def __init__(
+        self,
+        processes: int,
+        *,
+        start_method: str | None = None,
+        task_retries: int = 2,
+        max_restarts: int = 4,
+        task_timeout: float = DEFAULT_TASK_TIMEOUT,
+    ) -> None:
+        if processes < 1:
+            raise ConfigurationError("processes must be >= 1")
+        if task_timeout <= 0:
+            raise ConfigurationError("task_timeout must be positive")
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.processes = int(processes)
+        self.task_retries = int(task_retries)
+        self.max_restarts = int(max_restarts)
+        self.task_timeout = float(task_timeout)
+        self._ctx = multiprocessing.get_context(start_method)
+        self._workers: list[_Worker] = []
+        self._task_counter = 0
+        self.total_restarts = 0
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "ShardSupervisor":
+        if self._closed:
+            raise ConfigurationError("supervisor is closed")
+        while len(self._workers) < self.processes:
+            self._workers.append(_Worker(self._ctx, len(self._workers)))
+        return self
+
+    def close(self) -> None:
+        """Stop every worker.  Idempotent."""
+        self._closed = True
+        workers, self._workers = self._workers, []
+        for worker in workers:
+            worker.stop()
+
+    def __enter__(self) -> "ShardSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def worker_pids(self) -> tuple[int, ...]:
+        """Live worker PIDs (crash tests aim SIGKILL with these)."""
+        return tuple(w.pid for w in self._workers)
+
+    # -- internals ------------------------------------------------------
+    def _next_id(self) -> int:
+        self._task_counter += 1
+        return self._task_counter
+
+    def _replace(self, index: int) -> None:
+        self._workers[index].kill()
+        self.total_restarts += 1
+        self._workers[index] = _Worker(self._ctx, index)
+
+    def _restart(self, index: int, budget: list) -> None:
+        budget[0] += 1
+        if budget[0] > self.max_restarts:
+            self._replace(index)
+            raise EngineFailedError(
+                f"shard worker pool exceeded its restart budget "
+                f"({self.max_restarts}) — failures are systematic"
+            )
+        self._replace(index)
+
+    def _recycle_all(self) -> None:
+        """Replace every worker (protocol reset after a failed batch)."""
+        for index in range(len(self._workers)):
+            self._replace(index)
+
+    def _send_queue(self, index: int, entries: list[list], budget: list) -> None:
+        """(Re)send a worker's FIFO queue, with fresh task ids.
+
+        A send that hits a closed pipe means the worker died before (or
+        mid-) dispatch — e.g. SIGKILLed between batches.  The worker is
+        restarted against the same budget and the whole queue goes to
+        its replacement; ids are reissued every attempt so a partially
+        dispatched queue cannot desync the ack protocol.
+        """
+        while True:
+            worker = self._workers[index]
+            try:
+                for entry in entries:
+                    entry[0] = self._next_id()
+                    worker.conn.send(("task", entry[0], entry[2]))
+                return
+            except (BrokenPipeError, OSError):
+                self._restart(index, budget)
+
+    def _recv(self, worker: _Worker, timeout: float):
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise _WorkerDied(
+                    f"worker pid {worker.pid} silent for {timeout:.0f}s"
+                )
+            try:
+                if worker.conn.poll(min(remaining, 0.5)):
+                    return worker.conn.recv()
+            except (EOFError, OSError) as exc:
+                code = worker.process.exitcode
+                raise _WorkerDied(
+                    f"worker pid {worker.pid} died"
+                    + (f" (exit code {code})" if code is not None else "")
+                ) from exc
+            if not worker.process.is_alive():
+                code = worker.process.exitcode
+                raise _WorkerDied(
+                    f"worker pid {worker.pid} died (exit code {code})"
+                )
+
+    # -- execution ------------------------------------------------------
+    def run_tasks(self, tasks: list[_ShardTask]) -> list[dict]:
+        """Execute ``tasks`` across the pool; results in task order.
+
+        Tasks are assigned round-robin and sent up front, so every
+        worker's queue runs concurrently; the parent then drains one
+        worker at a time (collection order does not affect
+        parallelism).  Raises the first unrecoverable task error after
+        recycling the pool, so a later call starts from a clean
+        protocol state.
+        """
+        self.start()
+        results: list[dict | None] = [None] * len(tasks)
+        budget = [0]  # restarts consumed by this call
+        # Each queue entry is [task_id, task_index, task, tries], kept
+        # in the exact FIFO order the worker will process.
+        queues: list[list[list]] = [[] for _ in self._workers]
+        for i, task in enumerate(tasks):
+            faults.trip("shard.dispatch")
+            queues[i % len(self._workers)].append(
+                [self._next_id(), i, task, 0]
+            )
+        try:
+            for index, queue in enumerate(queues):
+                self._send_queue(index, queue, budget)
+            for index, queue in enumerate(queues):
+                self._drain_worker(index, queue, results, budget)
+        except Exception:
+            self._recycle_all()
+            raise
+        return results  # type: ignore[return-value]
+
+    def _drain_worker(
+        self, index: int, pending: list[list], results: list, budget: list
+    ) -> None:
+        """Collect acks for one worker's queue, handling crash/retry.
+
+        ``pending`` mirrors the worker's FIFO: the ack we receive must
+        match ``pending[0]``; a retried task is re-sent and moves to
+        the back (the worker will process it after the rest of its
+        queue); a crash blames ``pending[0]`` (the in-flight task) and
+        re-sends the whole remainder to the restarted worker.
+        """
+        while pending:
+            worker = self._workers[index]
+            task_id, task_index, task, tries = pending[0]
+            try:
+                msg = self._recv(worker, self.task_timeout)
+            except _WorkerDied as exc:
+                self._restart(index, budget)
+                if tries >= self.task_retries:
+                    raise TransientError(
+                        f"shard task {task_index} crashed its worker "
+                        f"{tries + 1} time(s): {exc}"
+                    ) from exc
+                pending[0][3] = tries + 1
+                self._send_queue(index, pending, budget)
+                continue
+            kind, ack_id, payload = msg
+            if ack_id != task_id:
+                raise EngineFailedError(
+                    f"shard protocol desync: expected ack {task_id}, "
+                    f"got {ack_id}"
+                )
+            if kind == "ok":
+                results[task_index] = payload
+                pending.pop(0)
+                continue
+            # Typed engine error forwarded from the worker.
+            if (
+                isinstance(payload, TransientError)
+                and tries < self.task_retries
+            ):
+                entry = pending.pop(0)
+                entry[0] = self._next_id()
+                entry[3] = tries + 1
+                pending.append(entry)
+                try:
+                    worker.conn.send(("task", entry[0], entry[2]))
+                except (BrokenPipeError, OSError):
+                    # Died right after acking: restart and resend the
+                    # whole remaining FIFO to the replacement.
+                    self._restart(index, budget)
+                    self._send_queue(index, pending, budget)
+                continue
+            raise payload
+
+    # -- convenience ----------------------------------------------------
+    def ping(self) -> list[dict]:
+        """Round-trip every worker (health check / test hook)."""
+        self.start()
+        out = []
+        for worker in self._workers:
+            worker.conn.send(("ping", self._next_id()))
+            out.append(self._recv(worker, self.task_timeout)[2])
+        return out

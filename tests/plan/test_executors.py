@@ -198,5 +198,5 @@ class TestRegistry:
         assert execute_plan(plan, registry=registry) == "custom"
         assert "hybrid" in DEFAULT_REGISTRY.strategies()
         assert set(DEFAULT_REGISTRY.strategies()) == {
-            "hybrid", "fallback", "hetero", "external", "oracle",
+            "hybrid", "fallback", "hetero", "external", "oracle", "sharded",
         }

@@ -20,16 +20,25 @@ from repro.resilience.chaos import (
     WRITE_SITES,
     _external_scenario,
     _service_scenario,
+    _shard_scenario,
     default_schedule,
 )
 from repro.resilience.faults import SITES
+
+
+def _is_shard(site: str) -> bool:
+    return site.startswith("shard.") or site == "engine.sharded"
+
 
 FULL_MATRIX = default_schedule()
 EXTERNAL_MATRIX = [
     pair for pair in FULL_MATRIX if pair[0].startswith("external.")
 ]
+SHARD_MATRIX = [pair for pair in FULL_MATRIX if _is_shard(pair[0])]
 SERVICE_MATRIX = [
-    pair for pair in FULL_MATRIX if not pair[0].startswith("external.")
+    pair
+    for pair in FULL_MATRIX
+    if not pair[0].startswith("external.") and not _is_shard(pair[0])
 ]
 
 # Each draw runs a complete (small) sort through real engines and real
@@ -89,6 +98,15 @@ class TestSingleFaultContainment:
     def test_service_faults_absorbed_or_fail_typed(self, scenario, seed):
         site, kind = scenario
         assert_contained(_service_scenario(site, kind, n=3_000, seed=seed))
+
+    @settings(max_examples=6, **SCENARIO_SETTINGS)
+    @given(
+        scenario=st.sampled_from(SHARD_MATRIX),
+        seed=st.integers(0, 2**16),
+    )
+    def test_shard_faults_absorbed_or_fail_typed(self, scenario, seed):
+        site, kind = scenario
+        assert_contained(_shard_scenario(site, kind, n=3_000, seed=seed))
 
     def test_watchdog_cuts_the_hang_short(self):
         # The hang scenario is deterministic and slow-ish (it waits for

@@ -1,0 +1,70 @@
+"""Shared guards for the sharded-backend suite.
+
+Three autouse fixtures keep multiprocess tests honest:
+
+* ``no_slab_leaks`` snapshots the shared-memory slab registry *and*
+  ``/dev/shm`` around every test and fails on anything left behind —
+  a leaked POSIX segment outlives the process that forgot it, so a
+  leak that only shows up in CI's tmpfs accounting is caught here
+  instead;
+* ``clean_faults`` guarantees no test leaves a process-global
+  :class:`~repro.resilience.faults.FaultPlan` installed;
+* ``hang_guard`` arms a ``SIGALRM`` watchdog, so a containment bug
+  that produces a real hang (a wedged worker pipe, a lost ack) fails
+  the test instead of wedging the whole suite.  (``pytest-timeout``
+  is not a dependency; the alarm is the zero-dependency equivalent on
+  POSIX.)
+"""
+
+from __future__ import annotations
+
+import signal
+
+import pytest
+
+from repro.resilience import faults
+from repro.shard.slab import live_slab_names, system_slab_names
+
+TEST_TIMEOUT_SECONDS = 120
+
+
+@pytest.fixture(autouse=True)
+def no_slab_leaks():
+    before_live = set(live_slab_names())
+    before_system = set(system_slab_names())
+    yield
+    leaked = set(live_slab_names()) - before_live
+    assert not leaked, (
+        f"test leaked live slabs (created, never unlinked): {sorted(leaked)}"
+    )
+    stranded = set(system_slab_names()) - before_system
+    assert not stranded, (
+        f"test stranded shared-memory segments in /dev/shm: {sorted(stranded)}"
+    )
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    faults.uninstall()
+    yield
+    faults.uninstall()
+
+
+@pytest.fixture(autouse=True)
+def hang_guard():
+    if not hasattr(signal, "SIGALRM"):  # pragma: no cover - non-POSIX
+        yield
+        return
+
+    def on_alarm(signum, frame):  # pragma: no cover - only fires on hang
+        raise TimeoutError(
+            f"test exceeded {TEST_TIMEOUT_SECONDS}s hang guard"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(TEST_TIMEOUT_SECONDS)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

@@ -1,0 +1,120 @@
+"""The shard reduce: fan-in accounting and the bits-space k-way merge."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.keys import to_sortable_bits
+from repro.errors import ConfigurationError
+from repro.external.format import FileLayout
+from repro.shard.merge import (
+    DEFAULT_BLOCK_RECORDS,
+    choose_fan_in,
+    merge_shard_records,
+)
+
+KEYS32 = FileLayout(np.dtype(np.uint32), None)
+PAIRS32 = FileLayout(np.dtype(np.uint32), np.dtype(np.uint32))
+
+
+def _stable_runs(keys, values, pieces):
+    """Slice-partition and stably sort each piece, like the shard workers."""
+    runs, bounds = [], [(keys.size * i) // pieces for i in range(pieces + 1)]
+    for lo, hi in zip(bounds, bounds[1:]):
+        order = np.argsort(to_sortable_bits(keys[lo:hi]), kind="stable")
+        runs.append(
+            PAIRS32.to_records(keys[lo:hi][order], values[lo:hi][order])
+        )
+    return runs
+
+
+class TestFanIn:
+    def test_degenerate_run_counts(self):
+        assert choose_fan_in(0, 8) == 1
+        assert choose_fan_in(1, 8) == 1
+
+    def test_caps_at_the_run_count(self):
+        assert choose_fan_in(3, 4) == 3
+
+    def test_budget_bounds_resident_blocks(self):
+        # F input blocks + 1 output block must fit the budget; a budget
+        # of exactly 4 blocks affords F = 3.
+        block_bytes = DEFAULT_BLOCK_RECORDS * 8
+        assert (
+            choose_fan_in(16, 8, merge_budget=4 * block_bytes) == 3
+        )
+
+    def test_floors_at_two(self):
+        assert choose_fan_in(16, 8, merge_budget=1) == 2
+
+
+class TestMerge:
+    def test_disjoint_runs_concatenate(self, rng):
+        keys = np.sort(rng.integers(0, 2**32, 6_000).astype(np.uint32))
+        runs = [
+            KEYS32.to_records(keys[:2_000], None),
+            KEYS32.to_records(keys[2_000:4_000], None),
+            KEYS32.to_records(keys[4_000:], None),
+        ]
+        merged = merge_shard_records(runs, KEYS32)
+        assert merged.tobytes() == KEYS32.to_records(keys, None).tobytes()
+
+    def test_overlapping_runs_merge_stably(self, rng):
+        keys = rng.integers(0, 8, 5_000).astype(np.uint32)
+        values = np.arange(keys.size, dtype=np.uint32)
+        merged = merge_shard_records(
+            _stable_runs(keys, values, 4), PAIRS32
+        )
+        order = np.argsort(to_sortable_bits(keys), kind="stable")
+        expected = PAIRS32.to_records(keys[order], values[order])
+        assert merged.tobytes() == expected.tobytes()
+
+    def test_small_fan_in_forces_grouped_passes(self, rng):
+        keys = rng.integers(0, 100, 3_000).astype(np.uint32)
+        values = np.arange(keys.size, dtype=np.uint32)
+        merged = merge_shard_records(
+            _stable_runs(keys, values, 5), PAIRS32, fan_in=2
+        )
+        order = np.argsort(to_sortable_bits(keys), kind="stable")
+        expected = PAIRS32.to_records(keys[order], values[order])
+        assert merged.tobytes() == expected.tobytes()
+
+    def test_tiny_blocks_exercise_bounded_lookahead(self, rng):
+        keys = rng.integers(0, 2**16, 2_000).astype(np.uint32)
+        values = np.arange(keys.size, dtype=np.uint32)
+        merged = merge_shard_records(
+            _stable_runs(keys, values, 3), PAIRS32, block_records=17
+        )
+        order = np.argsort(to_sortable_bits(keys), kind="stable")
+        expected = PAIRS32.to_records(keys[order], values[order])
+        assert merged.tobytes() == expected.tobytes()
+
+    def test_fused_packing_merges_on_the_packed_word(self, rng):
+        # Fused engines sort by key|value bits; the merge must compare
+        # the same packed word, so ties among equal keys order by value.
+        keys = rng.integers(0, 4, 2_000).astype(np.uint32)
+        values = rng.integers(0, 2**32, 2_000).astype(np.uint32)
+        packed = (keys.astype(np.uint64) << 32) | values.astype(np.uint64)
+        runs, bounds = [], [(keys.size * i) // 3 for i in range(4)]
+        for lo, hi in zip(bounds, bounds[1:]):
+            order = np.argsort(packed[lo:hi], kind="stable")
+            runs.append(
+                PAIRS32.to_records(keys[lo:hi][order], values[lo:hi][order])
+            )
+        merged = merge_shard_records(runs, PAIRS32, pair_packing="fused")
+        order = np.argsort(packed, kind="stable")
+        expected = PAIRS32.to_records(keys[order], values[order])
+        assert merged.tobytes() == expected.tobytes()
+
+    def test_empty_and_degenerate_inputs(self):
+        assert merge_shard_records([], KEYS32).size == 0
+        empty = KEYS32.to_records(np.empty(0, dtype=np.uint32), None)
+        one = KEYS32.to_records(np.array([5], dtype=np.uint32), None)
+        merged = merge_shard_records([empty, one, empty], KEYS32)
+        assert merged.tobytes() == one.tobytes()
+
+    def test_fan_in_below_two_rejected(self):
+        run = KEYS32.to_records(np.array([1], dtype=np.uint32), None)
+        with pytest.raises(ConfigurationError):
+            merge_shard_records([run, run], KEYS32, fan_in=1)

@@ -1,0 +1,108 @@
+"""ShardedSortService: round-trips, routing, stats, typed errors."""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ConfigurationError
+from repro.shard.service import ShardedSortService
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestRoundTrip:
+    def test_requests_scatter_across_workers_byte_identically(self, rng):
+        arrays = [
+            rng.integers(0, 2**32, 8_000 + 1_000 * i).astype(np.uint32)
+            for i in range(6)
+        ]
+
+        async def main():
+            svc = ShardedSortService(shards=2)
+            async with svc:
+                pids = svc.worker_pids()
+                assert len(set(pids)) == 2
+                assert os.getpid() not in pids
+                results = await asyncio.gather(
+                    *[svc.submit(a) for a in arrays]
+                )
+            return results, svc.stats.to_dict()
+
+        results, stats = run(main())
+        for array, result in zip(arrays, results):
+            assert result.keys.tobytes() == bytes(repro.sort(array).keys)
+        assert stats["sharded"] is True
+        assert stats["workers"] == 2
+        assert stats["routed"] == 6
+        assert stats["routing_failures"] == 0
+        assert stats["restarts"] == 0
+        # Fleet totals sum the per-worker service stats.
+        assert stats["completed"] == 6
+        assert len(stats["per_worker"]) == 2
+        assert sum(w["completed"] for w in stats["per_worker"]) == 6
+
+    def test_pairs_and_submit_many_forms(self, rng):
+        keys = rng.integers(0, 50, 4_000).astype(np.uint32)
+        values = np.arange(keys.size, dtype=np.uint32)
+
+        async def main():
+            async with ShardedSortService(shards=2) as svc:
+                return await svc.submit_many(
+                    [keys, (keys, values), {"data": keys, "values": values}]
+                )
+
+        plain, pair, kwargs_form = run(main())
+        oracle = repro.sort_pairs(keys, values)
+        assert plain.keys.tobytes() == oracle.keys.tobytes()
+        for result in (pair, kwargs_form):
+            assert result.keys.tobytes() == oracle.keys.tobytes()
+            assert result.values.tobytes() == oracle.values.tobytes()
+
+    def test_engine_level_sharding_nests_inside_a_worker(self, rng):
+        # Workers are non-daemon precisely so their engines can spawn
+        # the slab supervisor's processes: shards= must work end-to-end.
+        keys = rng.integers(0, 2**32, 40_000).astype(np.uint32)
+
+        async def main():
+            async with ShardedSortService(shards=2) as svc:
+                return await svc.submit(keys, shards=2)
+
+        result = run(main())
+        assert result.keys.tobytes() == np.sort(keys).tobytes()
+        assert result.meta["engine"] == "sharded"
+
+
+class TestGuards:
+    def test_shard_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            ShardedSortService(shards=0)
+
+    def test_typed_errors_cross_the_process_boundary(self, rng):
+        bad = rng.integers(0, 2**32, (100, 2)).astype(np.uint32)
+
+        async def main():
+            async with ShardedSortService(shards=1) as svc:
+                with pytest.raises(ConfigurationError, match="one-dimensional"):
+                    await svc.submit(bad)
+
+        run(main())
+
+    def test_submit_after_close_raises(self, rng):
+        keys = rng.integers(0, 2**32, 100).astype(np.uint32)
+
+        async def main():
+            svc = ShardedSortService(shards=1)
+            async with svc:
+                pass
+            await svc.close()  # idempotent
+            with pytest.raises(ConfigurationError, match="closed"):
+                await svc.submit(keys)
+
+        run(main())

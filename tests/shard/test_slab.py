@@ -1,0 +1,142 @@
+"""Slab lifecycle: create/attach/close/unlink, ownership, registry."""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.shard.slab import (
+    SLAB_PREFIX,
+    Slab,
+    SlabRef,
+    live_slab_names,
+    system_slab_names,
+)
+
+
+def _child_fill(ref: SlabRef, value: int) -> None:
+    """Write ``value`` into an attached slab (runs in a child process)."""
+    slab = Slab.attach(ref)
+    try:
+        slab.ndarray[:] = value
+    finally:
+        slab.close()
+
+
+def _fork_ctx():
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" not in methods:  # pragma: no cover - non-POSIX
+        pytest.skip("slab cross-process tests need the fork start method")
+    return multiprocessing.get_context("fork")
+
+
+class TestLifecycle:
+    def test_create_write_attach_roundtrip(self):
+        with Slab.create(256, np.uint32) as slab:
+            slab.ndarray[:] = np.arange(256, dtype=np.uint32)
+            other = Slab.attach(slab.ref())
+            try:
+                assert np.array_equal(
+                    other.ndarray, np.arange(256, dtype=np.uint32)
+                )
+                # Writes through one mapping are visible through the other.
+                other.ndarray[0] = 7
+                assert slab.ndarray[0] == 7
+            finally:
+                other.close()
+
+    def test_attachment_survives_in_child_process(self):
+        ctx = _fork_ctx()
+        with Slab.create(64, np.uint64) as slab:
+            slab.ndarray[:] = 0
+            child = ctx.Process(target=_child_fill, args=(slab.ref(), 42))
+            child.start()
+            child.join(timeout=30)
+            assert child.exitcode == 0
+            assert np.array_equal(
+                slab.ndarray, np.full(64, 42, dtype=np.uint64)
+            )
+
+    def test_zero_element_slab_is_shippable(self):
+        with Slab.create(0, np.float64) as slab:
+            assert slab.nbytes == 0
+            assert slab.ndarray.size == 0
+            other = Slab.attach(slab.ref())
+            try:
+                assert other.ndarray.size == 0
+            finally:
+                other.close()
+
+    def test_unlink_is_idempotent_and_removes_the_segment(self):
+        slab = Slab.create(16, np.uint8)
+        name = slab.name
+        assert name in system_slab_names()
+        slab.unlink()
+        slab.unlink()
+        assert name not in system_slab_names()
+
+    def test_context_manager_owner_unlinks_attached_only_closes(self):
+        owner = Slab.create(8, np.uint32)
+        with Slab.attach(owner.ref()) as view:
+            assert not view.owner
+        # The attached view's exit closed its mapping but kept the segment.
+        assert owner.name in system_slab_names()
+        owner.unlink()
+        assert owner.name not in system_slab_names()
+
+
+class TestGuards:
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Slab.create(-1, np.uint32)
+
+    def test_closed_slab_refuses_views(self):
+        slab = Slab.create(4, np.uint32)
+        try:
+            slab.close()
+            with pytest.raises(ConfigurationError):
+                slab.ndarray
+        finally:
+            slab.unlink()
+
+    def test_only_the_owner_may_unlink(self):
+        with Slab.create(4, np.uint32) as slab:
+            view = Slab.attach(slab.ref())
+            try:
+                with pytest.raises(ConfigurationError):
+                    view.unlink()
+            finally:
+                view.close()
+
+
+class TestRegistry:
+    def test_live_names_track_create_and_unlink(self):
+        baseline = set(live_slab_names())
+        slab = Slab.create(32, np.int64)
+        assert slab.name in live_slab_names()
+        assert slab.name.startswith(SLAB_PREFIX)
+        assert str(os.getpid()) in slab.name
+        slab.unlink()
+        assert set(live_slab_names()) == baseline
+
+    def test_attachments_never_enter_the_registry(self):
+        with Slab.create(32, np.int64) as slab:
+            before = live_slab_names()
+            view = Slab.attach(slab.ref())
+            try:
+                assert live_slab_names() == before
+            finally:
+                view.close()
+
+    def test_ref_is_picklable_and_complete(self):
+        with Slab.create(10, np.float32) as slab:
+            ref = pickle.loads(pickle.dumps(slab.ref()))
+            assert ref == slab.ref()
+            assert ref.name == slab.name
+            assert np.dtype(ref.dtype) == np.dtype(np.float32)
+            assert ref.n == 10

@@ -1,0 +1,185 @@
+"""ShardSupervisor: protocol, retries, containment, restart budget."""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import signal
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    EngineFailedError,
+    TransientError,
+)
+from repro.plan.descriptor import InputDescriptor
+from repro.plan.planner import Planner
+from repro.shard.slab import Slab
+from repro.shard.supervisor import ShardSupervisor, _ShardTask
+
+
+@contextlib.contextmanager
+def sort_task(keys: np.ndarray, out_n: int | None = None):
+    """A ready-to-run task sorting ``keys`` into a fresh output slab.
+
+    Yields ``(task, out_slab)``; every slab is unlinked on exit, so the
+    leak fixture stays green even when the task is made to fail.
+    """
+    out_n = keys.size if out_n is None else out_n
+    slabs = []
+    try:
+        keys_slab = Slab.create(keys.size, keys.dtype)
+        slabs.append(keys_slab)
+        keys_slab.ndarray[:] = keys
+        out_slab = Slab.create(out_n, keys.dtype)
+        slabs.append(out_slab)
+        plan = Planner().plan(InputDescriptor.for_array(keys))
+        yield (
+            _ShardTask(
+                plan=plan,
+                config=None,
+                keys=keys_slab.ref(),
+                values=None,
+                out_keys=out_slab.ref(),
+                out_values=None,
+            ),
+            out_slab,
+        )
+    finally:
+        for slab in slabs:
+            slab.unlink()
+
+
+class TestProtocol:
+    def test_ping_reports_one_live_pid_per_worker(self):
+        with ShardSupervisor(2) as pool:
+            infos = pool.ping()
+            pids = [info["pid"] for info in infos]
+            assert len(pids) == 2
+            assert len(set(pids)) == 2
+            assert os.getpid() not in pids
+            assert tuple(pids) == pool.worker_pids()
+
+    def test_more_tasks_than_workers_round_robin(self, rng):
+        arrays = [
+            rng.integers(0, 2**32, 1_500 + 97 * i).astype(np.uint32)
+            for i in range(5)
+        ]
+        with contextlib.ExitStack() as stack:
+            pool = stack.enter_context(ShardSupervisor(2))
+            pairs = [stack.enter_context(sort_task(a)) for a in arrays]
+            reports = pool.run_tasks([task for task, _ in pairs])
+            assert len(reports) == 5
+            # Both workers actually executed work.
+            assert len({r["pid"] for r in reports}) == 2
+            for (_, out), arr, report in zip(pairs, arrays, reports):
+                assert report["n"] == arr.size
+                assert out.ndarray.tobytes() == np.sort(arr).tobytes()
+
+    def test_slice_and_mask_selects_narrow_the_input(self, rng):
+        keys = rng.integers(0, 2**32, 4_000).astype(np.uint32)
+        with contextlib.ExitStack() as stack:
+            pool = stack.enter_context(ShardSupervisor(1))
+            keys_slab = Slab.create(keys.size, keys.dtype)
+            stack.callback(keys_slab.unlink)
+            keys_slab.ndarray[:] = keys
+            sids = (np.arange(keys.size) % 2).astype(np.uint32)
+            sid_slab = Slab.create(sids.size, sids.dtype)
+            stack.callback(sid_slab.unlink)
+            sid_slab.ndarray[:] = sids
+
+            lo, hi = 1_000, 3_000
+            evens = keys[sids == 0]
+            descriptor = InputDescriptor.for_array(keys)
+            tasks, outs = [], []
+            for select, n in (
+                (("slice", lo, hi), hi - lo),
+                (("mask", sid_slab.ref(), 0), evens.size),
+            ):
+                out = Slab.create(n, keys.dtype)
+                stack.callback(out.unlink)
+                outs.append(out)
+                plan = Planner().plan(replace(descriptor, n=n))
+                tasks.append(
+                    _ShardTask(
+                        plan=plan,
+                        config=None,
+                        keys=keys_slab.ref(),
+                        values=None,
+                        out_keys=out.ref(),
+                        out_values=None,
+                        select=select,
+                    )
+                )
+            pool.run_tasks(tasks)
+            assert outs[0].ndarray.tobytes() == np.sort(keys[lo:hi]).tobytes()
+            assert outs[1].ndarray.tobytes() == np.sort(evens).tobytes()
+
+
+class TestFailureSemantics:
+    def test_engine_error_recycles_the_pool_and_reraises(self, rng):
+        keys = rng.integers(0, 2**32, 2_000).astype(np.uint32)
+        with ShardSupervisor(1) as pool:
+            pool.ping()
+            before = pool.worker_pids()
+            # Output slab one element short: the worker reports a typed
+            # EngineFailedError, which is deterministic — no retry.
+            with sort_task(keys, out_n=keys.size - 1) as (task, _):
+                with pytest.raises(EngineFailedError):
+                    pool.run_tasks([task])
+            # The batch failure recycled every worker...
+            assert pool.worker_pids() != before
+            assert pool.total_restarts >= 1
+            # ...and the pool is immediately usable again.
+            with sort_task(keys) as (task, out):
+                pool.run_tasks([task])
+                assert out.ndarray.tobytes() == np.sort(keys).tobytes()
+
+    def test_hung_worker_is_killed_and_the_task_retried(self, rng):
+        keys = rng.integers(0, 2**32, 2_000).astype(np.uint32)
+        with ShardSupervisor(1, task_timeout=1.0) as pool:
+            pool.ping()
+            # SIGSTOP parks the worker: alive but silent — the hang case.
+            os.kill(pool.worker_pids()[0], signal.SIGSTOP)
+            with sort_task(keys) as (task, out):
+                reports = pool.run_tasks([task])
+                assert out.ndarray.tobytes() == np.sort(keys).tobytes()
+                assert reports[0]["pid"] == pool.worker_pids()[0]
+            assert pool.total_restarts == 1
+
+    def test_exhausted_task_retries_raise_transient(self, rng):
+        keys = rng.integers(0, 2**32, 500).astype(np.uint32)
+        with ShardSupervisor(1, task_timeout=0.6, task_retries=0) as pool:
+            pool.ping()
+            os.kill(pool.worker_pids()[0], signal.SIGSTOP)
+            with sort_task(keys) as (task, _):
+                with pytest.raises(TransientError, match="crashed its worker"):
+                    pool.run_tasks([task])
+
+    def test_exhausted_restart_budget_is_systematic(self, rng):
+        keys = rng.integers(0, 2**32, 500).astype(np.uint32)
+        with ShardSupervisor(1, task_timeout=0.6, max_restarts=0) as pool:
+            pool.ping()
+            os.kill(pool.worker_pids()[0], signal.SIGSTOP)
+            with sort_task(keys) as (task, _):
+                with pytest.raises(EngineFailedError, match="restart budget"):
+                    pool.run_tasks([task])
+
+
+class TestLifecycle:
+    def test_constructor_validation(self):
+        with pytest.raises(ConfigurationError):
+            ShardSupervisor(0)
+        with pytest.raises(ConfigurationError):
+            ShardSupervisor(1, task_timeout=0.0)
+
+    def test_closed_pool_refuses_work_and_close_is_idempotent(self):
+        pool = ShardSupervisor(1)
+        pool.start()
+        pool.close()
+        pool.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            pool.run_tasks([])

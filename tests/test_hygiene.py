@@ -1,0 +1,64 @@
+"""Repository hygiene: no bytecode artifacts tracked or orphaned.
+
+Compiled ``.pyc`` files under ``tests/`` once slipped into the tree as
+stray ``__pycache__`` directories; a tracked or orphaned artifact is
+invisible until it shadows a renamed module or confuses a reviewer.
+These checks keep the failure loud:
+
+* nothing ``git`` tracks may be a ``.pyc`` or live under
+  ``__pycache__``;
+* every ``.pyc`` present on disk under ``tests/`` must correspond to a
+  source ``.py`` that still exists (an *orphan* means its module was
+  deleted or renamed and the cache outlived it).
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _tracked_files() -> list[str]:
+    try:
+        proc = subprocess.run(
+            ["git", "ls-files"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):  # pragma: no cover
+        pytest.skip("not a git checkout (or git unavailable)")
+    return proc.stdout.splitlines()
+
+
+def test_no_bytecode_is_tracked():
+    tracked = [
+        path
+        for path in _tracked_files()
+        if path.endswith(".pyc") or "__pycache__" in path.split("/")
+    ]
+    assert not tracked, (
+        "bytecode artifacts are committed; `git rm -r --cached` them: "
+        f"{tracked}"
+    )
+
+
+def test_no_orphaned_bytecode_under_tests():
+    orphans = []
+    for pyc in (REPO_ROOT / "tests").rglob("*.pyc"):
+        # CPython caches tests/foo.py as tests/__pycache__/foo.cpython-XY.pyc.
+        module = pyc.name.split(".", 1)[0]
+        source_dir = (
+            pyc.parent.parent if pyc.parent.name == "__pycache__" else pyc.parent
+        )
+        if not (source_dir / f"{module}.py").exists():
+            orphans.append(str(pyc.relative_to(REPO_ROOT)))
+    assert not orphans, (
+        "orphaned .pyc files under tests/ (their source .py is gone); "
+        f"delete them: {orphans}"
+    )
