@@ -21,6 +21,12 @@ with a message naming the report and the cases it does contain — a
 skipped case would otherwise pass green while guarding nothing.
 ``--cases-from-baseline`` checks every case the baseline records (the
 nightly full-suite gate).
+
+One exception: a case a report *explicitly marks skipped* (schema-3
+reports record ``skipped: <reason>`` for e.g. ``native`` cases on a
+host that cannot build the compiled extension) is reported as ``SKIP``
+with its reason and does not fail the gate — the skip is declared in
+the measured report, not inferred from absence.
 """
 
 from __future__ import annotations
@@ -30,10 +36,18 @@ import json
 import sys
 
 
-def load_rates(path: str) -> dict[str, float]:
+def load_rates(path: str) -> tuple[dict[str, float], dict[str, str]]:
+    """(measured rates, declared skips) by case name."""
     with open(path) as fh:
         report = json.load(fh)
-    return {r["name"]: float(r["mkeys_per_s"]) for r in report["results"]}
+    rates: dict[str, float] = {}
+    skips: dict[str, str] = {}
+    for r in report["results"]:
+        if r.get("skipped"):
+            skips[r["name"]] = str(r["skipped"])
+        else:
+            rates[r["name"]] = float(r["mkeys_per_s"])
+    return rates, skips
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -60,8 +74,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    baseline = load_rates(args.baseline)
-    current = load_rates(args.current)
+    baseline, baseline_skips = load_rates(args.baseline)
+    current, current_skips = load_rates(args.current)
     if args.cases_from_baseline:
         # Union with any explicit --case flags (never silently drop an
         # explicitly requested case).
@@ -80,6 +94,14 @@ def main(argv: list[str] | None = None) -> int:
     # skipped gate would report green while guarding nothing (a renamed
     # or dropped case must update the gate's invocation explicitly).
     for name in cases:
+        # A declared skip (in either report) is a notice, not a gap:
+        # the measuring host said why it could not run the case.
+        skip_reason = current_skips.get(name) or baseline_skips.get(name)
+        if skip_reason is not None and (
+            name not in current or name not in baseline
+        ):
+            print(f"SKIP {name}: {skip_reason}")
+            continue
         if name not in baseline:
             print(
                 f"FAIL {name}: missing from baseline report "

@@ -25,7 +25,9 @@ def main(n: int = 1 << 20) -> None:
 
     print(f"== sorting {n:,} uniform 32-bit keys ==")
     keys = uniform_keys(n, 32, rng)
-    result = repro.sort(keys)
+    # native="never" pins the simulated engine: this section is about
+    # the execution trace, which only the NumPy tier produces.
+    result = repro.sort(keys, native="never")
     assert np.array_equal(result.keys, np.sort(keys))
     trace = result.trace
     print(f"counting passes : {trace.num_counting_passes}")
@@ -50,7 +52,7 @@ def main(n: int = 1 << 20) -> None:
     print(f"\n== sorting {n:,} key-value pairs (64-bit keys, row ids) ==")
     keys64 = uniform_keys(n, 64, rng)
     keys64, row_ids = generate_pairs(keys64, 64)
-    pairs = repro.sort_pairs(keys64, row_ids)
+    pairs = repro.sort_pairs(keys64, row_ids, native="never")
     assert np.array_equal(keys64[pairs.values.astype(np.int64)], pairs.keys)
     print(f"sorted OK; simulated time {pairs.simulated_seconds * 1e3:.3f} ms")
 
@@ -62,6 +64,17 @@ def main(n: int = 1 << 20) -> None:
         f"float64 range [{sorted_floats.keys[0]:.2f}, "
         f"{sorted_floats.keys[-1]:.2f}] sorted OK"
     )
+
+    print("\n== the compiled native tier (planner-selected) ==")
+    status = repro.native_status(warn=False)
+    print(f"native extension: {status.reason}")
+    auto = repro.sort(keys)  # default native="auto"
+    plan = auto.meta["plan"]
+    print(f"engine          : {auto.meta['engine']}")
+    for note in plan.notes:
+        print(f"note            : {note}")
+    assert np.array_equal(auto.keys, result.keys)
+    print("byte-identical to the simulated engine's output")
 
 
 if __name__ == "__main__":

@@ -75,6 +75,7 @@ __all__ = [
     "GTX_980",
     "HybridRadixSorter",
     "InputDescriptor",
+    "NativeRadixEngine",
     "PlanStep",
     "Planner",
     "ReproError",
@@ -98,6 +99,7 @@ __all__ = [
     "execute_plan",
     "from_sortable_bits",
     "make_records",
+    "native_status",
     "plan_for",
     "recompose",
     "sort",
@@ -133,6 +135,16 @@ def __getattr__(name: str):
         from repro.resilience import faults
 
         return getattr(faults, name)
+    if name == "NativeRadixEngine":
+        # Importing the engine probes (and may compile) the extension;
+        # keep ``import repro`` free of that cost and of cffi itself.
+        from repro.native.engine import NativeRadixEngine
+
+        return NativeRadixEngine
+    if name == "native_status":
+        from repro.native.build import native_status
+
+        return native_status
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -201,6 +213,7 @@ def plan_for(
     layout=None,
     dtype=None,
     value_dtype=None,
+    native: str = "auto",
 ) -> SortPlan:
     """The plan :func:`sort` would execute, without executing anything.
 
@@ -212,7 +225,7 @@ def plan_for(
         data, values, device, memory_budget, workers, config,
         layout, dtype, value_dtype, shards,
     )
-    return Planner(config=config).plan(descriptor)
+    return Planner(config=config, native=native).plan(descriptor)
 
 
 def sort(
@@ -229,6 +242,7 @@ def sort(
     value_dtype=None,
     pair_packing: str = "auto",
     spool_dir: str | os.PathLike | None = None,
+    native: str = "auto",
 ):
     """Sort an array or a flat binary file — plan, then execute.
 
@@ -250,6 +264,13 @@ def sort(
     ``shards=`` across worker *processes* (shared-memory slabs +
     scatter/merge, :mod:`repro.shard`); the output is byte-identical
     for any worker or shard count.
+
+    ``native=`` controls the compiled kernel tier (``"auto"``, the
+    default, prefers it for large in-memory inputs when the extension
+    is available; ``"never"`` pins the simulated NumPy engines — the
+    ones that produce a trace and simulated seconds; ``"always"``
+    forces a native plan, which still degrades gracefully when the
+    extension is missing).  Every tier is byte-identical.
     """
     if isinstance(data, (str, os.PathLike)):
         if shards is not None and shards > 1:
@@ -296,7 +317,7 @@ def sort(
         data, None, device, memory_budget, workers, config, shards=shards
     )
     return execute_plan(
-        Planner(config=config).plan(descriptor),
+        Planner(config=config, native=native).plan(descriptor),
         keys=np.asarray(data),
         config=config,
         device=device,
@@ -312,6 +333,7 @@ def sort_pairs(
     memory_budget: int | None = None,
     workers: int | None = None,
     shards: int | None = None,
+    native: str = "auto",
 ) -> SortResult:
     """Sort decomposed key-value pairs (§4.6) through the planner."""
     keys = np.asarray(keys)
@@ -319,7 +341,7 @@ def sort_pairs(
     descriptor = _describe(
         keys, values, device, memory_budget, workers, config, shards=shards
     )
-    plan = Planner(config=config).plan(descriptor)
+    plan = Planner(config=config, native=native).plan(descriptor)
     return execute_plan(
         plan, keys=keys, values=values, config=config, device=device
     )
@@ -333,6 +355,7 @@ def sort_records(
     memory_budget: int | None = None,
     workers: int | None = None,
     shards: int | None = None,
+    native: str = "auto",
 ) -> SortResult:
     """Sort coherent key-value records: decompose, sort, recompose."""
     keys, values = decompose(records)
@@ -344,6 +367,7 @@ def sort_records(
         memory_budget=memory_budget,
         workers=workers,
         shards=shards,
+        native=native,
     )
     result.meta["records"] = recompose(result.keys, result.values)
     return result

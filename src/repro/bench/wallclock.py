@@ -67,6 +67,9 @@ class WallclockCase:
 
     ``engine="hybrid"`` times an in-memory
     :class:`~repro.core.hybrid_sort.HybridRadixSorter` call;
+    ``engine="native"`` times the compiled
+    :class:`~repro.native.engine.NativeRadixEngine` (skipped with a
+    notice on hosts where the extension cannot build);
     ``engine="external"`` writes the workload to a temporary flat
     binary file and times a spill-to-disk
     :class:`~repro.external.ExternalSorter` run whose memory budget is
@@ -78,7 +81,7 @@ class WallclockCase:
     key_bits: int
     value_bits: int
     distribution: str  # "uniform" | "andN" | "constant" | "zipf" | ...
-    engine: str = "hybrid"  # "hybrid" | "external"
+    engine: str = "hybrid"  # "hybrid" | "native" | "external"
 
     def make_input(
         self, n: int, rng: np.random.Generator
@@ -108,6 +111,9 @@ DEFAULT_CASES: tuple[WallclockCase, ...] = (
     WallclockCase("pairs32-uniform", 32, 32, "uniform"),
     WallclockCase("pairs32-zipf", 32, 32, "zipf"),
     WallclockCase("pairs64-uniform", 64, 64, "uniform"),
+    WallclockCase("keys32-native", 32, 0, "uniform", "native"),
+    WallclockCase("keys64-native", 64, 0, "uniform", "native"),
+    WallclockCase("pairs32-native", 32, 32, "uniform", "native"),
     WallclockCase("external-keys32-uniform", 32, 0, "uniform", "external"),
     WallclockCase("external-pairs32-uniform", 32, 32, "uniform", "external"),
 )
@@ -196,6 +202,59 @@ def _plan_summary(plan) -> dict | None:
     }
 
 
+def _run_native_case(
+    case: WallclockCase,
+    keys: np.ndarray,
+    values: np.ndarray | None,
+    repeats: int,
+) -> tuple[float, bool, dict | None]:
+    """Time the compiled tier end-to-end (bits mapping included).
+
+    Callers must have checked :func:`repro.native.build.native_status`
+    first; an unavailable extension raises here.
+    """
+    from repro.native.engine import NativeRadixEngine
+    from repro.plan import InputDescriptor, Planner
+
+    plan_summary = _plan_summary(
+        Planner(native="always").plan(InputDescriptor.for_array(keys, values))
+    )
+    engine = NativeRadixEngine()
+    warm = max(1024, keys.size // 16)
+    engine.sort(keys[:warm], None if values is None else values[:warm])
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        result = engine.sort(keys, values)
+        best = min(best, time.perf_counter() - t0)
+    return best, _verified(result, keys, values), plan_summary
+
+
+def _skipped_record(case: WallclockCase, n: int, workers: int,
+                    reason: str) -> dict:
+    """A result record for a case the host cannot run.
+
+    ``sorted_ok`` stays true — nothing sorted wrongly — and the
+    ``skipped`` field carries the notice the regression gate (and a
+    human reading the JSON) needs.
+    """
+    return {
+        "name": case.name,
+        "engine": case.engine,
+        "key_bits": case.key_bits,
+        "value_bits": case.value_bits,
+        "distribution": case.distribution,
+        "n": n,
+        "workers": workers,
+        "seconds": None,
+        "mkeys_per_s": None,
+        "sorted_ok": True,
+        "skipped": reason,
+        "plan": None,
+    }
+
+
 def run_case(
     case: WallclockCase,
     n: int,
@@ -208,6 +267,8 @@ def run_case(
     Reports the best of ``repeats`` timed runs (after one warm-up at a
     smaller size primes allocator, thread-pool, and import costs) and
     verifies the output — a benchmark of a wrong sort is worthless.
+    A ``native`` case on a host without the compiled extension returns
+    a skip record (``skipped`` field) instead of failing the suite.
     """
     from repro.core.config import SortConfig
     from repro.core.hybrid_sort import HybridRadixSorter
@@ -218,6 +279,15 @@ def run_case(
         best, ok, plan_summary = _run_external_case(
             case, keys, values, repeats, workers
         )
+    elif case.engine == "native":
+        from repro.native.build import native_status
+
+        status = native_status(warn=False)
+        if not status.available:
+            return _skipped_record(
+                case, n, workers, f"native tier unavailable: {status.reason}"
+            )
+        best, ok, plan_summary = _run_native_case(case, keys, values, repeats)
     else:
         from repro.plan import InputDescriptor, Planner
 
@@ -225,8 +295,11 @@ def run_case(
             SortConfig.for_layout(case.key_bits, case.value_bits),
             workers=workers,
         )
+        # These cases time the NumPy hybrid engine directly; describe
+        # them with a native-pinned planner so the recorded plan
+        # matches what actually ran.
         plan_summary = _plan_summary(
-            Planner(config=config).plan(
+            Planner(config=config, native="never").plan(
                 InputDescriptor.for_array(keys, values, workers=workers)
             )
         )
@@ -264,19 +337,26 @@ def run_suite(
     echo=None,
 ) -> dict:
     """Run every case and return the full report dictionary."""
+    from repro.native.build import native_status
+
     results = []
     for case in cases:
         record = run_case(case, n, seed=seed, repeats=repeats, workers=workers)
         results.append(record)
-        if echo is not None:
+        if echo is None:
+            continue
+        if record.get("skipped"):
+            echo(f"{record['name']:18s}   skipped ({record['skipped']})")
+        else:
             echo(
                 f"{record['name']:18s} {record['mkeys_per_s']:9.2f} Mkeys/s"
                 f"  ({record['seconds'] * 1e3:.1f} ms"
                 f"{'' if record['sorted_ok'] else ', NOT SORTED'})"
             )
+    status = native_status(warn=False)
     return {
-        "schema": 2,
-        "benchmark": "host wall-clock, HybridRadixSorter.sort end-to-end",
+        "schema": 3,
+        "benchmark": "host wall-clock, sorter .sort() end-to-end",
         "n": n,
         "repeats": repeats,
         "seed": seed,
@@ -284,6 +364,7 @@ def run_suite(
         "cases": [case.name for case in cases],
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "native": {"available": status.available, "reason": status.reason},
         "results": results,
     }
 

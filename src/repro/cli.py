@@ -91,6 +91,7 @@ GB = 1e9
 
 ENGINES = {
     "hybrid": lambda: HybridRadixSorter(),
+    "native": None,  # planner-routed: special-cased in cmd_sort
     "adaptive": lambda: AdaptiveSorter(),
     "cub": lambda: CubRadixSort("1.5.1"),
     "cub164": lambda: CubRadixSort("1.6.4"),
@@ -122,7 +123,7 @@ def cmd_sort(args) -> int:
             file=sys.stderr,
         )
     try:
-        if args.engine in ("hybrid", "adaptive"):
+        if args.engine in ("hybrid", "adaptive", "native"):
             # The planner-routed engines: plan, then execute.
             import repro
 
@@ -137,10 +138,21 @@ def cmd_sort(args) -> int:
                 )
             if args.engine == "adaptive":
                 result = AdaptiveSorter().sort(keys, values)
+            elif args.engine == "native":
+                from repro.plan import InputDescriptor, Planner
+                from repro.plan.executors import execute_plan
+
+                descriptor = InputDescriptor.for_array(keys, values=values)
+                plan = Planner(native="always").plan(descriptor)
+                result = execute_plan(plan, keys=keys, values=values)
             elif args.pairs:
-                result = repro.sort_pairs(keys, values, config=config)
+                # --engine hybrid is an explicit request for the
+                # simulated engine; never auto-upgrade it to native.
+                result = repro.sort_pairs(
+                    keys, values, config=config, native="never"
+                )
             else:
-                result = repro.sort(keys, config=config)
+                result = repro.sort(keys, config=config, native="never")
         else:
             sorter = ENGINES[args.engine]()
             result = (
@@ -150,18 +162,35 @@ def cmd_sort(args) -> int:
         raise SystemExit(f"error: {exc}")
     ok = bool(np.all(result.keys[:-1] <= result.keys[1:]))
     print(f"engine          : {args.engine}")
+    executed = result.meta.get("engine")
+    if executed is not None and executed != args.engine:
+        print(f"executed as     : {executed}")
+    resilience = result.meta.get("resilience")
+    if resilience is not None:
+        for downgrade in resilience.get("downgrades", ()):
+            print(
+                f"degraded        : {downgrade['engine']} -> "
+                f"{downgrade['error']}"
+            )
     plan = result.meta.get("plan")
     if plan is not None:
         print(f"plan            : {plan.summary()}")
+        for note in getattr(plan, "notes", ()):
+            print(f"note            : {note}")
     print(f"records         : {keys.size:,} ({args.distribution})")
     print(f"sorted          : {'yes' if ok else 'NO'}")
     if result.trace is not None:
         print(f"counting passes : {result.trace.num_counting_passes}")
         print(f"finished early  : {result.trace.finished_early}")
         print(f"local-sorted    : {result.trace.total_local_keys:,} keys")
-    print(f"simulated time  : {result.simulated_seconds * 1e3:.3f} ms")
-    rate = result.sorting_rate() / GB
-    print(f"simulated rate  : {rate:.2f} GB/s ({TITAN_X_PASCAL.name})")
+    if result.simulated_seconds > 0:
+        print(f"simulated time  : {result.simulated_seconds * 1e3:.3f} ms")
+        rate = result.sorting_rate() / GB
+        print(f"simulated rate  : {rate:.2f} GB/s ({TITAN_X_PASCAL.name})")
+    else:
+        # The native tier runs on the real host, not the simulated
+        # device, so there is no simulated rate to report.
+        print("simulated time  : n/a (compiled tier runs on the host)")
     return 0 if ok else 1
 
 

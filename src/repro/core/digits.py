@@ -22,6 +22,7 @@ __all__ = [
     "extract_digit",
     "extract_digit_compact",
     "extract_digit_lsd",
+    "native_pass_plan",
 ]
 
 
@@ -103,6 +104,38 @@ class DigitGeometry:
         if from_msd_index >= self.num_digits:
             return 0
         return self.effective_sort_bits - self.digit_bits * from_msd_index
+
+
+def native_pass_plan(
+    sort_bits: int, msd_bits: int = 11, inner_bits: int = 11
+) -> tuple[int, tuple[int, ...]]:
+    """Digit schedule of the native C kernel, mirrored in Python.
+
+    Returns ``(msd_width, inner_widths)``: the width of the MSD
+    partition digit (0 when the kernel skips the partition because the
+    whole range fits in ``msd_bits + inner_bits``) and the widths of
+    the LSD passes that finish the remaining low bits, least
+    significant first.  Keeping the schedule here lets plans and docs
+    state exactly which passes the compiled side will run without
+    parsing C.
+
+    >>> native_pass_plan(32)
+    (11, (11, 10))
+    >>> native_pass_plan(16)
+    (0, (11, 5))
+    """
+    if not 1 <= sort_bits <= 64:
+        raise ConfigurationError("sort_bits must be in [1, 64]")
+    if not (1 <= msd_bits <= 16 and 1 <= inner_bits <= 16):
+        raise ConfigurationError("digit widths must be in [1, 16]")
+    msd_width = msd_bits if sort_bits > msd_bits + inner_bits else 0
+    remaining = sort_bits - msd_width
+    widths: list[int] = []
+    while remaining > 0:
+        w = min(remaining, inner_bits)
+        widths.append(w)
+        remaining -= w
+    return msd_width, tuple(widths)
 
 
 def extract_digit(

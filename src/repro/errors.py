@@ -109,6 +109,30 @@ class OverloadedError(TransientError):
         self.retry_after = float(retry_after)
 
 
+class NativeUnavailableError(ReproError):
+    """The compiled native kernel tier is not usable on this host.
+
+    **Not retryable** — the probe result (no compiler, no cffi, failed
+    self-test, ``REPRO_NATIVE=0``) is cached for the life of the
+    process, so a retry would deterministically fail again.  The
+    degradation ladder treats it like any other engine failure and
+    falls to the NumPy hybrid rung; only code that *requires* the
+    native tier (``repro sort --engine native`` on a host without a
+    compiler, after the ladder is exhausted) ever surfaces it.
+    """
+
+
+class NativeExecutionError(ReproError):
+    """A native kernel call returned an error code.
+
+    **Not retryable in place** (the same call would fail the same way)
+    but **degradable**: the executor falls back to the NumPy hybrid
+    tier and records the downgrade in ``result.meta["resilience"]``.
+    Raised for invalid argument combinations the Python layer failed to
+    screen and for allocation failures inside the kernel.
+    """
+
+
 class UnsupportedDtypeError(ReproError):
     """The given NumPy dtype has no order-preserving bijection registered."""
 

@@ -1,0 +1,29 @@
+"""Native compiled kernel tier (§4 counting scatter in C via cffi).
+
+The package is import-safe on hosts without a C compiler: importing it
+never compiles anything.  Compilation happens on the first availability
+probe (:func:`native_status`) or engine construction, and every failure
+mode degrades to the NumPy tier instead of raising at import time.
+
+Re-exports are lazy (PEP 562) so ``python -m repro.native.build`` does
+not double-import the build module through the package.
+"""
+
+__all__ = [
+    "NativeRadixEngine",
+    "NativeStatus",
+    "load_native",
+    "native_status",
+]
+
+
+def __getattr__(name: str):
+    if name == "NativeRadixEngine":
+        from repro.native.engine import NativeRadixEngine
+
+        return NativeRadixEngine
+    if name in ("NativeStatus", "load_native", "native_status"):
+        from repro.native import build
+
+        return getattr(build, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -193,6 +193,56 @@ def _execute_sharded(
     )
 
 
+def _execute_native(
+    plan: SortPlan,
+    keys: np.ndarray,
+    values: np.ndarray | None = None,
+    config=None,
+    device=None,
+    **_: object,
+) -> SortResult:
+    """The compiled counting-scatter tier (:mod:`repro.native`).
+
+    Top rung of the in-memory ladder: byte-identical to ``hybrid`` by
+    construction (property-pinned in ``tests/native/``), just compiled.
+    A missing extension or a failed kernel call degrades *inline* to
+    the hybrid executor with the downgrade recorded in
+    ``result.meta["resilience"]`` — a plan that says "native" never
+    fails for tier-availability reasons, even outside
+    ``resilient_execute``.  The native engine models no device and
+    reports no simulated time.
+    """
+    from repro.errors import NativeExecutionError, NativeUnavailableError
+    from repro.native.build import native_status
+
+    merged = _merged_config(plan, config)
+    try:
+        from repro.native.engine import NativeRadixEngine
+
+        engine = NativeRadixEngine(config=merged)
+        result = engine.sort(keys, values)
+    except (NativeUnavailableError, NativeExecutionError) as exc:
+        result = _execute_hybrid(
+            plan, keys, values=values, config=config, device=device
+        )
+        result.meta["resilience"] = {
+            "requested": "native",
+            "executed": "hybrid",
+            "retries": 0,
+            "downgrades": [
+                {
+                    "engine": "native",
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            ],
+            "native": native_status(warn=False).reason,
+        }
+        return result
+    result.meta["engine"] = "native"
+    result.meta["plan"] = plan
+    return result
+
+
 def _execute_oracle(
     plan: SortPlan,
     keys: np.ndarray,
@@ -226,6 +276,7 @@ DEFAULT_REGISTRY.register("fallback", _execute_fallback)
 DEFAULT_REGISTRY.register("hetero", _execute_hetero)
 DEFAULT_REGISTRY.register("external", _execute_external)
 DEFAULT_REGISTRY.register("sharded", _execute_sharded)
+DEFAULT_REGISTRY.register("native", _execute_native)
 DEFAULT_REGISTRY.register("oracle", _execute_oracle)
 
 

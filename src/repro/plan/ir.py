@@ -29,6 +29,7 @@ STEP_KINDS = MappingProxyType({
     "shard-scatter": "partitioning input into per-shard memory slabs",
     "shard-sort": "per-shard sorts across worker processes",
     "shard-merge": "bits-space k-way reduce of sorted shards",
+    "native-lsd": "compiled counting-scatter passes (§4 in C, WC buffers)",
 })
 
 
@@ -88,6 +89,10 @@ class SortPlan:
         Ordered :class:`PlanStep` tuple.
     reason:
         One sentence: why the planner chose this strategy.
+    notes:
+        Zero or more tier-selection footnotes (why the native tier was
+        or was not chosen, say) — advisory context that rides along
+        without disturbing the strategy/reason contract.
     """
 
     descriptor: object
@@ -95,6 +100,7 @@ class SortPlan:
     engine: str
     steps: tuple[PlanStep, ...]
     reason: str = ""
+    notes: tuple[str, ...] = ()
 
     @property
     def predicted_seconds(self) -> float:
@@ -153,6 +159,8 @@ class SortPlan:
             f"predicted total : {self.predicted_seconds * 1e3:.3f} ms "
             f"({self.bytes_moved / 1e6:.1f} MB moved)"
         )
+        for note in self.notes:
+            lines.append(f"note            : {note}")
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
@@ -162,6 +170,7 @@ class SortPlan:
             "strategy": self.strategy,
             "engine": self.engine,
             "reason": self.reason,
+            "notes": list(self.notes),
             "steps": [step.to_dict() for step in self.steps],
             "predicted_seconds": self.predicted_seconds,
             "bytes_moved": self.bytes_moved,

@@ -49,6 +49,7 @@ __all__ = [
     "PAPER_CROSSOVER_KEYS",
     "PAPER_CROSSOVER_PAIRS",
     "HOST_DISK_BANDWIDTH",
+    "NATIVE_MIN_KEYS",
 ]
 
 #: §6.1: the hybrid sort wins beyond 1.9 M keys on any distribution.
@@ -56,6 +57,12 @@ PAPER_CROSSOVER_KEYS = 1_900_000
 
 #: §6.1: ... and beyond 1.6 M key-value pairs.
 PAPER_CROSSOVER_PAIRS = 1_600_000
+
+#: Below this record count the native tier's fixed costs (FFI call,
+#: bijection copies, result re-view) rival the sort itself and the
+#: NumPy tier is simpler to reason about; above it the compiled
+#: counting-scatter wins decisively.
+NATIVE_MIN_KEYS = 1 << 16
 
 #: Nominal host storage bandwidth (bytes/s) used to annotate the I/O
 #: halves of spill/merge steps.  A round SSD-class figure — the
@@ -102,6 +109,15 @@ class Planner:
     in_place_replacement:
         Chunk-buffer accounting for budgeted plans: three buffers with
         the Figure 5 layout, four without.
+    native:
+        Native compiled-tier policy.  ``"auto"`` (default) prefers the
+        compiled counting-scatter for large in-memory numeric inputs
+        when the once-per-process availability probe succeeds and the
+        configuration is one the tier supports; ``"never"`` keeps every
+        plan on the NumPy tiers; ``"always"`` plans the native tier
+        for any in-memory input regardless of the probe (the executor
+        degrades typed when the tier is missing — what
+        ``repro sort --engine native`` relies on).
     """
 
     def __init__(
@@ -111,14 +127,20 @@ class Planner:
         key_crossover: int = PAPER_CROSSOVER_KEYS,
         pair_crossover: int = PAPER_CROSSOVER_PAIRS,
         in_place_replacement: bool = True,
+        native: str = "auto",
     ) -> None:
         if key_crossover < 0 or pair_crossover < 0:
             raise ConfigurationError("crossovers must be non-negative")
+        if native not in ("auto", "never", "always"):
+            raise ConfigurationError(
+                "native must be 'auto', 'never', or 'always'"
+            )
         self.config = config
         self.adaptive = adaptive
         self.key_crossover = key_crossover
         self.pair_crossover = pair_crossover
         self.in_place_replacement = in_place_replacement
+        self.native = native
 
     # ------------------------------------------------------------------
     # The strategy decision
@@ -155,12 +177,55 @@ class Planner:
             descriptor.n, descriptor.has_values
         ):
             return self._plan_fallback(descriptor)
-        return self._plan_hybrid(descriptor)
+        use_native, note = self._native_choice(descriptor)
+        if use_native:
+            return self._plan_native(descriptor, note)
+        return self._plan_hybrid(descriptor, note)
+
+    def _native_choice(
+        self, descriptor: InputDescriptor
+    ) -> tuple[bool, str]:
+        """Decide whether the in-memory plan runs the compiled tier.
+
+        Returns ``(use_native, note)`` — the note explains the choice
+        either way and is attached to the resulting plan, so
+        ``repro plan`` and ``SortResult.meta["plan"]`` are always
+        self-explaining about the tier decision.
+        """
+        from repro.native.build import native_status
+
+        if self.native == "never":
+            return False, "native tier disabled for this planner"
+        if self.native == "always":
+            status = native_status()
+            detail = (
+                status.reason
+                if status.available
+                else f"requested; {status.reason}"
+            )
+            return True, f"native tier forced: {detail}"
+        config = self._config_for(descriptor)
+        if config.sort_bits is not None:
+            return False, (
+                "native tier skipped: explicit sort_bits is a NumPy-"
+                "tier-only lever"
+            )
+        if descriptor.n < NATIVE_MIN_KEYS:
+            return False, (
+                f"native tier skipped: {descriptor.n:,} records fall "
+                f"short of the {NATIVE_MIN_KEYS:,}-record floor"
+            )
+        status = native_status()
+        if not status.available:
+            return False, f"native tier unavailable: {status.reason}"
+        return True, f"native tier selected: {status.reason}"
 
     # ------------------------------------------------------------------
     # Strategy planners
     # ------------------------------------------------------------------
-    def _plan_hybrid(self, descriptor: InputDescriptor) -> SortPlan:
+    def _plan_hybrid(
+        self, descriptor: InputDescriptor, native_note: str | None = None
+    ) -> SortPlan:
         config = self._config_for(descriptor)
         n = descriptor.n
         total = descriptor.total_bytes
@@ -187,6 +252,44 @@ class Planner:
             engine="HybridRadixSorter",
             steps=(step,),
             reason=reason,
+            notes=() if native_note is None else (native_note,),
+        )
+
+    def _plan_native(
+        self, descriptor: InputDescriptor, note: str
+    ) -> SortPlan:
+        """One in-memory sort through the compiled counting-scatter."""
+        from repro.core.digits import native_pass_plan
+
+        config = self._config_for(descriptor)
+        n = descriptor.n
+        # The engine sorts the key field of whichever word layout the
+        # pair packing selects; the partition/LSD schedule over the key
+        # bits is the same either way, so price that.
+        msd_width, inner = native_pass_plan(config.key_bits)
+        passes = (1 if msd_width else 0) + len(inner)
+        bytes_moved = 3 * passes * n * descriptor.record_bytes
+        step = PlanStep(
+            kind="native-lsd",
+            params={
+                "n": n,
+                "expected_passes": passes,
+                "msd_bits": msd_width,
+                "inner_widths": "+".join(str(w) for w in inner),
+            },
+            predicted_seconds=self._stream_seconds(descriptor, bytes_moved),
+            bytes_moved=bytes_moved,
+        )
+        return SortPlan(
+            descriptor=descriptor,
+            strategy="native",
+            engine="NativeRadixEngine",
+            steps=(step,),
+            reason=(
+                f"{n:,} in-memory records; compiled counting-scatter "
+                f"with write-combined MSD partition"
+            ),
+            notes=(note,),
         )
 
     def _plan_fallback(self, descriptor: InputDescriptor) -> SortPlan:

@@ -295,6 +295,61 @@ def _shard_scenario(site: str, kind: str, n: int, seed: int) -> dict:
                    detail="absorbed, byte-identical")
 
 
+def _native_scenario(site: str, kind: str, n: int, seed: int) -> dict:
+    """Contain one fault on the compiled-tier rung.
+
+    Planned with ``Planner(native="always")`` so the ``native`` rung
+    heads the ladder on every host — the fault trips at the rung
+    boundary (before any engine code), making the scenario
+    deterministic whether or not the extension compiled.  The contract:
+    the fault degrades to the NumPy hybrid rung and the bytes are
+    identical to the oracle.
+    """
+    from repro.plan import InputDescriptor, Planner
+    from repro.resilience.degrade import resilient_execute
+    from repro.resilience.policy import RetryPolicy
+
+    keys = _keys(n, seed)
+    expected = _expected_bytes(keys)
+    descriptor = InputDescriptor.for_array(keys)
+    plan = Planner(native="always").plan(descriptor)
+    report: dict = {}
+    with inject(FaultPlan.single(site, kind)) as fault_plan:
+        try:
+            result = resilient_execute(
+                plan,
+                retry_policy=RetryPolicy(max_attempts=3, base_delay=0.01),
+                report=report,
+                keys=keys,
+            )
+            err = None
+        except TYPED_ERRORS as exc:
+            err = exc
+    if not fault_plan.fire_count():
+        return _result(site, kind, "not-reached", ok=False,
+                       detail="fault site never hit")
+    if err is not None:
+        return _result(site, kind, "typed-error", ok=True,
+                       detail=f"{type(err).__name__}: {err}")
+    if result.keys.tobytes() != expected:
+        return _result(site, kind, "corrupt-output", ok=False,
+                       detail="result differs from oracle")
+    if report.get("downgrades"):
+        return _result(
+            site, kind, "degraded", ok=True,
+            detail=f"degraded after "
+                   f"{len(report['downgrades'])} rung failure(s), "
+                   f"byte-identical",
+        )
+    if report.get("retries"):
+        return _result(
+            site, kind, "recovered", ok=True,
+            detail=f"{report['retries']} retry(ies), byte-identical",
+        )
+    return _result(site, kind, "completed", ok=True,
+                   detail="absorbed, byte-identical")
+
+
 def _result(site: str, kind: str, outcome: str, *, ok: bool,
             detail: str) -> dict:
     return {
@@ -313,6 +368,8 @@ def run_chaos(
             results.append(_external_scenario(site, kind, n, seed))
         elif site.startswith("shard.") or site == "engine.sharded":
             results.append(_shard_scenario(site, kind, n, seed))
+        elif site == "engine.native":
+            results.append(_native_scenario(site, kind, n, seed))
         else:
             results.append(_service_scenario(site, kind, n, seed))
     return results

@@ -103,6 +103,10 @@ SITES: dict[str, str] = {
     "engine.sharded": (
         "executor registry: the multiprocess sharded engine rung"
     ),
+    "engine.native": (
+        "executor registry: the compiled counting-scatter rung "
+        "(degrades to hybrid whether or not the extension exists)"
+    ),
     "shard.scatter": (
         "sharded router: partitioning input into per-shard memory slabs"
     ),

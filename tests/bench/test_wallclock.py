@@ -102,7 +102,7 @@ class TestHarness:
         path = tmp_path / "BENCH_wallclock.json"
         write_report(report, str(path))
         loaded = json.loads(path.read_text())
-        assert loaded["schema"] == 2
+        assert loaded["schema"] == 3
         assert loaded["n"] == 2048
         assert loaded["workers"] == 2
         assert loaded["cases"] == ["keys32-uniform"]
@@ -126,7 +126,7 @@ class TestHarness:
 class TestExternalCases:
     def test_external_family_in_defaults(self):
         engines = {c.engine for c in DEFAULT_CASES}
-        assert engines == {"hybrid", "external"}
+        assert engines == {"hybrid", "native", "external"}
         external = [c for c in DEFAULT_CASES if c.engine == "external"]
         assert {c.name for c in external} == {
             "external-keys32-uniform",

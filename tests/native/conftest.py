@@ -1,0 +1,20 @@
+"""Shared fixtures for the native-tier tests.
+
+The availability probe is process-cached; tests that fake a different
+host (no cffi, ``REPRO_NATIVE=0``) must reset it before *and* after so
+neither direction of contamination survives the test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.native import build
+
+
+@pytest.fixture
+def fresh_probe():
+    """A clean probe cache around a test that manipulates it."""
+    build._reset_status_cache()
+    yield
+    build._reset_status_cache()

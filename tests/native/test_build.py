@@ -1,0 +1,115 @@
+"""Build/probe machinery: caching, disabling, warnings, import safety."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import warnings
+
+import pytest
+
+from repro.errors import NativeUnavailableError
+from repro.native import build
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+class TestProbeCache:
+    def test_status_is_probed_once_per_process(self, fresh_probe, monkeypatch):
+        first = build.native_status(warn=False)
+        # A second call must not re-probe: replace the probe with a
+        # tripwire and ask again.
+        def boom():
+            raise AssertionError("probe ran twice")
+
+        monkeypatch.setattr(build, "_probe", boom)
+        assert build.native_status(warn=False) is first
+
+    def test_reset_forces_reprobe(self, fresh_probe, monkeypatch):
+        build.native_status(warn=False)
+        sentinel = build.NativeStatus(False, "sentinel probe")
+        monkeypatch.setattr(build, "_probe", lambda: sentinel)
+        build._reset_status_cache()
+        assert build.native_status(warn=False) is sentinel
+
+    def test_env_kill_switch(self, fresh_probe, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        status = build.native_status()
+        assert not status.available
+        assert "REPRO_NATIVE=0" in status.reason
+
+    def test_env_kill_switch_does_not_warn(self, fresh_probe, monkeypatch):
+        # Disabling is a choice, not a failure: no RuntimeWarning.
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            build.native_status(warn=True)
+
+
+class TestUnavailableBehaviour:
+    def test_failed_probe_warns_exactly_once(self, fresh_probe, monkeypatch):
+        broken = build.NativeStatus(False, "compile/load failed: boom")
+        monkeypatch.setattr(build, "_probe", lambda: broken)
+        with pytest.warns(RuntimeWarning, match="falls? back to the NumPy"):
+            build.native_status()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            build.native_status()  # second call: silent
+
+    def test_load_native_raises_typed_error(self, fresh_probe, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        with pytest.raises(NativeUnavailableError, match="REPRO_NATIVE=0"):
+            build.load_native()
+
+
+class TestModuleNaming:
+    def test_digest_is_stable_and_names_the_module(self):
+        digest = build.source_digest()
+        assert digest == build.source_digest()
+        assert len(digest) == 12
+        int(digest, 16)  # hex
+        assert build._module_name() == f"_repro_native_{digest}"
+
+    def test_cache_dir_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_NATIVE_CACHE", str(tmp_path / "cache"))
+        assert build._cache_dir() == tmp_path / "cache"
+
+
+class TestImportSafety:
+    """``import repro`` must never fail for native-tier reasons."""
+
+    def _run(self, code: str, env_extra: dict[str, str]) -> None:
+        env = dict(os.environ, PYTHONPATH=REPO_SRC)
+        env.update(env_extra)
+        subprocess.run(
+            [sys.executable, "-c", code], env=env, check=True, timeout=120
+        )
+
+    def test_import_and_sort_with_tier_disabled(self):
+        self._run(
+            "import numpy as np, repro;"
+            "r = repro.sort(np.arange(200_000, dtype=np.uint32)[::-1].copy());"
+            "assert r.meta['engine'] == 'hybrid';"
+            "assert (r.keys[:-1] <= r.keys[1:]).all()",
+            {"REPRO_NATIVE": "0"},
+        )
+
+    def test_import_and_sort_without_cffi(self, tmp_path):
+        # A cffi that fails to import = a host that never installed it.
+        (tmp_path / "cffi.py").write_text("raise ImportError('no cffi')\n")
+        self._run(
+            "import warnings, numpy as np;"
+            "warnings.simplefilter('always');"
+            "import repro;"
+            "r = repro.sort(np.arange(200_000, dtype=np.uint32)[::-1].copy());"
+            "assert r.meta['engine'] == 'hybrid';"
+            "assert repro.native_status(warn=False).reason"
+            "       == 'cffi not installed'",
+            {
+                "PYTHONPATH": f"{tmp_path}{os.pathsep}{REPO_SRC}",
+                # Make the probe reach the cffi import even when the
+                # outer test run disabled the tier via the env switch.
+                "REPRO_NATIVE": "1",
+            },
+        )

@@ -199,4 +199,5 @@ class TestRegistry:
         assert "hybrid" in DEFAULT_REGISTRY.strategies()
         assert set(DEFAULT_REGISTRY.strategies()) == {
             "hybrid", "fallback", "hetero", "external", "oracle", "sharded",
+            "native",
         }

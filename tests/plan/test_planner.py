@@ -74,8 +74,11 @@ class TestInputDescriptor:
 
 class TestStrategyChoice:
     def test_array_defaults_to_hybrid(self):
+        # native="never" pins the NumPy tier: the default planner may
+        # upgrade a large array to the compiled tier when the host has
+        # it (TestNativeChoice covers that dispatch).
         desc = InputDescriptor(n=1 << 20, key_dtype=np.uint32)
-        plan = Planner().plan(desc)
+        plan = Planner(native="never").plan(desc)
         assert plan.strategy == "hybrid"
         assert [s.kind for s in plan.steps] == ["hybrid-msd"]
 
@@ -86,8 +89,8 @@ class TestStrategyChoice:
 
     def test_adaptive_small_input_falls_back(self):
         desc = InputDescriptor(n=100_000, key_dtype=np.uint32)
-        assert Planner().plan(desc).strategy == "hybrid"
-        plan = Planner(adaptive=True).plan(desc)
+        assert Planner(native="never").plan(desc).strategy == "hybrid"
+        plan = Planner(adaptive=True, native="never").plan(desc)
         assert plan.strategy == "fallback"
         assert [s.kind for s in plan.steps] == ["lsd-fallback"]
 
@@ -180,7 +183,7 @@ class TestAdaptiveDispatchProperty:
     )
     @settings(max_examples=60, deadline=None)
     def test_strategy_equals_case_distinction(self, n, has_values):
-        planner = Planner(adaptive=True)
+        planner = Planner(adaptive=True, native="never")
         desc = InputDescriptor(
             n=n,
             key_dtype=np.uint32,
@@ -192,7 +195,7 @@ class TestAdaptiveDispatchProperty:
         assert (plan.strategy == "fallback") == (not expected_hybrid)
 
     def test_crossover_boundary_is_inclusive(self):
-        planner = Planner(adaptive=True)
+        planner = Planner(adaptive=True, native="never")
         at = InputDescriptor(n=PAPER_CROSSOVER_KEYS, key_dtype=np.uint32)
         below = InputDescriptor(
             n=PAPER_CROSSOVER_KEYS - 1, key_dtype=np.uint32

@@ -19,6 +19,7 @@ from hypothesis import strategies as st
 from repro.resilience.chaos import (
     WRITE_SITES,
     _external_scenario,
+    _native_scenario,
     _service_scenario,
     _shard_scenario,
     default_schedule,
@@ -35,10 +36,15 @@ EXTERNAL_MATRIX = [
     pair for pair in FULL_MATRIX if pair[0].startswith("external.")
 ]
 SHARD_MATRIX = [pair for pair in FULL_MATRIX if _is_shard(pair[0])]
+# engine.native needs a forced-native plan to be reachable at all;
+# its scenario runner supplies one (and works without the extension).
+NATIVE_MATRIX = [pair for pair in FULL_MATRIX if pair[0] == "engine.native"]
 SERVICE_MATRIX = [
     pair
     for pair in FULL_MATRIX
-    if not pair[0].startswith("external.") and not _is_shard(pair[0])
+    if not pair[0].startswith("external.")
+    and not _is_shard(pair[0])
+    and pair[0] != "engine.native"
 ]
 
 # Each draw runs a complete (small) sort through real engines and real
@@ -107,6 +113,15 @@ class TestSingleFaultContainment:
     def test_shard_faults_absorbed_or_fail_typed(self, scenario, seed):
         site, kind = scenario
         assert_contained(_shard_scenario(site, kind, n=3_000, seed=seed))
+
+    @settings(max_examples=6, **SCENARIO_SETTINGS)
+    @given(
+        scenario=st.sampled_from(NATIVE_MATRIX),
+        seed=st.integers(0, 2**16),
+    )
+    def test_native_faults_absorbed_or_fail_typed(self, scenario, seed):
+        site, kind = scenario
+        assert_contained(_native_scenario(site, kind, n=3_000, seed=seed))
 
     def test_watchdog_cuts_the_hang_short(self):
         # The hang scenario is deterministic and slow-ish (it waits for

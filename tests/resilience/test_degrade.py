@@ -47,6 +47,14 @@ class TestFallbackChain:
             "hetero", "hybrid", "fallback", "oracle"
         )
 
+    def test_native_walks_down_but_is_never_escalated_to(self):
+        # A native plan degrades through every NumPy rung; a hybrid
+        # plan must never walk *up* into the compiled tier.
+        assert fallback_chain("native") == (
+            "native", "hybrid", "fallback", "oracle"
+        )
+        assert "native" not in fallback_chain("hybrid")
+
     def test_external_never_changes_engine(self):
         assert fallback_chain("external") == ("external",)
 

@@ -59,11 +59,20 @@ class TestSortCommand:
 
 class TestPlanCommand:
     def test_array_plan_explains_without_executing(self, capsys):
+        from repro.native.build import native_status
+
         rc = main(["plan", "--n", "1000000"])
         out = capsys.readouterr().out
         assert rc == 0
-        assert "strategy        : hybrid" in out
-        assert "hybrid-msd" in out
+        # The chosen tier depends on whether this host compiled the
+        # native extension; either way the plan says which and why.
+        if native_status(warn=False).available:
+            assert "strategy        : native" in out
+            assert "native-lsd" in out
+        else:
+            assert "strategy        : hybrid" in out
+            assert "hybrid-msd" in out
+        assert "note            : native tier" in out
         assert "predicted total" in out
 
     def test_budgeted_plan_chooses_chunked_pipeline(self, capsys):
