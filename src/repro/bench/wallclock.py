@@ -42,6 +42,7 @@ from types import SimpleNamespace
 
 import numpy as np
 
+from repro.cost import load_host_profile
 from repro.errors import ConfigurationError
 from repro.workloads import generate_pairs, typed_keys
 
@@ -199,7 +200,25 @@ def _plan_summary(plan) -> dict | None:
         "engine": plan.engine,
         "steps": [step.kind for step in plan.steps],
         "predicted_seconds": plan.predicted_seconds,
+        "cost_source": plan.cost_source,
+        "profile_fingerprint": plan.profile_fingerprint,
     }
+
+
+def _prediction_ratio(plan_summary: dict | None, seconds: float) -> float | None:
+    """Predicted-over-measured ratio — the cost model's honesty metric.
+
+    1.0 is a perfect prediction; the calibration gate asserts this stays
+    within a factor of 5 either way for the acceptance cases when a host
+    profile is installed.  ``None`` when there is no plan (skipped case)
+    or no meaningful timing.
+    """
+    if plan_summary is None or not seconds or seconds <= 0:
+        return None
+    predicted = plan_summary.get("predicted_seconds")
+    if predicted is None or predicted <= 0:
+        return None
+    return round(predicted / seconds, 4)
 
 
 def _run_native_case(
@@ -325,6 +344,7 @@ def run_case(
         "mkeys_per_s": round(n / best / 1e6, 3),
         "sorted_ok": ok,
         "plan": plan_summary,
+        "prediction_ratio": _prediction_ratio(plan_summary, best),
     }
 
 
@@ -354,8 +374,9 @@ def run_suite(
                 f"{'' if record['sorted_ok'] else ', NOT SORTED'})"
             )
     status = native_status(warn=False)
+    profile = load_host_profile()
     return {
-        "schema": 3,
+        "schema": 4,
         "benchmark": "host wall-clock, sorter .sort() end-to-end",
         "n": n,
         "repeats": repeats,
@@ -365,6 +386,9 @@ def run_suite(
         "python": platform.python_version(),
         "numpy": np.__version__,
         "native": {"available": status.available, "reason": status.reason},
+        # Fingerprint of the host profile the planners priced with (see
+        # ``repro calibrate``); None = paper-analytical constants only.
+        "host_profile": None if profile is None else profile.fingerprint,
         "results": results,
     }
 

@@ -1,17 +1,44 @@
-"""Analytical cost model: execution traces → simulated Titan X time.
+"""Cost models: paper constants, host profiles, measured feedback.
 
-:mod:`repro.cost.calibration` holds every tunable constant with the
-paper anchor it was fitted against; :mod:`repro.cost.model` applies them
-to hybrid-sort traces and to the baseline sorters' pass structures.
+Three tiers of estimate, each overriding the one before when present:
+
+* :mod:`repro.cost.calibration` holds every tunable constant with the
+  paper anchor it was fitted against; :mod:`repro.cost.model` applies
+  them to hybrid-sort traces and to the baseline sorters' pass
+  structures.  Always available — the documented fallback.
+* :mod:`repro.cost.hostprofile` measures this host's real rates with
+  ``repro calibrate`` micro-probes; :mod:`repro.cost.hostmodel` prices
+  the same plan shapes with them.
+* :mod:`repro.cost.feedback` closes the loop from service telemetry:
+  measured execute times per request signature, blended into the
+  planner's predictions.
 """
 
 from repro.cost.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.cost.feedback import CostFeedback
+from repro.cost.hostmodel import HostCostModel
+from repro.cost.hostprofile import (
+    HostProfile,
+    ProfileError,
+    default_profile_path,
+    load_host_profile,
+    run_probes,
+    save_profile,
+)
 from repro.cost.model import CostModel, LSDCostPreset, MergeSortCostPreset
 
 __all__ = [
     "Calibration",
+    "CostFeedback",
     "CostModel",
     "DEFAULT_CALIBRATION",
+    "HostCostModel",
+    "HostProfile",
     "LSDCostPreset",
     "MergeSortCostPreset",
+    "ProfileError",
+    "default_profile_path",
+    "load_host_profile",
+    "run_probes",
+    "save_profile",
 ]

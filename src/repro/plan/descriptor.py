@@ -171,6 +171,26 @@ class InputDescriptor:
     def with_budget(self, memory_budget: int | None) -> "InputDescriptor":
         return replace(self, memory_budget=memory_budget)
 
+    def signature(self) -> tuple:
+        """The hashable identity planning depends on.
+
+        Everything :meth:`Planner.plan` reads from the descriptor is
+        in here; two descriptors with equal signatures always plan
+        identically.  The plan cache keys on it and the measured-
+        feedback loop accumulates execute times under it.
+        """
+        return (
+            self.n,
+            self.key_dtype.str,
+            None if self.value_dtype is None else self.value_dtype.str,
+            self.source,
+            self.path,
+            self.memory_budget,
+            self.workers,
+            self.shards,
+            self.spec.name,
+        )
+
     def describe(self) -> str:
         layout = (
             f"{self.key_dtype} keys"

@@ -93,6 +93,15 @@ class SortPlan:
         Zero or more tier-selection footnotes (why the native tier was
         or was not chosen, say) — advisory context that rides along
         without disturbing the strategy/reason contract.
+    cost_source:
+        Where ``predicted_seconds`` came from: ``"paper-analytical"``
+        (the §6 Titan X constants — the documented fallback),
+        ``"host-profile"`` (micro-probe constants from
+        ``repro calibrate``), or ``"measured-feedback"`` (blended with
+        this signature's measured execute times).
+    profile_fingerprint:
+        Content hash of the host profile that priced the plan, or
+        ``None`` when no profile was involved.
     """
 
     descriptor: object
@@ -101,6 +110,8 @@ class SortPlan:
     steps: tuple[PlanStep, ...]
     reason: str = ""
     notes: tuple[str, ...] = ()
+    cost_source: str = "paper-analytical"
+    profile_fingerprint: str | None = None
 
     @property
     def predicted_seconds(self) -> float:
@@ -159,6 +170,10 @@ class SortPlan:
             f"predicted total : {self.predicted_seconds * 1e3:.3f} ms "
             f"({self.bytes_moved / 1e6:.1f} MB moved)"
         )
+        source = self.cost_source
+        if self.profile_fingerprint:
+            source += f" ({self.profile_fingerprint})"
+        lines.append(f"cost source     : {source}")
         for note in self.notes:
             lines.append(f"note            : {note}")
         return "\n".join(lines)
@@ -174,4 +189,6 @@ class SortPlan:
             "steps": [step.to_dict() for step in self.steps],
             "predicted_seconds": self.predicted_seconds,
             "bytes_moved": self.bytes_moved,
+            "cost_source": self.cost_source,
+            "profile_fingerprint": self.profile_fingerprint,
         }

@@ -24,10 +24,15 @@ absorbs all of those decisions into a single code path that maps an
 
 Planning never touches input data: every decision is a function of the
 descriptor alone, so plans are deterministic, cheap, and serialisable.
-Cost annotations come from the existing models —
-:class:`~repro.core.analytical.AnalyticalModel` pass counts, the LSD
-baseline's :class:`~repro.cost.model.LSDCostPreset` pricing, the §5
-pipeline simulation, and :class:`~repro.hetero.merge.CpuMergeModel`.
+Cost annotations come from three tiers, best available wins — the
+paper-anchored models (:class:`~repro.core.analytical.AnalyticalModel`
+pass counts, the LSD baseline's
+:class:`~repro.cost.model.LSDCostPreset` pricing, the §5 pipeline
+simulation, :class:`~repro.hetero.merge.CpuMergeModel`), a measured
+:class:`~repro.cost.hostprofile.HostProfile` from ``repro calibrate``
+when one exists, and per-signature measured-execute feedback
+(:class:`~repro.cost.feedback.CostFeedback`) when a service supplies
+it.  Every plan records which tier priced it in ``cost_source``.
 """
 
 from __future__ import annotations
@@ -36,6 +41,8 @@ from dataclasses import replace
 
 from repro.core.analytical import AnalyticalModel
 from repro.core.config import SortConfig
+from repro.cost.hostmodel import HostCostModel
+from repro.cost.hostprofile import HostProfile, load_host_profile
 from repro.errors import ConfigurationError
 from repro.gpu.pcie import PCIeLink
 from repro.hetero.chunking import max_chunk_bytes, plan_chunks
@@ -118,6 +125,20 @@ class Planner:
         for any in-memory input regardless of the probe (the executor
         degrades typed when the tier is missing — what
         ``repro sort --engine native`` relies on).
+    profile:
+        Host-calibration policy.  ``"auto"`` (default) loads the
+        calibrated :class:`~repro.cost.hostprofile.HostProfile` from
+        its configured path when one exists (missing file = paper
+        constants, silently); a :class:`HostProfile` instance or a
+        path string pins a specific profile; ``None`` disables
+        calibration so plans are priced exactly as before this layer
+        existed.  Profiles change predicted seconds, never a plan's
+        structure.
+    feedback:
+        Optional :class:`~repro.cost.feedback.CostFeedback` — measured
+        execute times per descriptor signature, blended into
+        predictions by :meth:`plan`.  The service wires one up; plain
+        planners run without.
     """
 
     def __init__(
@@ -128,6 +149,8 @@ class Planner:
         pair_crossover: int = PAPER_CROSSOVER_PAIRS,
         in_place_replacement: bool = True,
         native: str = "auto",
+        profile: HostProfile | str | None = "auto",
+        feedback=None,
     ) -> None:
         if key_crossover < 0 or pair_crossover < 0:
             raise ConfigurationError("crossovers must be non-negative")
@@ -141,6 +164,19 @@ class Planner:
         self.pair_crossover = pair_crossover
         self.in_place_replacement = in_place_replacement
         self.native = native
+        if profile == "auto":
+            profile = load_host_profile()
+        elif isinstance(profile, str):
+            profile = load_host_profile(profile)
+        self.profile = profile
+        self.host = None if profile is None else HostCostModel(profile)
+        self.feedback = feedback
+        self._cost_source = (
+            "paper-analytical" if self.host is None else "host-profile"
+        )
+        self._fingerprint = (
+            None if self.host is None else self.host.fingerprint or None
+        )
 
     # ------------------------------------------------------------------
     # The strategy decision
@@ -166,7 +202,19 @@ class Planner:
         return descriptor.total_bytes <= limit
 
     def plan(self, descriptor: InputDescriptor) -> SortPlan:
-        """Choose the strategy and lay out the steps for one input."""
+        """Choose the strategy and lay out the steps for one input.
+
+        When a :class:`~repro.cost.feedback.CostFeedback` is attached
+        and has observed this signature, the plan's predicted seconds
+        are re-blended toward the measured history (structure and
+        strategy are untouched — feedback re-prices, it never re-routes).
+        """
+        plan = self._choose(descriptor)
+        if self.feedback is not None:
+            plan = self.feedback.apply(plan, descriptor.signature())
+        return plan
+
+    def _choose(self, descriptor: InputDescriptor) -> SortPlan:
         if descriptor.source == "file":
             return self.plan_external(descriptor)
         if descriptor.shards > 1:
@@ -230,10 +278,14 @@ class Planner:
         n = descriptor.n
         total = descriptor.total_bytes
         if n <= config.local_threshold:
+            if self.host is not None:
+                local_seconds = self.host.local_sort_seconds(n)
+            else:
+                local_seconds = self._stream_seconds(descriptor, 2 * total)
             step = PlanStep(
                 kind="local-sort",
                 params={"n": n, "capacity": config.local_threshold},
-                predicted_seconds=self._stream_seconds(descriptor, 2 * total),
+                predicted_seconds=local_seconds,
                 bytes_moved=2 * total,
             )
             reason = (
@@ -253,6 +305,8 @@ class Planner:
             steps=(step,),
             reason=reason,
             notes=() if native_note is None else (native_note,),
+            cost_source=self._cost_source,
+            profile_fingerprint=self._fingerprint,
         )
 
     def _plan_native(
@@ -269,6 +323,10 @@ class Planner:
         msd_width, inner = native_pass_plan(config.key_bits)
         passes = (1 if msd_width else 0) + len(inner)
         bytes_moved = 3 * passes * n * descriptor.record_bytes
+        if self.host is not None:
+            native_seconds = self.host.native_seconds(descriptor, bytes_moved)
+        else:
+            native_seconds = self._stream_seconds(descriptor, bytes_moved)
         step = PlanStep(
             kind="native-lsd",
             params={
@@ -277,7 +335,7 @@ class Planner:
                 "msd_bits": msd_width,
                 "inner_widths": "+".join(str(w) for w in inner),
             },
-            predicted_seconds=self._stream_seconds(descriptor, bytes_moved),
+            predicted_seconds=native_seconds,
             bytes_moved=bytes_moved,
         )
         return SortPlan(
@@ -290,6 +348,8 @@ class Planner:
                 f"with write-combined MSD partition"
             ),
             notes=(note,),
+            cost_source=self._cost_source,
+            profile_fingerprint=self._fingerprint,
         )
 
     def _plan_fallback(self, descriptor: InputDescriptor) -> SortPlan:
@@ -303,13 +363,19 @@ class Planner:
             else descriptor.value_dtype.itemsize
         )
         passes = fallback.preset.passes_for(descriptor.key_bits)
+        if self.host is not None:
+            # The executed fallback is one stable NumPy sort on this
+            # host, not a simulated GPU LSD — price it as such.
+            fallback_seconds = self.host.local_sort_seconds(descriptor.n)
+        else:
+            fallback_seconds = fallback.simulated_seconds(
+                descriptor.n, key_bytes, value_bytes
+            )
         step = PlanStep(
             kind="lsd-fallback",
             params={"n": descriptor.n, "passes": passes,
                     "baseline": fallback.preset.name},
-            predicted_seconds=fallback.simulated_seconds(
-                descriptor.n, key_bytes, value_bytes
-            ),
+            predicted_seconds=fallback_seconds,
             bytes_moved=3 * passes * descriptor.total_bytes,
         )
         threshold = (
@@ -326,6 +392,8 @@ class Planner:
                 f"{descriptor.n:,} records fall short of the §6.1 "
                 f"crossover ({threshold:,}); LSD baseline wins"
             ),
+            cost_source=self._cost_source,
+            profile_fingerprint=self._fingerprint,
         )
 
     def plan_chunked(
@@ -376,10 +444,8 @@ class Planner:
         merge_step = PlanStep(
             kind="kway-merge",
             params={"n_runs": chunk_plan.n_chunks, "where": "host"},
-            predicted_seconds=CpuMergeModel().merge_seconds(
-                total_bytes=descriptor.total_bytes,
-                n_runs=chunk_plan.n_chunks,
-                record_bytes=record_bytes,
+            predicted_seconds=self._merge_seconds(
+                descriptor.total_bytes, chunk_plan.n_chunks, record_bytes
             ),
             bytes_moved=2 * descriptor.total_bytes,
         )
@@ -394,6 +460,8 @@ class Planner:
                 f"{'memory budget' if budgeted else 'device memory'}; "
                 f"{chunk_plan.n_chunks} pipelined chunks + host merge"
             ),
+            cost_source=self._cost_source,
+            profile_fingerprint=self._fingerprint,
         )
 
     def plan_sharded(
@@ -417,7 +485,7 @@ class Planner:
             )
         shards = min(descriptor.shards, max(1, descriptor.n))
         if shards == 1:
-            return self.plan(replace(descriptor, shards=1))
+            return self._choose(replace(descriptor, shards=1))
         from repro.shard.merge import choose_fan_in
 
         config = self._config_for(descriptor)
@@ -430,6 +498,15 @@ class Planner:
             predicted_seconds=self._stream_seconds(descriptor, 2 * total),
             bytes_moved=2 * total,
         )
+        # Shards run concurrently: the step costs one shard's sort,
+        # while bytes_moved counts all of them.  A host profile knows
+        # the measured process-scaling efficiency (spawn + slab copy
+        # overhead included) and corrects the concurrency credit.
+        sort_seconds = shard_sort.predicted_seconds
+        if self.host is not None:
+            sort_seconds = (
+                sort_seconds * shards / self.host.shard_speedup(shards)
+            )
         sort_step = PlanStep(
             kind="shard-sort",
             params={
@@ -437,19 +514,15 @@ class Planner:
                 "per_shard_records": per_shard,
                 "expected_passes": shard_sort.params["expected_passes"],
             },
-            # Shards run concurrently: the step costs one shard's sort,
-            # while bytes_moved counts all of them.
-            predicted_seconds=shard_sort.predicted_seconds,
+            predicted_seconds=sort_seconds,
             bytes_moved=shard_sort.bytes_moved * shards,
         )
         fan_in = choose_fan_in(shards, descriptor.record_bytes)
         merge_step = PlanStep(
             kind="shard-merge",
             params={"n_runs": shards, "fan_in": fan_in, "where": "host"},
-            predicted_seconds=CpuMergeModel().merge_seconds(
-                total_bytes=total,
-                n_runs=shards,
-                record_bytes=descriptor.record_bytes,
+            predicted_seconds=self._merge_seconds(
+                total, shards, descriptor.record_bytes
             ),
             bytes_moved=2 * total,
         )
@@ -462,6 +535,8 @@ class Planner:
                 f"{shards} shard processes over shared-memory slabs; "
                 f"scatter, parallel shard sorts, fan-in-{fan_in} reduce"
             ),
+            cost_source=self._cost_source,
+            profile_fingerprint=self._fingerprint,
         )
 
     def plan_external(self, descriptor: InputDescriptor) -> SortPlan:
@@ -479,21 +554,37 @@ class Planner:
         config = self._config_for(descriptor)
         run_plan = plan_runs(descriptor.n, descriptor.record_bytes, budget)
         total = descriptor.total_bytes
-        disk_seconds = 2 * total / HOST_DISK_BANDWIDTH
-        # Every run but the last is run_records long, so price one full
-        # run and the tail instead of O(n_runs) model evaluations.
-        if run_plan.n_runs == 0:
-            sort_seconds = 0.0
+        if self.host is not None:
+            # The spill probe folds sort cost into the measured
+            # read+sort+write rate; the merge probe measured the
+            # single streaming k-way pass the executor actually runs.
+            spill_seconds = self.host.spill_seconds(total)
+            merge_seconds = self.host.external_merge_seconds(total)
         else:
-            tail_records = run_plan.bounds[-1] - run_plan.bounds[-2]
-            full_seconds = self._msd_step(
-                descriptor, config, max(1, run_plan.run_records)
-            ).predicted_seconds
-            tail_seconds = self._msd_step(
-                descriptor, config, max(1, tail_records)
-            ).predicted_seconds
-            sort_seconds = (
-                full_seconds * (run_plan.n_runs - 1) + tail_seconds
+            disk_seconds = 2 * total / HOST_DISK_BANDWIDTH
+            # Every run but the last is run_records long, so price one
+            # full run and the tail instead of O(n_runs) evaluations.
+            if run_plan.n_runs == 0:
+                sort_seconds = 0.0
+            else:
+                tail_records = run_plan.bounds[-1] - run_plan.bounds[-2]
+                full_seconds = self._msd_step(
+                    descriptor, config, max(1, run_plan.run_records)
+                ).predicted_seconds
+                tail_seconds = self._msd_step(
+                    descriptor, config, max(1, tail_records)
+                ).predicted_seconds
+                sort_seconds = (
+                    full_seconds * (run_plan.n_runs - 1) + tail_seconds
+                )
+            spill_seconds = disk_seconds + sort_seconds
+            merge_seconds = (
+                2 * total / HOST_DISK_BANDWIDTH
+                + CpuMergeModel().merge_seconds(
+                    total_bytes=total,
+                    n_runs=max(1, run_plan.n_runs),
+                    record_bytes=descriptor.record_bytes,
+                )
             )
         runs_step = PlanStep(
             kind="spill-runs",
@@ -504,20 +595,13 @@ class Planner:
                 "workers": descriptor.workers,
                 "run_plan": run_plan,
             },
-            predicted_seconds=disk_seconds + sort_seconds,
+            predicted_seconds=spill_seconds,
             bytes_moved=2 * total,
         )
         merge_step = PlanStep(
             kind="kway-merge",
             params={"n_runs": run_plan.n_runs, "where": "streaming disk"},
-            predicted_seconds=(
-                2 * total / HOST_DISK_BANDWIDTH
-                + CpuMergeModel().merge_seconds(
-                    total_bytes=total,
-                    n_runs=max(1, run_plan.n_runs),
-                    record_bytes=descriptor.record_bytes,
-                )
-            ),
+            predicted_seconds=merge_seconds,
             bytes_moved=2 * total,
         )
         return SortPlan(
@@ -530,6 +614,8 @@ class Planner:
                 f"run(s) of ≤ {run_plan.run_records:,} records, then a "
                 f"streaming merge"
             ),
+            cost_source=self._cost_source,
+            profile_fingerprint=self._fingerprint,
         )
 
     # ------------------------------------------------------------------
@@ -544,7 +630,28 @@ class Planner:
     def _stream_seconds(
         self, descriptor: InputDescriptor, bytes_moved: int
     ) -> float:
+        """Seconds for streaming ``bytes_moved`` of engine traffic.
+
+        Calibrated hosts use the measured counting-scatter bandwidth
+        for the layout (worker speedup applied); uncalibrated planning
+        divides by the paper spec's effective bandwidth, exactly as
+        before the host-profile layer existed.
+        """
+        if self.host is not None:
+            return self.host.counting_seconds(descriptor, bytes_moved)
         return bytes_moved / descriptor.spec.effective_bandwidth
+
+    def _merge_seconds(
+        self, total_bytes: int, n_runs: int, record_bytes: int
+    ) -> float:
+        """Host k-way reduce pricing (profile rate or CpuMergeModel)."""
+        if self.host is not None:
+            return self.host.merge_seconds(total_bytes, n_runs, record_bytes)
+        return CpuMergeModel().merge_seconds(
+            total_bytes=total_bytes,
+            n_runs=n_runs,
+            record_bytes=record_bytes,
+        )
 
     def _msd_step(
         self, descriptor: InputDescriptor, config: SortConfig, n: int

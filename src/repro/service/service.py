@@ -54,6 +54,7 @@ from functools import partial
 import numpy as np
 
 from repro.core.pairs import decompose, recompose
+from repro.cost.feedback import CostFeedback
 from repro.errors import (
     AdmissionError,
     ConfigurationError,
@@ -133,6 +134,23 @@ class SortService:
         Fraction of recent dispatches that must have failed before the
         scheduler sheds small batchable requests with
         :class:`~repro.errors.OverloadedError` (``stats.shed``).
+    time_budget:
+        Optional seconds cap per request: a plan whose
+        ``predicted_seconds`` exceeds it is rejected at admission with
+        :class:`~repro.errors.AdmissionError`
+        (``stats.rejected_time_budget``).  Priced by the same cost
+        model as everything else — a calibrated host profile plus the
+        measured-feedback loop make this an honest wall-clock gate,
+        not a bytes proxy.
+
+    The default planner carries a
+    :class:`~repro.cost.feedback.CostFeedback`: every completed
+    unbatched in-memory request feeds its measured execute time back
+    under the request's descriptor signature, and subsequent plans for
+    that signature re-blend their predictions toward the measurement
+    (the plan cache re-plans stale entries).  Repeat workloads
+    converge toward real wall-clock regardless of where the analytical
+    estimate started.
 
     Use as an async context manager::
 
@@ -158,6 +176,7 @@ class SortService:
         degradation: bool = True,
         watchdog_timeout: float | None = 60.0,
         shed_failure_threshold: float = 0.5,
+        time_budget: float | None = None,
     ) -> None:
         if batch_max_requests < 1 or batch_max_records < 1:
             raise ConfigurationError("batch caps must be positive")
@@ -171,12 +190,17 @@ class SortService:
             raise ConfigurationError(
                 "shed_failure_threshold must be in (0, 1]"
             )
+        if time_budget is not None and time_budget <= 0:
+            raise ConfigurationError(
+                "time_budget must be positive (or None to disable)"
+            )
         self.micro_batching = micro_batching
         self.small_request_records = int(small_request_records)
         self.batch_max_requests = int(batch_max_requests)
         self.batch_max_records = int(batch_max_records)
         self.batch_window = float(batch_window)
-        self.planner = planner or Planner()
+        self.time_budget = time_budget
+        self.planner = planner or Planner(feedback=CostFeedback())
         self.registry = registry
         self.spec = spec
         self.retry_policy = retry_policy
@@ -614,6 +638,16 @@ class SortService:
             self.stats.plan_cache_hits += 1
         else:
             self.stats.plan_cache_misses += 1
+        if (
+            self.time_budget is not None
+            and plan.predicted_seconds > self.time_budget
+        ):
+            self.stats.rejected_time_budget += 1
+            raise AdmissionError(
+                f"plan predicts {plan.predicted_seconds:.3g}s "
+                f"({plan.cost_source}), over the service time budget "
+                f"of {self.time_budget:.3g}s"
+            )
         return plan
 
     # ------------------------------------------------------------------
@@ -818,3 +852,28 @@ class SortService:
             meta["service"] = request.timing.to_dict()
         request.resolve(result)
         self.stats.record(request.timing, plan.strategy)
+        self._observe_feedback(request)
+
+    def _observe_feedback(self, request: SortRequest) -> None:
+        """Feed one measured execute time back into the cost model.
+
+        Only unbatched in-memory requests observe: a batch member's
+        ``execute_seconds`` is the whole coalition's dispatch time, and
+        a file descriptor's signature can go stale with the file —
+        neither is a clean measurement of this signature's cost.
+        """
+        feedback = getattr(self.planner, "feedback", None)
+        if feedback is None:
+            return
+        timing = request.timing
+        if (
+            timing.batch_size != 1
+            or timing.execute_seconds <= 0
+            or request.descriptor.source == "file"
+        ):
+            return
+        feedback.observe(
+            request.descriptor.signature(), timing.execute_seconds
+        )
+        self.stats.feedback_observations += 1
+        self.stats.feedback_signatures = len(feedback)

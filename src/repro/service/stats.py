@@ -82,6 +82,14 @@ class ServiceStats:
         on a downgraded engine rung, requests rejected because their
         deadline expired before execution, and small requests shed
         under overload (each with a retry-after hint).
+    rejected_time_budget:
+        Requests refused because the plan's ``predicted_seconds``
+        exceeded the service's ``time_budget`` — admission control
+        priced in *time*, not just bytes.
+    feedback_observations / feedback_signatures:
+        The measured-feedback loop: execute times folded into the
+        planner's :class:`~repro.cost.feedback.CostFeedback` table,
+        and how many distinct request signatures have history.
     """
 
     submitted: int = 0
@@ -103,6 +111,9 @@ class ServiceStats:
     fallbacks: int = 0
     rejected_expired: int = 0
     shed: int = 0
+    rejected_time_budget: int = 0
+    feedback_observations: int = 0
+    feedback_signatures: int = 0
     by_strategy: dict = field(default_factory=dict)
 
     def record(self, timing: RequestTiming, strategy: str) -> None:
@@ -150,5 +161,8 @@ class ServiceStats:
             "fallbacks": self.fallbacks,
             "rejected_expired": self.rejected_expired,
             "shed": self.shed,
+            "rejected_time_budget": self.rejected_time_budget,
+            "feedback_observations": self.feedback_observations,
+            "feedback_signatures": self.feedback_signatures,
             "by_strategy": dict(self.by_strategy),
         }

@@ -102,12 +102,20 @@ class TestHarness:
         path = tmp_path / "BENCH_wallclock.json"
         write_report(report, str(path))
         loaded = json.loads(path.read_text())
-        assert loaded["schema"] == 3
+        assert loaded["schema"] == 4
         assert loaded["n"] == 2048
         assert loaded["workers"] == 2
         assert loaded["cases"] == ["keys32-uniform"]
+        # The test environment pins REPRO_HOST_PROFILE at a missing
+        # path (conftest), so the suite records no profile fingerprint
+        # and the plan is priced from the paper constants.
+        assert loaded["host_profile"] is None
         assert len(loaded["results"]) == 1
-        assert loaded["results"][0]["sorted_ok"]
+        record = loaded["results"][0]
+        assert record["sorted_ok"]
+        assert record["plan"]["cost_source"] == "paper-analytical"
+        assert record["plan"]["profile_fingerprint"] is None
+        assert record["prediction_ratio"] > 0
 
     def test_write_report_refuses_failed_verification(self, tmp_path):
         report = {

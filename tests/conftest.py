@@ -14,6 +14,20 @@ import pytest
 from repro.core.config import SortConfig
 
 
+@pytest.fixture(autouse=True)
+def _no_host_profile(monkeypatch, tmp_path):
+    """Pin the suite to the uncalibrated state.
+
+    A developer's real ``~/.cache/repro-host-profile.json`` must never
+    leak measured constants into the deterministic planning tests —
+    every test sees a nonexistent profile path unless it sets one up
+    itself (the calibration tests override this).
+    """
+    monkeypatch.setenv(
+        "REPRO_HOST_PROFILE", str(tmp_path / "no-host-profile.json")
+    )
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(0xD1CE)

@@ -1,0 +1,122 @@
+"""Tests for the measured-feedback loop (EWMA blending into plans)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cost.feedback import CostFeedback
+from repro.plan import InputDescriptor, Planner
+
+SIG = ("sig", 1)
+
+
+def make_plan(n=4_000_000):
+    descriptor = InputDescriptor(n=n, key_dtype=np.uint32)
+    return Planner(native="never", profile=None).plan(descriptor), descriptor
+
+
+class TestRecording:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CostFeedback(smoothing=0.0)
+        with pytest.raises(ValueError):
+            CostFeedback(smoothing=1.5)
+        with pytest.raises(ValueError):
+            CostFeedback(confidence=0.0)
+
+    def test_observe_counts_and_versions(self):
+        feedback = CostFeedback()
+        assert feedback.observations(SIG) == 0
+        assert feedback.version(SIG) == 0
+        feedback.observe(SIG, 0.5)
+        feedback.observe(SIG, 0.7)
+        assert feedback.observations(SIG) == 2
+        assert feedback.version(SIG) == 2
+        assert len(feedback) == 1
+
+    def test_non_positive_measurements_ignored(self):
+        feedback = CostFeedback()
+        feedback.observe(SIG, 0.0)
+        feedback.observe(SIG, -1.0)
+        assert feedback.observations(SIG) == 0
+
+    def test_to_dict_snapshot(self):
+        feedback = CostFeedback()
+        feedback.observe(SIG, 0.5)
+        feedback.observe(("other",), 0.1)
+        snap = feedback.to_dict()
+        assert snap["signatures"] == 2
+        assert snap["observations"] == 2
+        assert {tuple(e["signature"]) for e in snap["entries"]} == {
+            SIG, ("other",),
+        }
+
+
+class TestBlending:
+    def test_no_history_returns_prediction(self):
+        assert CostFeedback().estimate(SIG, 3.0) == 3.0
+
+    def test_estimate_moves_monotonically_toward_measured(self):
+        """More observations of a stable workload → strictly closer to
+        the measured value; a handful of requests reaches ≤2× error."""
+        feedback = CostFeedback()
+        predicted, measured = 10.0, 1.0
+        errors = []
+        for _ in range(30):
+            feedback.observe(SIG, measured)
+            estimate = feedback.estimate(SIG, predicted)
+            errors.append(estimate / measured)
+        assert all(a > b for a, b in zip(errors, errors[1:]))
+        assert errors[-1] < 2.0
+        # ... and from the other side (model under-predicts).
+        under = CostFeedback()
+        for _ in range(8):
+            under.observe(SIG, 5.0)
+        assert 2.5 < under.estimate(SIG, 0.001) <= 5.0
+
+    def test_ewma_tracks_drifting_measurements(self):
+        feedback = CostFeedback(smoothing=0.5)
+        for seconds in (1.0, 1.0, 3.0):
+            feedback.observe(SIG, seconds)
+        # EWMA walks 1.0 → 1.0 → 2.0 under 0.5 smoothing, and three
+        # observations weigh it at 3 / (3 + 3) = ½ against a zero
+        # prediction.
+        assert feedback.estimate(SIG, 0.0) == pytest.approx(1.0)
+
+
+class TestApply:
+    def test_unobserved_signature_leaves_plan_untouched(self):
+        plan, descriptor = make_plan()
+        feedback = CostFeedback()
+        assert feedback.apply(plan, descriptor.signature()) is plan
+
+    def test_apply_reprices_and_rebrands(self):
+        plan, descriptor = make_plan()
+        signature = descriptor.signature()
+        feedback = CostFeedback()
+        measured = plan.predicted_seconds * 10
+        for _ in range(4):
+            feedback.observe(signature, measured)
+        adjusted = feedback.apply(plan, signature)
+        assert adjusted.cost_source == "measured-feedback"
+        assert adjusted.strategy == plan.strategy
+        assert [s.kind for s in adjusted.steps] == [
+            s.kind for s in plan.steps
+        ]
+        assert adjusted.predicted_seconds == pytest.approx(
+            feedback.estimate(signature, plan.predicted_seconds)
+        )
+        # Step costs scale proportionally; traffic is untouched.
+        assert adjusted.bytes_moved == plan.bytes_moved
+
+    def test_planner_applies_feedback_on_plan(self):
+        _, descriptor = make_plan()
+        feedback = CostFeedback()
+        planner = Planner(native="never", profile=None, feedback=feedback)
+        baseline = planner.plan(descriptor)
+        assert baseline.cost_source == "paper-analytical"
+        feedback.observe(descriptor.signature(), 1.25)
+        replanned = planner.plan(descriptor)
+        assert replanned.cost_source == "measured-feedback"
+        assert replanned.predicted_seconds > baseline.predicted_seconds

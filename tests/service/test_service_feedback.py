@@ -1,0 +1,120 @@
+"""The service's measured-feedback loop and the time-budget gate."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cost.feedback import CostFeedback
+from repro.errors import AdmissionError, ConfigurationError
+from repro.plan import Planner
+from repro.service import SortService
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestFeedbackLoop:
+    def test_default_planner_carries_feedback(self):
+        service = SortService()
+        assert isinstance(service.planner.feedback, CostFeedback)
+
+    def test_repeat_requests_converge_on_measured_cost(self, rng):
+        keys = rng.integers(0, 2**32, 60_000).astype(np.uint32)
+
+        async def main():
+            async with SortService(micro_batching=False) as service:
+                results = [await service.submit(keys) for _ in range(4)]
+                return service, results
+
+        service, results = run(main())
+        first, *rest = [r.meta["plan"] for r in results]
+        # The first request is priced analytically (no history yet);
+        # every later one re-plans from its measured execute times.
+        assert first.cost_source == "paper-analytical"
+        assert all(p.cost_source == "measured-feedback" for p in rest)
+        assert service.stats.feedback_observations == 4
+        assert service.stats.feedback_signatures == 1
+        # The blend moves predictions toward the signature's EWMA.
+        feedback = service.planner.feedback
+        signature = results[0].meta["plan"].descriptor.signature()
+        assert feedback.observations(signature) == 4
+        target = feedback.estimate(signature, first.predicted_seconds)
+        last_error = abs(rest[-1].predicted_seconds - target)
+        first_error = abs(first.predicted_seconds - target)
+        assert last_error <= first_error
+
+    def test_cache_replans_when_history_advances(self, rng):
+        keys = rng.integers(0, 2**32, 60_000).astype(np.uint32)
+
+        async def main():
+            async with SortService(micro_batching=False) as service:
+                await service.submit(keys)
+                await service.submit(keys)
+                return service.stats.to_dict()
+
+        stats = run(main())
+        # Same signature twice, but the feedback version advanced in
+        # between — the cache must re-price rather than serve the
+        # fossilised first estimate.
+        assert stats["plan_cache_hits"] == 0
+        assert stats["plan_cache_misses"] == 2
+        assert stats["feedback_observations"] == 2
+
+    def test_planner_without_feedback_just_plans(self, rng):
+        keys = rng.integers(0, 2**32, 30_000).astype(np.uint32)
+
+        async def main():
+            planner = Planner(profile=None)
+            async with SortService(planner=planner) as service:
+                result = await service.submit(keys)
+                return service, result
+
+        service, result = run(main())
+        assert service.stats.feedback_observations == 0
+        assert result.meta["plan"].cost_source == "paper-analytical"
+        assert bytes(result.keys) == bytes(np.sort(keys))
+
+    def test_stats_expose_feedback_counters(self):
+        stats = SortService().stats.to_dict()
+        assert stats["feedback_observations"] == 0
+        assert stats["feedback_signatures"] == 0
+        assert stats["rejected_time_budget"] == 0
+
+
+class TestTimeBudget:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="time_budget"):
+            SortService(time_budget=0.0)
+        with pytest.raises(ConfigurationError, match="time_budget"):
+            SortService(time_budget=-1.0)
+
+    def test_over_budget_plans_are_rejected(self, rng):
+        keys = rng.integers(0, 2**32, 200_000).astype(np.uint32)
+
+        async def main():
+            # Any real plan predicts more than a nanosecond.
+            async with SortService(time_budget=1e-9) as service:
+                with pytest.raises(AdmissionError, match="time budget"):
+                    await service.submit(keys)
+                return service.stats
+
+        stats = run(main())
+        assert stats.rejected_time_budget == 1
+        assert stats.completed == 0
+
+    def test_within_budget_requests_complete(self, rng):
+        keys = rng.integers(0, 2**32, 30_000).astype(np.uint32)
+
+        async def main():
+            async with SortService(time_budget=3600.0) as service:
+                result = await service.submit(keys)
+                return service, result
+
+        service, result = run(main())
+        assert bytes(result.keys) == bytes(repro.sort(keys).keys)
+        assert service.stats.rejected_time_budget == 0

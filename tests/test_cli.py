@@ -127,6 +127,54 @@ class TestPlanCommand:
         assert rc == 0
         assert "plan            : external (spill-runs, kway-merge)" in out
 
+    def test_plan_reports_cost_source(self, capsys):
+        rc = main(["plan", "--n", "1000000"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        # The test suite pins an uncalibrated environment (conftest).
+        assert "cost source     : paper-analytical" in out
+
+
+class TestCalibrateCommand:
+    def test_calibrate_writes_profile_and_plan_uses_it(
+        self, tmp_path, capsys
+    ):
+        import json
+        import os
+
+        # The conftest autouse fixture points REPRO_HOST_PROFILE at a
+        # (nonexistent) per-test path; calibrating into that exact path
+        # is what a user's `repro calibrate` + `repro plan` does.
+        path = os.environ["REPRO_HOST_PROFILE"]
+        rc = main(
+            ["calibrate", "--quick", "--n", "2048", "--output", path]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "counting-scatter 32/0" in out
+        assert "stable argsort" in out
+        assert "external spill" in out
+        assert f"wrote {path}" in out
+        assert "fingerprint hp-" in out
+        doc = json.loads(open(path).read())
+        assert doc["probes"] == {
+            "n": 2048, "repeats": 1, "quick": True, "seed": 20170514,
+        }
+        rc = main(["plan", "--n", "1000000"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert f"cost source     : host-profile ({doc['fingerprint']})" in out
+
+    def test_calibrate_default_output_honours_env(self, capsys):
+        import os
+
+        path = os.environ["REPRO_HOST_PROFILE"]
+        rc = main(["calibrate", "--quick", "--n", "1024"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert f"wrote {path}" in out
+        assert os.path.exists(path)
+
 
 class TestBenchWallclockCommand:
     def test_cases_and_workers_flags(self, capsys, tmp_path, monkeypatch):

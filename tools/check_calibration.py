@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Calibration gate: a host profile must actually predict this host.
+
+Run after ``repro calibrate`` and a wall-clock benchmark on the *same*
+machine::
+
+    PYTHONPATH=src python tools/check_calibration.py \
+        --profile /tmp/host-profile.json \
+        --report /tmp/BENCH_wallclock.json \
+        --case keys32-uniform --max-ratio 5
+
+Three checks, each of which has failed silently at least once in the
+history of cost models like this one:
+
+1. **The profile loads and round-trips.**  ``load_host_profile`` must
+   return a usable profile (not the forgiving ``None`` fallback), and a
+   planner built on it must brand its plans ``cost_source:
+   "host-profile"`` with the profile's own fingerprint.
+2. **The benchmark used it.**  The report's ``host_profile`` field and
+   each checked case's plan fingerprint must match the profile — a gate
+   comparing predictions a *different* calibration made proves nothing.
+3. **Predictions are honest.**  For every checked case,
+   ``predicted_seconds / measured seconds`` must lie within
+   ``[1/max_ratio, max_ratio]``.  The default 5× is deliberately loose:
+   micro-probes extrapolate across sizes and CI machines are noisy —
+   the gate exists to catch order-of-magnitude nonsense (the paper
+   constants were ~400× off on NumPy hosts), not to certify precision.
+
+Exit code 0 when every check passes; non-zero prints each failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.cost.hostprofile import load_host_profile
+from repro.plan import InputDescriptor, Planner
+
+
+def check_profile_roundtrip(path: str, failures: list[str]):
+    """Check 1: the profile loads and prices plans under its own name."""
+    profile = load_host_profile(path)
+    if profile is None:
+        failures.append(f"profile at {path} did not load (missing/corrupt)")
+        return None
+    if not profile.fingerprint:
+        failures.append(f"profile at {path} carries no fingerprint")
+        return None
+    planner = Planner(profile=profile)
+    plan = planner.plan(InputDescriptor(n=1 << 22, key_dtype=np.uint32))
+    if plan.cost_source != "host-profile":
+        failures.append(
+            f"planner with an explicit profile priced a plan as "
+            f"{plan.cost_source!r}, not 'host-profile'"
+        )
+    if plan.profile_fingerprint != profile.fingerprint:
+        failures.append(
+            f"plan cites fingerprint {plan.profile_fingerprint!r} but the "
+            f"profile is {profile.fingerprint!r}"
+        )
+    return profile
+
+
+def check_case(record: dict, profile, max_ratio: float,
+               failures: list[str]) -> None:
+    name = record["name"]
+    if record.get("skipped"):
+        print(f"{name:26s} SKIP ({record['skipped']})")
+        return
+    plan = record.get("plan") or {}
+    if plan.get("profile_fingerprint") != profile.fingerprint:
+        failures.append(
+            f"{name}: plan priced by {plan.get('profile_fingerprint')!r}, "
+            f"not the checked profile {profile.fingerprint!r}"
+        )
+        return
+    ratio = record.get("prediction_ratio")
+    if ratio is None:
+        failures.append(f"{name}: no prediction_ratio in the report")
+        return
+    ok = 1.0 / max_ratio <= ratio <= max_ratio
+    print(
+        f"{name:26s} predicted/measured = {ratio:8.3f}  "
+        f"({plan.get('cost_source')}) {'ok' if ok else 'FAIL'}"
+    )
+    if not ok:
+        failures.append(
+            f"{name}: prediction off by more than {max_ratio}x "
+            f"(ratio {ratio:.3f})"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profile", required=True,
+                        help="host profile JSON written by `repro calibrate`")
+    parser.add_argument("--report", required=True,
+                        help="BENCH_wallclock.json measured with the profile")
+    parser.add_argument("--case", action="append", default=None,
+                        help="case name to check (repeatable; default: every "
+                        "non-skipped case in the report)")
+    parser.add_argument("--max-ratio", type=float, default=5.0,
+                        help="allowed predicted/measured factor, either way "
+                        "(default 5)")
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+    profile = check_profile_roundtrip(args.profile, failures)
+    if profile is None:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+
+    with open(args.report) as fh:
+        report = json.load(fh)
+    if report.get("host_profile") != profile.fingerprint:
+        failures.append(
+            f"report host_profile {report.get('host_profile')!r} does not "
+            f"match the checked profile {profile.fingerprint!r} — the bench "
+            f"ran without it"
+        )
+    by_name = {r["name"]: r for r in report.get("results", ())}
+    wanted = args.case or list(by_name)
+    for name in wanted:
+        record = by_name.get(name)
+        if record is None:
+            failures.append(
+                f"case {name!r} not in the report (has: {', '.join(by_name)})"
+            )
+            continue
+        check_case(record, profile, args.max_ratio, failures)
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print(f"calibration gate: {len(wanted)} case(s) within "
+              f"{args.max_ratio}x of measured")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
